@@ -1,0 +1,277 @@
+package cqapprox
+
+// The benchmark harness: one group per experiment row in DESIGN.md's
+// index. These benches regenerate the measured side of every table and
+// figure (Figure 1 plus the quantitative propositions); cmd/experiments
+// prints the same data as human-readable tables.
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"cqapprox/internal/core"
+	"cqapprox/internal/digraph"
+	"cqapprox/internal/eval"
+	"cqapprox/internal/gadgets"
+	"cqapprox/internal/hom"
+	"cqapprox/internal/workload"
+)
+
+// --- E1 (Figure 1): time to compute approximations per class ---------
+
+func benchApprox(b *testing.B, q *Query, c Class) {
+	b.Helper()
+	opt := DefaultOptions()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Approximate(q, c, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure1_TW1_C4(b *testing.B)     { benchApprox(b, workload.CycleQuery(4), TW(1)) }
+func BenchmarkFigure1_TW2_C4(b *testing.B)     { benchApprox(b, workload.CycleQuery(4), TW(2)) }
+func BenchmarkFigure1_AC_C4(b *testing.B)      { benchApprox(b, workload.CycleQuery(4), AC()) }
+func BenchmarkFigure1_HTW2_C4(b *testing.B)    { benchApprox(b, workload.CycleQuery(4), HTW(2)) }
+func BenchmarkFigure1_TW1_Grid(b *testing.B)   { benchApprox(b, workload.GridQuery(2, 3), TW(1)) }
+func BenchmarkFigure1_AC_Ternary(b *testing.B) { benchApprox(b, workload.TernaryCycleQuery(3), AC()) }
+
+// --- E2 (Prop 4.4): the 2^n family ------------------------------------
+
+func BenchmarkProp44_BuildAndVerify(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		gn := gadgets.NewGn(1)
+		for _, s := range gadgets.AllLabels(1) {
+			gs := gadgets.NewGns(1, s)
+			if !hom.Exists(gn.G, gs, nil) {
+				b.Fatal("containment lost")
+			}
+		}
+	}
+}
+
+func BenchmarkProp44_IncomparabilityCheck(b *testing.B) {
+	gv := gadgets.NewGns(1, "V")
+	gh := gadgets.NewGns(1, "H")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if digraph.ExistsHomLeveled(gv, gh) {
+			b.Fatal("G^V → G^H should fail")
+		}
+	}
+}
+
+// --- E3 (Thm 5.1): trichotomy classification --------------------------
+
+func BenchmarkThm51_Classify(b *testing.B) {
+	qs := []*Query{
+		workload.CycleQuery(3),
+		MustParse("Q() :- E(x,y), E(y,z), E(z,u), E(x,u)"),
+		MustParse("Q() :- E(a,b), E(c,b), E(c,d), E(a,d)"),
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, q := range qs {
+			if _, err := core.ClassifyGraphTableau(q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// --- E7 (Example 6.6): enumerate hypergraph approximations ------------
+
+func BenchmarkEx66_Enumerate(b *testing.B) {
+	q := MustParse("Q() :- R(x1,x2,x3), R(x3,x4,x5), R(x5,x6,x1)")
+	opt := DefaultOptions()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		apps, err := core.Approximations(q, AC(), opt)
+		if err != nil || len(apps) != 3 {
+			b.Fatalf("apps=%d err=%v", len(apps), err)
+		}
+	}
+}
+
+// --- E9 (§1 motivation): exact vs approximate evaluation --------------
+
+func speedupDB(n int) *Structure {
+	rng := rand.New(rand.NewSource(42))
+	return workload.RandomSocial(rng, n, 6, 0.3)
+}
+
+func BenchmarkEval_Exact_C4(b *testing.B) {
+	q := MustParse("Q(x) :- E(x,y), E(y,z), E(z,w), E(w,x)")
+	for _, n := range []int{100, 300, 1000} {
+		db := speedupDB(n)
+		b.Run(fmt.Sprintf("N%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				eval.Naive(q, db)
+			}
+		})
+	}
+}
+
+func BenchmarkEval_Approx_C4(b *testing.B) {
+	q := MustParse("Q(x) :- E(x,y), E(y,z), E(z,w), E(w,x)")
+	a, err := Approximate(q, TW(1), DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, n := range []int{100, 300, 1000, 10000} {
+		db := speedupDB(n)
+		b.Run(fmt.Sprintf("N%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				eval.Eval(a, db)
+			}
+		})
+	}
+}
+
+// Engine ablation: Yannakakis versus naive backtracking on the same
+// acyclic query — the payoff the approximation buys.
+func BenchmarkEngine_Yannakakis_Path3(b *testing.B) {
+	q := MustParse("Q(x,w) :- E(x,y), E(y,z), E(z,w)")
+	db := speedupDB(300)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eval.Yannakakis(q, db); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEngine_Naive_Path3(b *testing.B) {
+	q := MustParse("Q(x,w) :- E(x,y), E(y,z), E(z,w)")
+	db := speedupDB(300)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eval.Naive(q, db)
+	}
+}
+
+func BenchmarkEngine_TreeDecomp_C4(b *testing.B) {
+	q := MustParse("Q(x) :- E(x,y), E(y,z), E(z,w), E(w,x)")
+	db := speedupDB(300)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eval.ByTreeDecomposition(q, db); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- E10 (Prop 5.5): combined complexity of balanced queries ----------
+
+func BenchmarkProp55_CombinedComplexity(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	db := workload.LayeredDAG(rng, 8, 30, 3)
+	for _, k := range []int{3, 4, 5} {
+		g := digraph.New()
+		for i := 0; i < k; i++ {
+			digraph.AddEdge(g, 2*i, 2*i+1)
+			digraph.AddEdge(g, (2*i+2)%(2*k), 2*i+1)
+		}
+		q := FromTableau(g, nil)
+		b.Run(fmt.Sprintf("Vars%d", 2*k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				eval.Naive(q, db)
+			}
+		})
+	}
+}
+
+// --- E11 (Thm 4.12): exact homomorphism checks on the reduction -------
+
+func BenchmarkThm412_UniqueHomQStarT1(b *testing.B) {
+	q := gadgets.NewQStar()
+	t1 := gadgets.Ti(1)
+	allowed, ok := digraph.LevelRestriction(q.G, t1.G)
+	if !ok {
+		b.Fatal("level restriction inapplicable")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if hom.CountRestricted(q.G, t1.G, nil, allowed) != 1 {
+			b.Fatal("uniqueness lost")
+		}
+	}
+}
+
+func BenchmarkThm412_ChooserPair(b *testing.B) {
+	bt := gadgets.NewBigT()
+	ch := gadgets.NewExtChooser21()
+	lr, _ := digraph.LevelRestriction(ch.G, bt.G)
+	pre := map[int]int{ch.A: bt.TNode[1], ch.B: bt.TNode[3]}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !hom.ExistsRestricted(ch.G, bt.G, pre, lr) {
+			b.Fatal("chooser pair (t1,t3) must exist")
+		}
+	}
+}
+
+// --- E14 (Cor 4.3): single-exponential growth of approximation cost ---
+
+func BenchmarkCor43_ApproxCost(b *testing.B) {
+	for n := 3; n <= 6; n++ {
+		q := workload.CycleQuery(n)
+		b.Run(fmt.Sprintf("C%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Approximations(q, TW(1), DefaultOptions()); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- E16 (Cor 6.5): hypergraph-based approximation cost ---------------
+
+func BenchmarkCor65_HTWApprox(b *testing.B) {
+	q := workload.TernaryCycleQuery(3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Approximate(q, HTW(2), DefaultOptions()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- substrate micro-benchmarks ----------------------------------------
+
+func BenchmarkHom_CoreOfD(b *testing.B) {
+	d := gadgets.NewD()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !hom.IsCore(d.G, nil) {
+			// D itself may or may not be a core; the work is the point.
+			_ = i
+		}
+	}
+}
+
+func BenchmarkHom_ContainmentCheck(b *testing.B) {
+	// C3 ⊆ C6: the 3-cycle query is the more restrictive one (the
+	// containment homomorphism wraps C6 around C3).
+	c6 := workload.CycleQuery(6)
+	c3 := workload.CycleQuery(3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !Contained(c3, c6) {
+			b.Fatal("C3 ⊆ C6 must hold")
+		}
+		if Contained(c6, c3) {
+			b.Fatal("C6 ⊄ C3")
+		}
+	}
+}
+
+func BenchmarkMinimize_RedundantQuery(b *testing.B) {
+	q := MustParse("Q() :- E(x,y), E(x,z), E(x,w), E(w,v)")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Minimize(q)
+	}
+}

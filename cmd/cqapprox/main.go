@@ -1,0 +1,291 @@
+// Command cqapprox is the CLI for the library: parse and analyse
+// conjunctive queries, compute approximations within tractable classes,
+// check approximation-hood, and evaluate queries on databases.
+//
+// Usage:
+//
+//	cqapprox parse    -q "Q(x) :- E(x,y), E(y,z), E(z,x)"
+//	cqapprox classify -q "Q() :- E(x,y), E(y,z), E(z,x)"
+//	cqapprox approx   -q "..." -class TW1 [-all]
+//	cqapprox check    -q "..." -cand "..." -class AC
+//	cqapprox eval     -q "..." -db graph.txt [-engine auto|naive|yannakakis|td]
+//
+// Database files contain one fact per line: a relation name followed by
+// integer arguments, e.g. "E 1 2". Lines starting with '#' are ignored.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"cqapprox"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "parse":
+		err = cmdParse(os.Args[2:])
+	case "classify":
+		err = cmdClassify(os.Args[2:])
+	case "approx":
+		err = cmdApprox(os.Args[2:])
+	case "check":
+		err = cmdCheck(os.Args[2:])
+	case "eval":
+		err = cmdEval(os.Args[2:])
+	case "help", "-h", "--help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "cqapprox: unknown command %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cqapprox:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: cqapprox <command> [flags]
+
+commands:
+  parse     parse a query and report treewidth / acyclicity / hypertree width
+  classify  Theorem 5.1 trichotomy classification for graph queries
+  approx    compute C-approximations (-class TW1|TW2|TW3|AC|HTW1|HTW2|GHTW1|GHTW2)
+  check     decide whether -cand is a C-approximation of -q
+  eval      evaluate a query on a database file (one fact per line: "E 1 2")`)
+}
+
+func classFromName(name string) (cqapprox.Class, error) {
+	switch strings.ToUpper(name) {
+	case "TW1":
+		return cqapprox.TW(1), nil
+	case "TW2":
+		return cqapprox.TW(2), nil
+	case "TW3":
+		return cqapprox.TW(3), nil
+	case "AC":
+		return cqapprox.AC(), nil
+	case "HTW1":
+		return cqapprox.HTW(1), nil
+	case "HTW2":
+		return cqapprox.HTW(2), nil
+	case "GHTW1":
+		return cqapprox.GHTW(1), nil
+	case "GHTW2":
+		return cqapprox.GHTW(2), nil
+	default:
+		return nil, fmt.Errorf("unknown class %q (want TW1, TW2, TW3, AC, HTW1, HTW2, GHTW1, GHTW2)", name)
+	}
+}
+
+func cmdParse(args []string) error {
+	fs := flag.NewFlagSet("parse", flag.ExitOnError)
+	src := fs.String("q", "", "query in rule notation")
+	fs.Parse(args)
+	q, err := cqapprox.Parse(*src)
+	if err != nil {
+		return err
+	}
+	fmt.Println("query:          ", q)
+	fmt.Println("variables:      ", q.NumVars())
+	fmt.Println("joins:          ", q.NumJoins())
+	fmt.Println("boolean:        ", q.IsBoolean())
+	fmt.Println("treewidth:      ", cqapprox.Treewidth(q))
+	fmt.Println("acyclic:        ", cqapprox.IsAcyclic(q))
+	fmt.Println("hypertree width:", cqapprox.HypertreeWidth(q))
+	m := cqapprox.Minimize(q)
+	fmt.Println("minimized:      ", m)
+	return nil
+}
+
+func cmdClassify(args []string) error {
+	fs := flag.NewFlagSet("classify", flag.ExitOnError)
+	src := fs.String("q", "", "query in rule notation")
+	fs.Parse(args)
+	q, err := cqapprox.Parse(*src)
+	if err != nil {
+		return err
+	}
+	kind, err := cqapprox.ClassifyGraphTableau(q)
+	if err != nil {
+		return err
+	}
+	fmt.Println("tableau kind:", kind)
+	switch kind {
+	case cqapprox.NonBipartite:
+		fmt.Println("Theorem 5.1: only the trivial acyclic approximation E(x,x) (Boolean case)")
+	case cqapprox.BipartiteUnbalanced:
+		fmt.Println("Theorem 5.1: unique acyclic approximation K2↔ (Boolean case)")
+	case cqapprox.BipartiteBalanced:
+		fmt.Println("Theorem 5.1: nontrivial acyclic approximations, none with a 2-cycle")
+	}
+	for _, k := range []int{1, 2} {
+		ok, err := cqapprox.HasLoopFreeTWkApproximation(q, k)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("loop-free TW(%d) approximation exists ((%d)-colorable): %v\n", k, k+1, ok)
+	}
+	return nil
+}
+
+func cmdApprox(args []string) error {
+	fs := flag.NewFlagSet("approx", flag.ExitOnError)
+	src := fs.String("q", "", "query in rule notation")
+	className := fs.String("class", "TW1", "target class")
+	all := fs.Bool("all", false, "list all approximations up to equivalence")
+	over := fs.Bool("over", false, "compute overapproximations (minimal containing C-queries) instead")
+	maxVars := fs.Int("maxvars", 10, "variable bound for the search")
+	extras := fs.Int("extras", 1, "extra atoms for hypergraph-based classes")
+	fresh := fs.Int("fresh", 0, "fresh variables per extra atom")
+	fs.Parse(args)
+	q, err := cqapprox.Parse(*src)
+	if err != nil {
+		return err
+	}
+	c, err := classFromName(*className)
+	if err != nil {
+		return err
+	}
+	opt := cqapprox.Options{MaxVars: *maxVars, MaxExtraAtoms: *extras, FreshVars: *fresh}
+	if *over {
+		overs, err := cqapprox.Overapproximations(q, c, opt)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%d %s-overapproximation(s) of %v:\n", len(overs), c.Name(), q)
+		for _, o := range overs {
+			fmt.Printf("  %v   (%d joins)\n", o, o.NumJoins())
+		}
+		return nil
+	}
+	if *all {
+		apps, err := cqapprox.Approximations(q, c, opt)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%d %s-approximation(s) of %v:\n", len(apps), c.Name(), q)
+		for _, a := range apps {
+			fmt.Printf("  %v   (%d joins)\n", a, a.NumJoins())
+		}
+		return nil
+	}
+	a, err := cqapprox.Approximate(q, c, opt)
+	if err != nil {
+		return err
+	}
+	fmt.Println(a)
+	return nil
+}
+
+func cmdCheck(args []string) error {
+	fs := flag.NewFlagSet("check", flag.ExitOnError)
+	src := fs.String("q", "", "query in rule notation")
+	cand := fs.String("cand", "", "candidate approximation")
+	className := fs.String("class", "TW1", "target class")
+	fs.Parse(args)
+	q, err := cqapprox.Parse(*src)
+	if err != nil {
+		return err
+	}
+	cd, err := cqapprox.Parse(*cand)
+	if err != nil {
+		return err
+	}
+	c, err := classFromName(*className)
+	if err != nil {
+		return err
+	}
+	ok, err := cqapprox.IsApproximation(q, cd, c, cqapprox.DefaultOptions())
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%v is a %s-approximation of %v: %v\n", cd, c.Name(), q, ok)
+	return nil
+}
+
+func cmdEval(args []string) error {
+	fs := flag.NewFlagSet("eval", flag.ExitOnError)
+	src := fs.String("q", "", "query in rule notation")
+	dbPath := fs.String("db", "", "database file (one fact per line)")
+	engine := fs.String("engine", "auto", "auto|naive|yannakakis|td")
+	fs.Parse(args)
+	q, err := cqapprox.Parse(*src)
+	if err != nil {
+		return err
+	}
+	db, err := LoadDB(*dbPath)
+	if err != nil {
+		return err
+	}
+	var ans cqapprox.Answers
+	switch *engine {
+	case "auto":
+		ans = cqapprox.Eval(q, db)
+	case "naive":
+		ans = cqapprox.NaiveEval(q, db)
+	case "yannakakis":
+		ans, err = cqapprox.Yannakakis(q, db)
+	case "td":
+		ans, err = cqapprox.EvalByTreeDecomposition(q, db)
+	default:
+		return fmt.Errorf("unknown engine %q", *engine)
+	}
+	if err != nil {
+		return err
+	}
+	if q.IsBoolean() {
+		fmt.Println(len(ans) > 0)
+		return nil
+	}
+	for _, t := range ans {
+		fmt.Println(t)
+	}
+	fmt.Printf("(%d answers)\n", len(ans))
+	return nil
+}
+
+// LoadDB reads a database file: one fact per line, relation name
+// followed by integer arguments, '#' comments allowed.
+func LoadDB(path string) (*cqapprox.Structure, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	db := cqapprox.NewStructure()
+	sc := bufio.NewScanner(f)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("%s:%d: want relation plus arguments", path, lineNo)
+		}
+		args := make([]int, len(fields)-1)
+		for i, fstr := range fields[1:] {
+			v, err := strconv.Atoi(fstr)
+			if err != nil {
+				return nil, fmt.Errorf("%s:%d: bad argument %q", path, lineNo, fstr)
+			}
+			args[i] = v
+		}
+		db.Add(fields[0], args...)
+	}
+	return db, sc.Err()
+}

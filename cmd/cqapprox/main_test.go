@@ -1,0 +1,62 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestClassFromName(t *testing.T) {
+	for _, name := range []string{"TW1", "tw2", "TW3", "AC", "ac", "HTW1", "HTW2", "GHTW1", "GHTW2"} {
+		if _, err := classFromName(name); err != nil {
+			t.Errorf("classFromName(%q): %v", name, err)
+		}
+	}
+	if _, err := classFromName("TW9"); err == nil {
+		t.Error("unknown class accepted")
+	}
+	c, _ := classFromName("tw1")
+	if c.Name() != "TW(1)" {
+		t.Errorf("Name = %q", c.Name())
+	}
+}
+
+func TestLoadDB(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "db.txt")
+	content := "# a comment\nE 1 2\nE 2 3\n\nR 1 2 3\n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	db, err := LoadDB(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !db.Has("E", 1, 2) || !db.Has("E", 2, 3) || !db.Has("R", 1, 2, 3) {
+		t.Fatalf("db = %v", db)
+	}
+	if db.NumFacts() != 3 {
+		t.Fatalf("NumFacts = %d", db.NumFacts())
+	}
+}
+
+func TestLoadDBErrors(t *testing.T) {
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.txt")
+	if err := os.WriteFile(bad, []byte("E one two\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadDB(bad); err == nil {
+		t.Error("non-integer arguments accepted")
+	}
+	short := filepath.Join(dir, "short.txt")
+	if err := os.WriteFile(short, []byte("E\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadDB(short); err == nil {
+		t.Error("relation without arguments accepted")
+	}
+	if _, err := LoadDB(filepath.Join(dir, "missing.txt")); err == nil {
+		t.Error("missing file accepted")
+	}
+}

@@ -1,0 +1,208 @@
+// Package cqapprox reproduces Barceló, Libkin and Romero, "Efficient
+// Approximations of Conjunctive Queries" (PODS 2012): computing
+// approximations of conjunctive queries within tractable classes —
+// acyclic queries, bounded treewidth TW(k), and bounded (generalized)
+// hypertree width HTW(k)/GHTW(k) — together with the full substrate the
+// paper builds on (homomorphisms, cores, containment, treewidth and
+// hypertree-width decision procedures, and the Yannakakis and
+// tree-decomposition evaluation engines).
+//
+// A C-approximation of a query Q is a query Q' from the tractable
+// class C that is maximally contained in Q: it returns only correct
+// answers, and no other C-query agrees with Q more often. Replacing Q
+// by Q' turns |D|^O(|Q|) evaluation into O(|D|·|Q'|) (acyclic) or
+// O(|D|^{k+1}) (treewidth k).
+//
+// Quick start:
+//
+//	q := cqapprox.MustParse("Q(x) :- E(x,y), E(y,z), E(z,x)")
+//	a, err := cqapprox.Approximate(q, cqapprox.TW(1), cqapprox.DefaultOptions())
+//	// a is guaranteed: a ⊆ q, a acyclic, and no acyclic query sits
+//	// strictly between a and q.
+//	answers := cqapprox.Eval(a, db) // O(|db|·|a|) via Yannakakis
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-vs-measured record of every reproduced result.
+package cqapprox
+
+import (
+	"cqapprox/internal/core"
+	"cqapprox/internal/cq"
+	"cqapprox/internal/eval"
+	"cqapprox/internal/hom"
+	"cqapprox/internal/htw"
+	"cqapprox/internal/hypergraph"
+	"cqapprox/internal/relstr"
+	"cqapprox/internal/tw"
+)
+
+// Query is a conjunctive query in rule form (see Parse).
+type Query = cq.Query
+
+// Atom is a single relational atom of a query body.
+type Atom = cq.Atom
+
+// Structure is a finite relational structure: both databases and
+// tableaux of queries.
+type Structure = relstr.Structure
+
+// Tuple is a database tuple / query answer.
+type Tuple = relstr.Tuple
+
+// Answers is a deduplicated, sorted answer set.
+type Answers = eval.Answers
+
+// Class is a tractable class of CQs (TW(k), AC, HTW(k), GHTW(k)).
+type Class = core.Class
+
+// Options tunes the approximation search; see DefaultOptions.
+type Options = core.Options
+
+// TableauKind is the Theorem 5.1 trichotomy classification.
+type TableauKind = core.TableauKind
+
+// Trichotomy kinds (Theorem 5.1).
+const (
+	NonBipartite        = core.NonBipartite
+	BipartiteUnbalanced = core.BipartiteUnbalanced
+	BipartiteBalanced   = core.BipartiteBalanced
+)
+
+// NewStructure returns an empty relational structure.
+func NewStructure() *Structure { return relstr.New() }
+
+// Parse reads a query in rule notation, e.g.
+// "Q(x) :- E(x,y), E(y,z), E(z,x)".
+func Parse(src string) (*Query, error) { return cq.Parse(src) }
+
+// MustParse is Parse panicking on error.
+func MustParse(src string) *Query { return cq.MustParse(src) }
+
+// FromTableau converts a structure with a distinguished tuple into the
+// CQ whose tableau it is (the converse of Query.Tableau).
+func FromTableau(s *Structure, dist []int) *Query { return cq.FromTableau(s, dist, nil) }
+
+// TW returns the class of queries of treewidth ≤ k (graph-based).
+func TW(k int) Class { return core.TW(k) }
+
+// AC returns the class of acyclic queries (hypergraph-based).
+func AC() Class { return core.AC() }
+
+// HTW returns the class of queries of hypertree width ≤ k.
+func HTW(k int) Class { return core.HTW(k) }
+
+// GHTW returns the class of queries of generalized hypertree width ≤ k.
+func GHTW(k int) Class { return core.GHTW(k) }
+
+// DefaultOptions returns the documented approximation-search defaults.
+func DefaultOptions() Options { return core.DefaultOptions() }
+
+// Approximate returns one minimized C-approximation of q.
+func Approximate(q *Query, c Class, opt Options) (*Query, error) {
+	return core.Approximate(q, c, opt)
+}
+
+// Approximations returns all minimized C-approximations of q up to
+// equivalence (the paper's C-APPR_min(Q)).
+func Approximations(q *Query, c Class, opt Options) ([]*Query, error) {
+	return core.Approximations(q, c, opt)
+}
+
+// CountApproximations returns |C-APPR_min(q)|.
+func CountApproximations(q *Query, c Class, opt Options) (int, error) {
+	return core.CountApproximations(q, c, opt)
+}
+
+// IsApproximation decides whether cand is a C-approximation of q
+// (the DP-complete decision problem of Section 4.3; exact for
+// graph-based classes).
+func IsApproximation(q, cand *Query, c Class, opt Options) (bool, error) {
+	return core.IsApproximation(q, cand, c, opt)
+}
+
+// Overapproximate returns one minimized C-overapproximation of q: a
+// C-query minimally containing q (all of q's answers plus possibly
+// extra ones) — the dual notion the paper's conclusions pose as future
+// work, here solved over atom-subset candidates (complete for
+// graph-based classes).
+func Overapproximate(q *Query, c Class, opt Options) (*Query, error) {
+	return core.Overapproximate(q, c, opt)
+}
+
+// Overapproximations returns all minimized C-overapproximations of q up
+// to equivalence (see Overapproximate).
+func Overapproximations(q *Query, c Class, opt Options) ([]*Query, error) {
+	return core.Overapproximations(q, c, opt)
+}
+
+// IsOverapproximation decides whether cand is a C-overapproximation of
+// q (exact for graph-based classes).
+func IsOverapproximation(q, cand *Query, c Class, opt Options) (bool, error) {
+	return core.IsOverapproximation(q, cand, c, opt)
+}
+
+// Trivial returns the paper's Q_trivial for q's schema and head arity.
+func Trivial(q *Query) *Query { return core.Trivial(q) }
+
+// TrivialBipartite returns Q_triv2 (tableau K_2^↔).
+func TrivialBipartite() *Query { return core.TrivialBipartite() }
+
+// ClassifyGraphTableau classifies a graph query's tableau per the
+// trichotomy of Theorem 5.1.
+func ClassifyGraphTableau(q *Query) (TableauKind, error) {
+	return core.ClassifyGraphTableau(q)
+}
+
+// HasLoopFreeTWkApproximation implements the Theorem 5.8/5.10
+// dichotomy via (k+1)-colorability.
+func HasLoopFreeTWkApproximation(q *Query, k int) (bool, error) {
+	return core.HasLoopFreeTWkApproximation(q, k)
+}
+
+// EquivalentToClass reports whether q is equivalent to some query of
+// the class, via the approximation oracle (Proposition 4.11).
+func EquivalentToClass(q *Query, c Class, opt Options) (bool, error) {
+	return core.EquivalentToClass(q, c, opt)
+}
+
+// Contained reports q1 ⊆ q2 (Chandra–Merlin).
+func Contained(q1, q2 *Query) bool { return hom.Contained(q1, q2) }
+
+// Equivalent reports q1 ≡ q2.
+func Equivalent(q1, q2 *Query) bool { return hom.Equivalent(q1, q2) }
+
+// Minimize returns the canonical minimal query equivalent to q (its
+// tableau is the core of T_q).
+func Minimize(q *Query) *Query { return hom.Minimize(q) }
+
+// IsMinimized reports whether q's tableau is a core.
+func IsMinimized(q *Query) bool { return hom.IsMinimized(q) }
+
+// Eval evaluates q on db with the best applicable engine (Yannakakis
+// for acyclic queries, backtracking otherwise).
+func Eval(q *Query, db *Structure) Answers { return eval.Eval(q, db) }
+
+// EvalBool evaluates a Boolean query (or answer-existence).
+func EvalBool(q *Query, db *Structure) bool { return eval.EvalBool(q, db) }
+
+// Yannakakis evaluates an acyclic query in O(|db|·|q|) plus output
+// cost; it fails on cyclic queries.
+func Yannakakis(q *Query, db *Structure) (Answers, error) { return eval.Yannakakis(q, db) }
+
+// NaiveEval evaluates q by backtracking search (|db|^O(|q|)).
+func NaiveEval(q *Query, db *Structure) Answers { return eval.Naive(q, db) }
+
+// EvalByTreeDecomposition evaluates q through an optimal tree
+// decomposition (O(|db|^{k+1}) for treewidth k).
+func EvalByTreeDecomposition(q *Query, db *Structure) (Answers, error) {
+	return eval.ByTreeDecomposition(q, db)
+}
+
+// Treewidth returns the treewidth of q (of its Gaifman graph).
+func Treewidth(q *Query) int { return tw.StructureTreewidth(q.Tableau().S) }
+
+// IsAcyclic reports α-acyclicity of q's hypergraph.
+func IsAcyclic(q *Query) bool { return hypergraph.AcyclicStructure(q.Tableau().S) }
+
+// HypertreeWidth returns the hypertree width of q's hypergraph.
+func HypertreeWidth(q *Query) int { return htw.StructureWidth(q.Tableau().S) }

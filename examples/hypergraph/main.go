@@ -1,0 +1,64 @@
+// Hypergraph: approximations beyond graphs (experiments E7/E15/E16 in
+// DESIGN.md). Over higher-arity relations the structure of
+// approximations is much richer than over graphs: Example 6.6's
+// ternary cycle query has exactly three non-equivalent acyclic
+// approximations — with fewer, equally many, and more joins than the
+// original query — and Proposition 5.15's almost-triangle query has a
+// strong treewidth approximation with the same number of joins.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cqapprox"
+)
+
+func main() {
+	// Example 6.6: the ternary cycle.
+	q := cqapprox.MustParse("Q() :- R(x1,x2,x3), R(x3,x4,x5), R(x5,x6,x1)")
+	fmt.Println("query:          ", q)
+	fmt.Println("acyclic:        ", cqapprox.IsAcyclic(q))
+	fmt.Println("hypertree width:", cqapprox.HypertreeWidth(q))
+	fmt.Println()
+
+	apps, err := cqapprox.Approximations(q, cqapprox.AC(), cqapprox.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("acyclic approximations (%d, Example 6.6 predicts 3):\n", len(apps))
+	for _, a := range apps {
+		rel := "fewer"
+		switch {
+		case a.NumJoins() == q.NumJoins():
+			rel = "as many"
+		case a.NumJoins() > q.NumJoins():
+			rel = "more"
+		}
+		fmt.Printf("  %v   (%d joins — %s than Q's %d)\n", a, a.NumJoins(), rel, q.NumJoins())
+	}
+	fmt.Println()
+
+	// Its HTW(2) approximation is the query itself: the ternary cycle
+	// already has hypertree width 2.
+	h2, err := cqapprox.Approximate(q, cqapprox.HTW(2), cqapprox.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("HTW(2) approximation:", h2)
+	fmt.Println("equivalent to Q:     ", cqapprox.Equivalent(h2, q))
+	fmt.Println()
+
+	// Proposition 5.15: the almost-triangle and its strong treewidth
+	// approximation with equally many joins.
+	at := cqapprox.MustParse("Q() :- R(x1,x2,x3), R(x2,x1,x4), R(x4,x3,x1)")
+	strong := cqapprox.MustParse("Q'() :- R(x,y,y), R(y,x,y), R(y,y,x)")
+	ok, err := cqapprox.IsApproximation(at, strong, cqapprox.TW(1), cqapprox.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("almost-triangle:     ", at, " (treewidth", cqapprox.Treewidth(at), "— maximal)")
+	fmt.Println("strong TW(1) approx: ", strong)
+	fmt.Println("verified:            ", ok, " with equal join counts:",
+		cqapprox.Minimize(at).NumJoins() == cqapprox.Minimize(strong).NumJoins())
+}

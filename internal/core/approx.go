@@ -1,0 +1,389 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"cqapprox/internal/cq"
+	"cqapprox/internal/hom"
+	"cqapprox/internal/relstr"
+)
+
+// Options tunes the approximation search.
+type Options struct {
+	// MaxVars bounds the number of variables of the input query; the
+	// quotient space has Bell(n) elements, so the search is refused
+	// beyond this bound rather than hanging. Default 10.
+	MaxVars int
+
+	// MaxExtraAtoms applies to hypergraph-based classes only: quotients
+	// of T_Q may be extended with up to this many additional atoms over
+	// the quotient's variables (plus fresh variables, see FreshVars).
+	// Acyclic approximations may genuinely need extra atoms
+	// (Example 6.6's Q'_3), because acyclic hypergraphs are not closed
+	// under subhypergraphs. Default 1. Set 0 to search quotients only.
+	MaxExtraAtoms int
+
+	// FreshVars is the number of fresh variables each extra atom may
+	// use (at most arity−1 positions of an extra atom can be fresh, per
+	// Claim 6.2's renamed extension tuples). Default 0.
+	FreshVars int
+}
+
+// DefaultOptions returns the documented defaults.
+func DefaultOptions() Options {
+	return Options{MaxVars: 10, MaxExtraAtoms: 1, FreshVars: 0}
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxVars == 0 {
+		o.MaxVars = 10
+	}
+	return o
+}
+
+// Result bundles approximations with bookkeeping from the search, for
+// cost reporting (Cor 4.3's single-exponential bound is about exactly
+// this count).
+type Result struct {
+	Queries []*cq.Query // minimized approximations, one per class
+	// CandidatesInspected counts the in-class candidate tableaux that
+	// entered front maintenance (quotients plus extensions that passed
+	// the class test).
+	CandidatesInspected int
+}
+
+// ApproximationsWithStats is Approximations, additionally reporting how
+// many candidates the search inspected.
+func ApproximationsWithStats(q *cq.Query, c Class, opt Options) (*Result, error) {
+	front, inspected, err := approxFront(q, c, opt)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{CandidatesInspected: inspected}
+	for _, p := range front {
+		res.Queries = append(res.Queries, queryFromPointed(q, p))
+	}
+	return res, nil
+}
+
+// Approximations returns all C-approximations of q up to equivalence,
+// each minimized (its tableau is a core) — the paper's
+// C-APPR_min(Q). For graph-based classes the result is exact and
+// complete (Theorem 4.1: quotients of T_Q form a complete candidate
+// space). For hypergraph-based classes the candidate space is quotients
+// plus bounded atom extensions (Options.MaxExtraAtoms/FreshVars);
+// results are exact approximations within that space, which covers all
+// the paper's examples; raise the bounds toward Claim 6.2's
+// n+(m−1)²nᵐ⁻¹ variables for completeness at exponential cost.
+func Approximations(q *cq.Query, c Class, opt Options) ([]*cq.Query, error) {
+	front, _, err := approxFront(q, c, opt)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*cq.Query, len(front))
+	for i, p := range front {
+		out[i] = queryFromPointed(q, p)
+	}
+	return out, nil
+}
+
+// Approximate returns one C-approximation of q (minimized). It is the
+// function A(Q) of Proposition 4.11.
+func Approximate(q *cq.Query, c Class, opt Options) (*cq.Query, error) {
+	front, _, err := approxFront(q, c, opt)
+	if err != nil {
+		return nil, err
+	}
+	if len(front) == 0 {
+		return nil, fmt.Errorf("core: no %s-query is contained in %v", c.Name(), q)
+	}
+	return queryFromPointed(q, front[0]), nil
+}
+
+// CountApproximations returns |C-APPR_min(q)| within the candidate
+// space: the number of pairwise non-equivalent C-approximations.
+func CountApproximations(q *cq.Query, c Class, opt Options) (int, error) {
+	front, _, err := approxFront(q, c, opt)
+	if err != nil {
+		return 0, err
+	}
+	return len(front), nil
+}
+
+// IsApproximation decides whether cand is a C-approximation of q,
+// searching the same candidate space for a strictly better C-query
+// (the DP decision problem of Section 4.3: an NP containment check plus
+// a coNP no-better-witness check). Exact for graph-based classes.
+func IsApproximation(q, cand *cq.Query, c Class, opt Options) (bool, error) {
+	opt = opt.withDefaults()
+	if n := q.NumVars(); n > opt.MaxVars {
+		return false, fmt.Errorf("core: query has %d variables; limit is %d (raise Options.MaxVars)", n, opt.MaxVars)
+	}
+	ct := cand.Tableau()
+	if !c.Contains(ct.S) {
+		return false, nil
+	}
+	if !hom.Contained(cand, q) {
+		return false, nil
+	}
+	candP := hom.Pointed{S: ct.S, Dist: ct.Dist}
+	better := false
+	err := forEachCandidate(q, c, opt, func(p hom.Pointed) bool {
+		// cand ⊂ X ⊆ q ⟺ T_X → T_cand and T_cand ↛ T_X.
+		if hom.Maps(p, candP) && !hom.Maps(candP, p) {
+			better = true
+			return false
+		}
+		return true
+	})
+	if err != nil {
+		return false, err
+	}
+	return !better, nil
+}
+
+// approxFront generates the candidate space and keeps its →-minimal
+// elements (one core representative per equivalence class).
+func approxFront(q *cq.Query, c Class, opt Options) ([]hom.Pointed, int, error) {
+	opt = opt.withDefaults()
+	if err := q.Validate(); err != nil {
+		return nil, 0, err
+	}
+	if n := q.NumVars(); n > opt.MaxVars {
+		return nil, 0, fmt.Errorf("core: query has %d variables; limit is %d (raise Options.MaxVars)", n, opt.MaxVars)
+	}
+	// Fast path: a query already in C is its own unique approximation —
+	// every other candidate is contained in it, hence dominated. The
+	// core of a class member stays in the class (cores are images of
+	// retractions, so every covering hyperedge keeps covering its
+	// image); the membership re-check below is a defensive guard.
+	if tb := q.Tableau(); c.Contains(tb.S) {
+		coreS, retract := hom.Core(tb.S, tb.Dist)
+		if c.Contains(coreS) {
+			return []hom.Pointed{{S: coreS, Dist: mapDist(tb.Dist, retract)}}, 1, nil
+		}
+		return []hom.Pointed{{S: tb.S, Dist: tb.Dist}}, 1, nil
+	}
+	var front []hom.Pointed
+	inspected := 0
+	err := forEachCandidate(q, c, opt, func(p hom.Pointed) bool {
+		inspected++
+		// Core first: smaller structures make the hom checks cheap and
+		// merge many equivalent candidates.
+		coreS, retract := hom.Core(p.S, p.Dist)
+		cp := hom.Pointed{S: coreS, Dist: mapDist(p.Dist, retract)}
+		// Front maintenance over the ⥿ preorder.
+		for _, y := range front {
+			if hom.Maps(y, cp) {
+				// y ⊆-better or equivalent: discard cp either way (if
+				// equivalent it is a duplicate class).
+				return true
+			}
+		}
+		kept := front[:0]
+		for _, y := range front {
+			if !(hom.Maps(cp, y) && !hom.Maps(y, cp)) {
+				kept = append(kept, y)
+			}
+		}
+		front = append(kept, cp)
+		return true
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	sortFront(front)
+	return front, inspected, nil
+}
+
+// mapDist applies a retraction to a distinguished tuple.
+func mapDist(dist []int, f map[int]int) []int {
+	out := make([]int, len(dist))
+	for i, d := range dist {
+		out[i] = f[d]
+	}
+	return out
+}
+
+// sortFront orders the front deterministically (by size, then
+// rendering) so results are stable across runs.
+func sortFront(front []hom.Pointed) {
+	sort.Slice(front, func(i, j int) bool {
+		a, b := front[i], front[j]
+		if a.S.NumFacts() != b.S.NumFacts() {
+			return a.S.NumFacts() < b.S.NumFacts()
+		}
+		as := a.S.String() + relstr.Tuple(a.Dist).Key()
+		bs := b.S.String() + relstr.Tuple(b.Dist).Key()
+		return as < bs
+	})
+}
+
+// queryFromPointed renders a pointed tableau as a minimized query named
+// after q.
+func queryFromPointed(q *cq.Query, p hom.Pointed) *cq.Query {
+	out := cq.FromTableau(p.S, p.Dist, nil)
+	out.Name = q.Name + "_approx"
+	return out
+}
+
+// forEachCandidate enumerates the candidate tableaux of C-queries
+// contained in q: all quotients of T_Q that belong to C, and — for
+// hypergraph-based classes — quotients extended with up to
+// MaxExtraAtoms extra atoms over the quotient's variables plus
+// FreshVars fresh variables per atom. Every candidate is contained in q
+// by construction (the quotient map is a homomorphism from T_Q).
+// fn returning false stops the enumeration.
+func forEachCandidate(q *cq.Query, c Class, opt Options, fn func(hom.Pointed) bool) error {
+	tb := q.Tableau()
+	dom := tb.S.Domain()
+	seen := map[string]bool{}
+	relstr.Partitions(dom, func(p relstr.Partition) bool {
+		img := tb.S.QuotientBy(p)
+		dist := make([]int, len(tb.Dist))
+		for i, d := range tb.Dist {
+			if r, ok := p[d]; ok {
+				dist[i] = r
+			} else {
+				dist[i] = d
+			}
+		}
+		key := img.String() + "|" + relstr.Tuple(dist).Key()
+		inClass := false
+		if !seen[key] {
+			seen[key] = true
+			if c.Contains(img) {
+				inClass = true
+				if !fn(hom.Pointed{S: img, Dist: dist}) {
+					return false
+				}
+			}
+		}
+		// Hypergraph-based classes: extensions may acyclify an
+		// out-of-class quotient. Extensions of in-class quotients are
+		// never →-minimal (the quotient itself maps into them), so only
+		// out-of-class quotients are extended.
+		if !c.GraphBased() && !inClass && opt.MaxExtraAtoms > 0 {
+			if !forEachExtension(img, dist, q, c, opt, seen, fn) {
+				return false
+			}
+		}
+		return true
+	})
+	return nil
+}
+
+// forEachExtension enumerates class members obtained from img by adding
+// 1..MaxExtraAtoms atoms. Returns false if fn stopped the enumeration.
+func forEachExtension(img *relstr.Structure, dist []int, q *cq.Query, c Class, opt Options, seen map[string]bool, fn func(hom.Pointed) bool) bool {
+	schema := q.Schema()
+	var rels []string
+	for r := range schema {
+		rels = append(rels, r)
+	}
+	sort.Strings(rels)
+	domain := img.Domain()
+	freshBase := 0
+	for _, e := range domain {
+		if e >= freshBase {
+			freshBase = e + 1
+		}
+	}
+	// Generate the pool of candidate extra atoms: tuples over
+	// domain ∪ {fresh}, canonicalised so fresh variables appear in
+	// first-use order. Fresh variables are local to one atom
+	// (Claim 6.2's renamed extension tuples).
+	type extra struct {
+		rel  string
+		args []int // fresh encoded as freshBase+i
+	}
+	var pool []extra
+	for _, r := range rels {
+		arity := schema[r]
+		vals := make([]int, arity)
+		var gen func(pos, freshUsed int)
+		gen = func(pos, freshUsed int) {
+			if pos == arity {
+				args := append([]int{}, vals...)
+				// Skip atoms already present.
+				if img.Has(r, args...) {
+					return
+				}
+				// At least one position must touch the image domain so
+				// the atom constrains the query (fully fresh atoms are
+				// trivially satisfied and never minimal).
+				touches := false
+				for _, a := range args {
+					if a < freshBase {
+						touches = true
+						break
+					}
+				}
+				if touches {
+					pool = append(pool, extra{rel: r, args: args})
+				}
+				return
+			}
+			for _, e := range domain {
+				vals[pos] = e
+				gen(pos+1, freshUsed)
+			}
+			// Reuse an already-introduced fresh variable or introduce
+			// the next one (canonical first-use order).
+			for f := 0; f <= freshUsed && f < opt.FreshVars; f++ {
+				vals[pos] = freshBase + f
+				nu := freshUsed
+				if f == freshUsed {
+					nu++
+				}
+				gen(pos+1, nu)
+			}
+		}
+		gen(0, 0)
+	}
+	// Combinations of up to MaxExtraAtoms pool atoms. Fresh variables
+	// must be disjoint across atoms: re-offset per atom slot.
+	var chosen []extra
+	var rec func(start int) bool
+	rec = func(start int) bool {
+		if len(chosen) > 0 {
+			ext := img.Clone()
+			offset := 0
+			for _, ex := range chosen {
+				args := make([]int, len(ex.args))
+				for i, a := range ex.args {
+					if a >= freshBase {
+						args[i] = a + offset
+					} else {
+						args[i] = a
+					}
+				}
+				ext.Add(ex.rel, args...)
+				offset += opt.FreshVars
+			}
+			key := ext.String() + "|" + relstr.Tuple(dist).Key()
+			if !seen[key] {
+				seen[key] = true
+				if c.Contains(ext) {
+					if !fn(hom.Pointed{S: ext, Dist: dist}) {
+						return false
+					}
+				}
+			}
+		}
+		if len(chosen) == opt.MaxExtraAtoms {
+			return true
+		}
+		for i := start; i < len(pool); i++ {
+			chosen = append(chosen, pool[i])
+			if !rec(i + 1) {
+				chosen = chosen[:len(chosen)-1]
+				return false
+			}
+			chosen = chosen[:len(chosen)-1]
+		}
+		return true
+	}
+	return rec(0)
+}

@@ -1,0 +1,407 @@
+package core
+
+import (
+	"testing"
+
+	"cqapprox/internal/cq"
+	"cqapprox/internal/hom"
+)
+
+// Intro example Q1: the triangle query has only the trivial acyclic
+// approximation Q'():-E(x,x).
+func TestTriangleHasOnlyTrivialAcyclicApproximation(t *testing.T) {
+	q := cq.MustParse("Q() :- E(x,y), E(y,z), E(z,x)")
+	apps, err := Approximations(q, TW(1), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(apps) != 1 {
+		t.Fatalf("approximations = %v, want exactly 1", apps)
+	}
+	loop := cq.MustParse("Q() :- E(x,x)")
+	if !hom.Equivalent(apps[0], loop) {
+		t.Fatalf("approximation = %v, want ≡ E(x,x)", apps[0])
+	}
+	if !IsTrivialQuery(apps[0]) {
+		t.Fatal("triangle's approximation should be trivial")
+	}
+}
+
+// Theorem 5.1, middle case: bipartite but unbalanced tableau → unique
+// approximation Q_triv2 (tableau K_2^↔). Q3 from Section 5.1.1.
+func TestBipartiteUnbalancedGivesK2(t *testing.T) {
+	q := cq.MustParse("Q() :- E(x,y), E(y,z), E(z,u), E(x,u)")
+	apps, err := Approximations(q, TW(1), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(apps) != 1 {
+		t.Fatalf("approximations = %v, want exactly 1", apps)
+	}
+	if !hom.Equivalent(apps[0], TrivialBipartite()) {
+		t.Fatalf("approximation = %v, want ≡ Q_triv2", apps[0])
+	}
+}
+
+// Intro example Q2 / Example 5.7: bipartite balanced tableau with a
+// unique nontrivial acyclic approximation: the path of length 4.
+func TestIntroQ2PathApproximation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("8-variable quotient space (Bell(8)=4140)")
+	}
+	q := cq.MustParse(`Q() :- E(x,y), E(y,z), E(z,u),
+		E(x2,y2), E(y2,z2), E(z2,u2), E(x,z2), E(y,u2)`)
+	apps, err := Approximations(q, TW(1), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(apps) != 1 {
+		t.Fatalf("got %d approximations, want 1: %v", len(apps), apps)
+	}
+	p4 := cq.MustParse("Q() :- E(a,b), E(b,c), E(c,d), E(d,e)")
+	if !hom.Equivalent(apps[0], p4) {
+		t.Fatalf("approximation = %v, want ≡ P4", apps[0])
+	}
+	// Theorem 5.1 third case: no subgoals E(x,y),E(y,x) and nontrivial.
+	if IsTrivialQuery(apps[0]) || hom.Equivalent(apps[0], TrivialBipartite()) {
+		t.Fatal("approximation should be nontrivial")
+	}
+}
+
+// Example 6.6: the ternary cycle query has exactly three non-equivalent
+// acyclic approximations, with fewer/equal/more joins than Q.
+func TestExample66ThreeAcyclicApproximations(t *testing.T) {
+	q := cq.MustParse("Q() :- R(x1,x2,x3), R(x3,x4,x5), R(x5,x6,x1)")
+	apps, err := Approximations(q, AC(), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(apps) != 3 {
+		t.Fatalf("got %d acyclic approximations, want 3: %v", len(apps), apps)
+	}
+	want := []*cq.Query{
+		cq.MustParse("Q1() :- R(x,y,x)"),
+		cq.MustParse("Q2() :- R(x1,x2,x3), R(x3,x4,x2), R(x2,x6,x1)"),
+		cq.MustParse("Q3() :- R(x1,x2,x3), R(x3,x4,x5), R(x5,x6,x1), R(x1,x3,x5)"),
+	}
+	for _, w := range want {
+		found := false
+		for _, a := range apps {
+			if hom.Equivalent(a, w) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("expected approximation %v not found among %v", w, apps)
+		}
+	}
+	// Join counts: fewer (0), equal (2), more (3) than Q's 2 joins.
+	joins := map[int]bool{}
+	for _, a := range apps {
+		joins[a.NumJoins()] = true
+	}
+	if !joins[0] || !joins[2] || !joins[3] {
+		t.Errorf("join counts = %v, want {0,2,3}", joins)
+	}
+}
+
+// The intro's nontrivial ternary example: Q'():-R(x,u,y),R(y,v,u),
+// R(u,w,x) is one of the acyclic approximations of the ternary cycle.
+func TestIntroTernaryApproximation(t *testing.T) {
+	q := cq.MustParse("Q() :- R(x,u,y), R(y,v,z), R(z,w,x)")
+	intro := cq.MustParse("Q'() :- R(x,u,y), R(y,v,u), R(u,w,x)")
+	ok, err := IsApproximation(q, intro, AC(), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatalf("%v should be an acyclic approximation of %v", intro, q)
+	}
+}
+
+// Theorem 5.8: the non-Boolean triangle query's acyclic approximations
+// all contain a loop subgoal; the paper's Q'(x,y) is one of them.
+func TestTheorem58NonBoolean(t *testing.T) {
+	q := cq.MustParse("Q(x,y) :- E(x,y), E(y,z), E(z,x)")
+	apps, err := Approximations(q, TW(1), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(apps) == 0 {
+		t.Fatal("no approximations")
+	}
+	for _, a := range apps {
+		hasLoop := false
+		for _, at := range a.Atoms {
+			if at.Args[0] == at.Args[1] {
+				hasLoop = true
+			}
+		}
+		if !hasLoop {
+			t.Errorf("approximation %v has no loop subgoal (tableau not bipartite)", a)
+		}
+	}
+	paper := cq.MustParse("Q'(x,y) :- E(x,y), E(y,x), E(x,x)")
+	ok, err := IsApproximation(q, paper, TW(1), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatalf("the paper's %v should be an acyclic approximation", paper)
+	}
+}
+
+// Proposition 5.9: the oriented 4-cycle with three free variables has
+// minimized acyclic approximations with exactly as many joins as Q (3).
+func TestProp59SameJoinCount(t *testing.T) {
+	q := cq.MustParse("Q(x1,x2,x3) :- E(x1,x2), E(x2,x3), E(x3,x4), E(x4,x1)")
+	cmp, err := CompareJoins(q, TW(1), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.QueryJoins != 3 {
+		t.Fatalf("query joins = %d, want 3 (minimized)", cmp.QueryJoins)
+	}
+	if len(cmp.Approx) == 0 {
+		t.Fatal("no approximations")
+	}
+	for i, j := range cmp.Joins {
+		if j != 3 {
+			t.Errorf("approximation %v has %d joins, want 3", cmp.Approx[i], j)
+		}
+	}
+	// The paper's Q0(x1,x2,x3):-E(x1,x2),E(x2,x1),E(x2,x3),E(x3,x2) is
+	// one of them.
+	q0 := cq.MustParse("Q0(x1,x2,x3) :- E(x1,x2), E(x2,x1), E(x2,x3), E(x3,x2)")
+	ok, err := IsApproximation(q, q0, TW(1), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatalf("%v should be an acyclic approximation of %v", q0, q)
+	}
+}
+
+// Corollary 5.3: minimized acyclic approximations of cyclic Boolean
+// graph queries have strictly fewer joins.
+func TestCor53FewerJoins(t *testing.T) {
+	for _, src := range []string{
+		"Q() :- E(x,y), E(y,z), E(z,x)",
+		"Q() :- E(x,y), E(y,z), E(z,u), E(u,x)",
+		"Q() :- E(x,y), E(y,z), E(z,u), E(x,u)",
+		"Q() :- E(a,b), E(b,c), E(c,d), E(d,e), E(e,a)",
+	} {
+		q := cq.MustParse(src)
+		cmp, err := CompareJoins(q, TW(1), Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, j := range cmp.Joins {
+			if j >= cmp.QueryJoins {
+				t.Errorf("%s: approximation %v has %d joins, not fewer than %d",
+					src, cmp.Approx[i], j, cmp.QueryJoins)
+			}
+		}
+	}
+}
+
+// A query already in the class is its own unique approximation.
+func TestInClassQueryIsItsOwnApproximation(t *testing.T) {
+	q := cq.MustParse("Q(x) :- E(x,y), E(y,z)")
+	for _, c := range []Class{TW(1), TW(2), AC(), HTW(1), HTW(2)} {
+		apps, err := Approximations(q, c, DefaultOptions())
+		if err != nil {
+			t.Fatalf("%s: %v", c.Name(), err)
+		}
+		if len(apps) != 1 || !hom.Equivalent(apps[0], q) {
+			t.Errorf("%s: approximations = %v, want [≡ q]", c.Name(), apps)
+		}
+	}
+}
+
+// The triangle is in TW(2), so its TW(2)-approximation is itself
+// (cf. Corollary 5.11 with k=2: C3 is 3-colorable).
+func TestTriangleTW2ApproximationIsItself(t *testing.T) {
+	q := cq.MustParse("Q() :- E(x,y), E(y,z), E(z,x)")
+	apps, err := Approximations(q, TW(2), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(apps) != 1 || !hom.Equivalent(apps[0], q) {
+		t.Fatalf("TW(2) approximations of C3 = %v, want itself", apps)
+	}
+}
+
+// Proposition 5.15: the almost-triangle ternary query has a strong
+// treewidth approximation with the same number of joins.
+func TestProp515StrongTreewidthApproximation(t *testing.T) {
+	q := cq.MustParse("Q() :- R(x1,x2,x3), R(x2,x1,x4), R(x4,x3,x1)")
+	approx := cq.MustParse("Q'() :- R(x,y,y), R(y,x,y), R(y,y,x)")
+	ok, err := IsApproximation(q, approx, TW(1), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatalf("%v should be a TW(1)-approximation of %v", approx, q)
+	}
+	if hom.Minimize(approx).NumJoins() != hom.Minimize(q).NumJoins() {
+		t.Fatal("join counts should match (Prop 5.14/5.15)")
+	}
+}
+
+// IsApproximation rejects non-approximations: the trivial query is
+// dominated whenever a nontrivial approximation exists.
+func TestIsApproximationRejectsDominated(t *testing.T) {
+	q := cq.MustParse("Q() :- R(x1,x2,x3), R(x3,x4,x5), R(x5,x6,x1)")
+	triv := Trivial(q)
+	ok, err := IsApproximation(q, triv, AC(), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("trivial query should not be an acyclic approximation here (Q'1 dominates it)")
+	}
+	// A query not contained in q is never an approximation.
+	unrelated := cq.MustParse("Q() :- R(a,a,a), R(a,b,a)")
+	_ = unrelated
+	// A cyclic candidate is not in the class.
+	ok, err = IsApproximation(q, q, AC(), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("q itself is cyclic, cannot be its own acyclic approximation")
+	}
+}
+
+// Theorem 4.1(2): every graph-based approximation has at most as many
+// joins as (the minimization of) Q.
+func TestApproximationJoinBoundGraphBased(t *testing.T) {
+	queries := []string{
+		"Q() :- E(x,y), E(y,z), E(z,x)",
+		"Q(x) :- E(x,y), E(y,z), E(z,x), E(x,w)",
+		"Q() :- E(a,b), E(b,c), E(c,a), E(c,d)",
+	}
+	for _, src := range queries {
+		q := cq.MustParse(src)
+		apps, err := Approximations(q, TW(1), Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		bound := q.NumJoins()
+		for _, a := range apps {
+			if a.NumJoins() > bound {
+				t.Errorf("%s: approximation %v exceeds join bound %d", src, a, bound)
+			}
+		}
+	}
+}
+
+// Every approximation is (a) in the class, (b) contained in q,
+// (c) minimized, and (d) pairwise non-equivalent.
+func TestApproximationInvariants(t *testing.T) {
+	queries := []string{
+		"Q() :- E(x,y), E(y,z), E(z,x)",
+		"Q(x1,x2,x3) :- E(x1,x2), E(x2,x3), E(x3,x4), E(x4,x1)",
+		"Q() :- R(x1,x2,x3), R(x3,x4,x5), R(x5,x6,x1)",
+		"Q(x) :- E(x,y), E(y,z), E(z,x)",
+	}
+	classes := []Class{TW(1), TW(2), AC()}
+	for _, src := range queries {
+		q := cq.MustParse(src)
+		for _, c := range classes {
+			apps, err := Approximations(q, c, DefaultOptions())
+			if err != nil {
+				t.Fatalf("%s/%s: %v", src, c.Name(), err)
+			}
+			if len(apps) == 0 {
+				t.Fatalf("%s/%s: no approximations (Cor 4.2 guarantees existence)", src, c.Name())
+			}
+			for i, a := range apps {
+				tb := a.Tableau()
+				if !c.Contains(tb.S) {
+					t.Errorf("%s/%s: %v not in class", src, c.Name(), a)
+				}
+				if !hom.Contained(a, q) {
+					t.Errorf("%s/%s: %v not contained in q", src, c.Name(), a)
+				}
+				if !hom.IsMinimized(a) {
+					t.Errorf("%s/%s: %v not minimized", src, c.Name(), a)
+				}
+				for j := i + 1; j < len(apps); j++ {
+					if hom.Equivalent(a, apps[j]) {
+						t.Errorf("%s/%s: equivalent approximations %v and %v", src, c.Name(), a, apps[j])
+					}
+				}
+			}
+		}
+	}
+}
+
+// MaxVars guard refuses oversized inputs instead of hanging.
+func TestMaxVarsGuard(t *testing.T) {
+	q := cq.MustParse("Q() :- E(a,b), E(b,c), E(c,d), E(d,e), E(e,f), E(f,g), E(g,h), E(h,i), E(i,j), E(j,k), E(k,a)")
+	if _, err := Approximations(q, TW(1), Options{MaxVars: 5}); err == nil {
+		t.Fatal("expected MaxVars error")
+	}
+	if _, err := Approximate(q, TW(1), Options{MaxVars: 5}); err == nil {
+		t.Fatal("expected MaxVars error")
+	}
+	if _, err := CountApproximations(q, TW(1), Options{MaxVars: 5}); err == nil {
+		t.Fatal("expected MaxVars error")
+	}
+	if _, err := IsApproximation(q, q, TW(1), Options{MaxVars: 5}); err == nil {
+		t.Fatal("expected MaxVars error")
+	}
+}
+
+// ApproximationsWithStats reports candidate counts that grow with
+// Bell(n) — the measurable content of Cor 4.3's single-exponential
+// bound — and agrees with Approximations on the result set.
+func TestApproximationsWithStats(t *testing.T) {
+	prev := 0
+	for n := 3; n <= 5; n++ {
+		q := cq.MustParse(map[int]string{
+			3: "Q() :- E(x,y), E(y,z), E(z,x)",
+			4: "Q() :- E(x,y), E(y,z), E(z,u), E(u,x)",
+			5: "Q() :- E(a,b), E(b,c), E(c,d), E(d,e), E(e,a)",
+		}[n])
+		res, err := ApproximationsWithStats(q, TW(1), Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.CandidatesInspected <= prev {
+			t.Fatalf("n=%d: inspected %d, want more than %d (growth with Bell(n))",
+				n, res.CandidatesInspected, prev)
+		}
+		prev = res.CandidatesInspected
+		apps, err := Approximations(q, TW(1), Options{})
+		if err != nil || len(apps) != len(res.Queries) {
+			t.Fatalf("stats result disagrees with Approximations: %d vs %d", len(res.Queries), len(apps))
+		}
+	}
+	// The fast path reports a single inspected candidate.
+	inClass := cq.MustParse("Q() :- E(x,y), E(y,z)")
+	res, err := ApproximationsWithStats(inClass, TW(1), Options{})
+	if err != nil || res.CandidatesInspected != 1 {
+		t.Fatalf("fast path inspected = %d (err %v), want 1", res.CandidatesInspected, err)
+	}
+}
+
+// Approximate agrees with Approximations' first element and satisfies
+// Prop 4.11's oracle contract.
+func TestApproximateSingle(t *testing.T) {
+	q := cq.MustParse("Q() :- E(x,y), E(y,z), E(z,x)")
+	a, err := Approximate(q, TW(1), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err := IsApproximation(q, a, TW(1), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatalf("Approximate returned non-approximation %v", a)
+	}
+}

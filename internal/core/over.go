@@ -1,0 +1,164 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"cqapprox/internal/cq"
+	"cqapprox/internal/hom"
+	"cqapprox/internal/relstr"
+)
+
+// This file implements C-overapproximations, one of the notions the
+// paper's conclusions (Section 7) leave as future work: a query
+// Q' ∈ C with Q ⊆ Q' such that no Q'' ∈ C satisfies Q ⊆ Q'' ⊂ Q' —
+// the minimal complete (all correct answers plus possibly extra)
+// C-queries above Q.
+//
+// The candidate space is dual to Theorem 4.1's: substructures of T_Q
+// (subsets of its atoms). If Q ⊆ Q' with Q' ∈ C, the containment
+// homomorphism h : T_{Q'} → T_Q corestricts to T_{Q'} → Im(h), so
+//
+//	Q ⊆ query(Im(h)) ⊆ Q',
+//
+// and Im(h) is a fact-subset of T_Q. For graph-based classes
+// (subgraph-closed) Im(h) is again in C, so atom-subset enumeration is
+// sound and complete; for hypergraph-based classes the space may miss
+// candidates (acyclicity is not subhypergraph-closed) and the result is
+// exact relative to the space, mirroring the underapproximation caveat.
+//
+// In the tableau order, overapproximations are the →-maximal candidate
+// tableaux: Q'' ⊂ Q' iff T_{Q'} ⥿ T_{Q''}.
+
+// Overapproximations returns the minimized C-overapproximations of q up
+// to equivalence, within the atom-subset candidate space (complete for
+// graph-based classes). The head must be preserved: distinguished
+// variables survive in every candidate.
+func Overapproximations(q *cq.Query, c Class, opt Options) ([]*cq.Query, error) {
+	opt = opt.withDefaults()
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	tb := q.Tableau()
+	atoms := atomsOf(tb.S)
+	if len(atoms) > 20 {
+		return nil, fmt.Errorf("core: query has %d atoms; overapproximation search is bounded at 20", len(atoms))
+	}
+	var front []hom.Pointed
+	total := 1 << uint(len(atoms))
+	for mask := 1; mask < total; mask++ {
+		sub := tb.S.CloneSchema()
+		for i, a := range atoms {
+			if mask&(1<<uint(i)) != 0 {
+				sub.Add(a.rel, a.args...)
+			}
+		}
+		// Head variables must remain meaningful: keep them in the
+		// domain even when their atoms were dropped.
+		dom := sub.DomainSet()
+		ok := true
+		for _, d := range tb.Dist {
+			if !dom[d] {
+				ok = false // dropping all atoms of a head variable makes it range-unrestricted
+				break
+			}
+		}
+		if !ok || !c.Contains(sub) {
+			continue
+		}
+		coreS, retract := hom.Core(sub, tb.Dist)
+		cp := hom.Pointed{S: coreS, Dist: mapDist(tb.Dist, retract)}
+		// Keep →-maximal elements: discard cp if some y is strictly
+		// above it (cp ⥿ y would mean query(y) ⊂ query(cp)); here we
+		// keep candidates whose query is ⊆-minimal, i.e. tableaux that
+		// are →-maximal.
+		dominated := false
+		for _, y := range front {
+			if hom.Maps(cp, y) {
+				// query(y) ⊆ query(cp): y is at least as good (or
+				// equivalent) — drop cp.
+				dominated = true
+				break
+			}
+		}
+		if dominated {
+			continue
+		}
+		kept := front[:0]
+		for _, y := range front {
+			if !(hom.Maps(y, cp) && !hom.Maps(cp, y)) {
+				kept = append(kept, y)
+			}
+		}
+		front = append(kept, cp)
+	}
+	sortFront(front)
+	out := make([]*cq.Query, len(front))
+	for i, p := range front {
+		oq := cq.FromTableau(p.S, p.Dist, nil)
+		oq.Name = q.Name + "_over"
+		out[i] = oq
+	}
+	return out, nil
+}
+
+// Overapproximate returns one minimized C-overapproximation of q, if
+// any exists in the candidate space (for graph-based classes one always
+// does: single-atom substructures are in TW(k), and they contain q
+// whenever they keep the head variables).
+func Overapproximate(q *cq.Query, c Class, opt Options) (*cq.Query, error) {
+	all, err := Overapproximations(q, c, opt)
+	if err != nil {
+		return nil, err
+	}
+	if len(all) == 0 {
+		return nil, fmt.Errorf("core: no %s-overapproximation of %v in the candidate space", c.Name(), q)
+	}
+	return all[0], nil
+}
+
+// atomsOf lists a structure's facts as (relation, args) pairs in
+// deterministic order.
+func atomsOf(s *relstr.Structure) []patomLite {
+	var out []patomLite
+	for _, rel := range s.Relations() {
+		ts := append([]relstr.Tuple{}, s.Tuples(rel)...)
+		sort.Slice(ts, func(i, j int) bool { return ts[i].Key() < ts[j].Key() })
+		for _, t := range ts {
+			out = append(out, patomLite{rel: rel, args: append([]int{}, t...)})
+		}
+	}
+	return out
+}
+
+type patomLite struct {
+	rel  string
+	args []int
+}
+
+// IsOverapproximation decides whether cand is a C-overapproximation of
+// q within the atom-subset witness space (exact for graph-based
+// classes, by the corestriction argument above).
+func IsOverapproximation(q, cand *cq.Query, c Class, opt Options) (bool, error) {
+	ct := cand.Tableau()
+	if !c.Contains(ct.S) {
+		return false, nil
+	}
+	if !hom.Contained(q, cand) {
+		return false, nil
+	}
+	candP := hom.Pointed{S: ct.S, Dist: ct.Dist}
+	all, err := Overapproximations(q, c, opt)
+	if err != nil {
+		return false, err
+	}
+	for _, o := range all {
+		op := hom.TableauOf(o)
+		// A witness strictly between q and cand: q ⊆ o ⊂ cand, i.e.
+		// T_cand → T_o strictly.
+		if hom.Maps(candP, op) && !hom.Maps(op, candP) {
+			return false, nil
+		}
+	}
+	return true, nil
+}

@@ -1,0 +1,150 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"cqapprox/internal/cq"
+	"cqapprox/internal/hom"
+)
+
+// The TW(1)-overapproximation of the triangle is the path of length 2:
+// dropping any one edge yields isomorphic paths, which are the
+// →-maximal acyclic substructures.
+func TestOverapproximationOfTriangle(t *testing.T) {
+	q := cq.MustParse("Q() :- E(x,y), E(y,z), E(z,x)")
+	overs, err := Overapproximations(q, TW(1), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(overs) != 1 {
+		t.Fatalf("overapproximations = %v, want exactly 1", overs)
+	}
+	p2 := cq.MustParse("P() :- E(a,b), E(b,c)")
+	if !hom.Equivalent(overs[0], p2) {
+		t.Fatalf("overapproximation = %v, want ≡ P2", overs[0])
+	}
+	if !hom.Contained(q, overs[0]) {
+		t.Fatal("q not contained in its overapproximation")
+	}
+}
+
+func TestOverapproximationOfC4(t *testing.T) {
+	q := cq.MustParse("Q() :- E(x,y), E(y,z), E(z,u), E(u,x)")
+	overs, err := Overapproximations(q, TW(1), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(overs) != 1 {
+		t.Fatalf("overapproximations = %v, want 1", overs)
+	}
+	p3 := cq.MustParse("P() :- E(a,b), E(b,c), E(c,d)")
+	if !hom.Equivalent(overs[0], p3) {
+		t.Fatalf("overapproximation = %v, want ≡ P3", overs[0])
+	}
+}
+
+// A query already in the class is its own overapproximation.
+func TestOverapproximationInClass(t *testing.T) {
+	q := cq.MustParse("Q(x) :- E(x,y), E(y,z)")
+	overs, err := Overapproximations(q, TW(1), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(overs) != 1 || !hom.Equivalent(overs[0], q) {
+		t.Fatalf("overapproximations = %v, want [≡ q]", overs)
+	}
+}
+
+// Head variables must survive: the overapproximation of a free-variable
+// cyclic query keeps the head meaningful.
+func TestOverapproximationKeepsHead(t *testing.T) {
+	q := cq.MustParse("Q(x) :- E(x,y), E(y,z), E(z,x)")
+	overs, err := Overapproximations(q, TW(1), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(overs) == 0 {
+		t.Fatal("no overapproximations")
+	}
+	for _, o := range overs {
+		if len(o.Head) != 1 {
+			t.Fatalf("head lost: %v", o)
+		}
+		if !hom.Contained(q, o) {
+			t.Fatalf("%v does not contain q", o)
+		}
+	}
+}
+
+func TestIsOverapproximation(t *testing.T) {
+	q := cq.MustParse("Q() :- E(x,y), E(y,z), E(z,x)")
+	p2 := cq.MustParse("P() :- E(a,b), E(b,c)")
+	edge := cq.MustParse("P() :- E(a,b)")
+	ok, err := IsOverapproximation(q, p2, TW(1), Options{})
+	if err != nil || !ok {
+		t.Fatalf("P2 should be an overapproximation (ok=%v err=%v)", ok, err)
+	}
+	// The single-edge query contains q but P2 sits strictly between.
+	ok, err = IsOverapproximation(q, edge, TW(1), Options{})
+	if err != nil || ok {
+		t.Fatalf("single edge should not be minimal (ok=%v err=%v)", ok, err)
+	}
+	// q itself is not in TW(1).
+	ok, err = IsOverapproximation(q, q, TW(1), Options{})
+	if err != nil || ok {
+		t.Fatalf("cyclic candidate rejected (ok=%v err=%v)", ok, err)
+	}
+}
+
+// Sandwich property: approx ⊆ Q ⊆ overapprox, hence on every database
+// approxAnswers ⊆ exactAnswers ⊆ overAnswers.
+func TestQuickSandwich(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		// Random small cyclic-ish Boolean graph query.
+		q := &cq.Query{Name: "Q"}
+		n := 3 + rng.Intn(2)
+		for i := 0; i < n; i++ {
+			q.Atoms = append(q.Atoms, cq.Atom{Rel: "E", Args: []string{
+				vname(rng.Intn(n)), vname(rng.Intn(n)),
+			}})
+		}
+		if q.Validate() != nil {
+			return true
+		}
+		under, err := Approximate(q, TW(1), DefaultOptions())
+		if err != nil {
+			return false
+		}
+		overs, err := Overapproximations(q, TW(1), DefaultOptions())
+		if err != nil || len(overs) == 0 {
+			return false
+		}
+		over := overs[0]
+		return hom.Contained(under, q) && hom.Contained(q, over)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func vname(i int) string {
+	return string(rune('a' + i))
+}
+
+func TestOverapproximationAtomBound(t *testing.T) {
+	q := &cq.Query{Name: "Q"}
+	for i := 0; i < 21; i++ {
+		q.Atoms = append(q.Atoms, cq.Atom{Rel: "E", Args: []string{vname(i % 5), vname((i + 1) % 5)}})
+	}
+	// 21 atoms collapse to fewer distinct facts, so build distinct ones.
+	q = cq.MustParse("Q() :- E(a,b)")
+	for i := 0; i < 25; i++ {
+		q.Atoms = append(q.Atoms, cq.Atom{Rel: "E", Args: []string{vname(i), vname(i + 1)}})
+	}
+	if _, err := Overapproximations(q, TW(1), Options{}); err == nil {
+		t.Fatal("expected atom-bound error")
+	}
+}

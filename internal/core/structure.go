@@ -1,0 +1,157 @@
+package core
+
+import (
+	"fmt"
+
+	"cqapprox/internal/cq"
+	"cqapprox/internal/digraph"
+	"cqapprox/internal/hom"
+)
+
+// TableauKind classifies the tableau of a CQ over graphs for
+// Theorem 5.1's trichotomy.
+type TableauKind int
+
+const (
+	// NonBipartite tableaux admit only the trivial acyclic
+	// approximation Q_trivial (Boolean case).
+	NonBipartite TableauKind = iota
+	// BipartiteUnbalanced tableaux admit only the trivial bipartite
+	// approximation Q_triv2 (tableau K_2^↔, Boolean case).
+	BipartiteUnbalanced
+	// BipartiteBalanced tableaux have nontrivial acyclic
+	// approximations, none containing both E(x,y) and E(y,x).
+	BipartiteBalanced
+)
+
+func (k TableauKind) String() string {
+	switch k {
+	case NonBipartite:
+		return "non-bipartite"
+	case BipartiteUnbalanced:
+		return "bipartite-unbalanced"
+	case BipartiteBalanced:
+		return "bipartite-balanced"
+	default:
+		return fmt.Sprintf("TableauKind(%d)", int(k))
+	}
+}
+
+// IsGraphQuery reports whether q is a query over graphs: its schema is
+// a single binary relation.
+func IsGraphQuery(q *cq.Query) bool {
+	schema := q.Schema()
+	if len(schema) != 1 {
+		return false
+	}
+	for _, a := range schema {
+		if a != 2 {
+			return false
+		}
+	}
+	return true
+}
+
+// graphTableau returns q's tableau renamed so the edge relation is
+// digraph.EdgeRel, for use with the digraph package.
+func graphTableau(q *cq.Query) (*cq.Tableau, error) {
+	if !IsGraphQuery(q) {
+		return nil, fmt.Errorf("core: %v is not a query over graphs", q)
+	}
+	tb := q.Tableau()
+	rels := tb.S.Relations()
+	if rels[0] != digraph.EdgeRel {
+		renamed := digraph.New()
+		for _, t := range tb.S.Tuples(rels[0]) {
+			renamed.Add(digraph.EdgeRel, t...)
+		}
+		for _, d := range tb.Dist {
+			renamed.AddElement(d)
+		}
+		tb = &cq.Tableau{S: renamed, Dist: tb.Dist, Var: tb.Var}
+	}
+	return tb, nil
+}
+
+// ClassifyGraphTableau classifies q's tableau per Theorem 5.1. The
+// query must be over graphs (single binary relation); both Boolean and
+// non-Boolean queries are classified (Theorem 5.8 reuses
+// bipartiteness).
+func ClassifyGraphTableau(q *cq.Query) (TableauKind, error) {
+	tb, err := graphTableau(q)
+	if err != nil {
+		return 0, err
+	}
+	if !digraph.IsBipartite(tb.S) {
+		return NonBipartite, nil
+	}
+	if !digraph.IsBalanced(tb.S) {
+		return BipartiteUnbalanced, nil
+	}
+	return BipartiteBalanced, nil
+}
+
+// IsCyclicGraphQuery reports whether q's tableau has an oriented cycle
+// of length ≥ 3 (so q is outside TW(1) over graphs).
+func IsCyclicGraphQuery(q *cq.Query) (bool, error) {
+	tb, err := graphTableau(q)
+	if err != nil {
+		return false, err
+	}
+	return !digraph.IsForestLike(tb.S), nil
+}
+
+// HasLoopFreeTWkApproximation implements the dichotomy of Theorems 5.8
+// and 5.10: a graph query has a TW(k)-approximation without a subgoal
+// E(x,x) iff its tableau is (k+1)-colorable. (k = 1 is the acyclic
+// case of Theorem 5.8.)
+func HasLoopFreeTWkApproximation(q *cq.Query, k int) (bool, error) {
+	tb, err := graphTableau(q)
+	if err != nil {
+		return false, err
+	}
+	return digraph.IsKColorable(tb.S, k+1), nil
+}
+
+// NontrivialTWkApproximationExists implements Corollary 5.11: a Boolean
+// CQ over graphs has a nontrivial TW(k)-approximation iff its tableau
+// is (k+1)-colorable.
+func NontrivialTWkApproximationExists(q *cq.Query, k int) (bool, error) {
+	if !q.IsBoolean() {
+		return false, fmt.Errorf("core: Corollary 5.11 applies to Boolean queries")
+	}
+	return HasLoopFreeTWkApproximation(q, k)
+}
+
+// EquivalentToClass implements Proposition 4.11's reduction: given the
+// approximation oracle A(·), q is equivalent to some query in C iff
+// q ⊆ A(q). (Checking q ⊆ A(q) amounts to evaluating A(q) over q's
+// tableau.)
+func EquivalentToClass(q *cq.Query, c Class, opt Options) (bool, error) {
+	a, err := Approximate(q, c, opt)
+	if err != nil {
+		return false, err
+	}
+	return hom.Contained(q, a), nil
+}
+
+// JoinComparison records how approximation join counts compare to the
+// original query's (Corollary 5.3, Proposition 5.9, Example 6.6).
+type JoinComparison struct {
+	QueryJoins int
+	Approx     []*cq.Query
+	Joins      []int // per approximation, after minimization
+}
+
+// CompareJoins computes the join counts of all C-approximations of q.
+func CompareJoins(q *cq.Query, c Class, opt Options) (*JoinComparison, error) {
+	apps, err := Approximations(q, c, opt)
+	if err != nil {
+		return nil, err
+	}
+	out := &JoinComparison{QueryJoins: hom.Minimize(q).NumJoins(), Approx: apps}
+	for _, a := range apps {
+		out.Joins = append(out.Joins, a.NumJoins())
+	}
+	return out, nil
+}

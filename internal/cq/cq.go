@@ -1,0 +1,237 @@
+// Package cq defines conjunctive queries (CQs), their rule-based
+// concrete syntax, and the correspondence between CQs and tableaux.
+//
+// A CQ is written in the paper's rule notation:
+//
+//	Q(x, y) :- E(x, y), E(y, z), E(z, x)
+//
+// The head lists the free variables (possibly with repetitions, possibly
+// empty for Boolean queries); the body is a conjunction of relational
+// atoms. The tableau of Q(x̄) is the pair (T_Q, x̄) where T_Q is the body
+// viewed as a relational structure over the variables.
+package cq
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"cqapprox/internal/relstr"
+)
+
+// Atom is a single relational atom R(x1, …, xn) in a CQ body.
+type Atom struct {
+	Rel  string
+	Args []string
+}
+
+func (a Atom) String() string {
+	return a.Rel + "(" + strings.Join(a.Args, ",") + ")"
+}
+
+// Clone returns a deep copy of a.
+func (a Atom) Clone() Atom {
+	args := make([]string, len(a.Args))
+	copy(args, a.Args)
+	return Atom{Rel: a.Rel, Args: args}
+}
+
+// Query is a conjunctive query in rule form.
+type Query struct {
+	Name  string   // head predicate name, defaults to "Q"
+	Head  []string // free variables; empty means Boolean
+	Atoms []Atom
+}
+
+// Clone returns a deep copy of q.
+func (q *Query) Clone() *Query {
+	head := make([]string, len(q.Head))
+	copy(head, q.Head)
+	atoms := make([]Atom, len(q.Atoms))
+	for i, a := range q.Atoms {
+		atoms[i] = a.Clone()
+	}
+	return &Query{Name: q.Name, Head: head, Atoms: atoms}
+}
+
+// IsBoolean reports whether q has no free variables.
+func (q *Query) IsBoolean() bool { return len(q.Head) == 0 }
+
+// NumJoins returns the number of joins, defined in the paper as
+// (#atoms − 1); an empty body yields 0.
+func (q *Query) NumJoins() int {
+	if len(q.Atoms) == 0 {
+		return 0
+	}
+	return len(q.Atoms) - 1
+}
+
+// Vars returns all variables of q in order of first occurrence
+// (head first, then body).
+func (q *Query) Vars() []string {
+	seen := map[string]bool{}
+	var out []string
+	add := func(v string) {
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	for _, v := range q.Head {
+		add(v)
+	}
+	for _, a := range q.Atoms {
+		for _, v := range a.Args {
+			add(v)
+		}
+	}
+	return out
+}
+
+// NumVars returns the number of distinct variables in q.
+func (q *Query) NumVars() int { return len(q.Vars()) }
+
+// Validate checks arity consistency across atoms and that every head
+// variable occurs in the body (range restriction; the paper's CQs draw
+// head variables from the atom variables).
+func (q *Query) Validate() error {
+	arity := map[string]int{}
+	inBody := map[string]bool{}
+	for _, a := range q.Atoms {
+		if len(a.Args) == 0 {
+			return fmt.Errorf("cq: atom %s has no arguments", a.Rel)
+		}
+		if prev, ok := arity[a.Rel]; ok && prev != len(a.Args) {
+			return fmt.Errorf("cq: relation %s used with arities %d and %d", a.Rel, prev, len(a.Args))
+		}
+		arity[a.Rel] = len(a.Args)
+		for _, v := range a.Args {
+			inBody[v] = true
+		}
+	}
+	for _, v := range q.Head {
+		if !inBody[v] {
+			return fmt.Errorf("cq: head variable %s does not occur in the body", v)
+		}
+	}
+	return nil
+}
+
+// Schema returns the relation symbols used by q with their arities.
+func (q *Query) Schema() map[string]int {
+	m := map[string]int{}
+	for _, a := range q.Atoms {
+		m[a.Rel] = len(a.Args)
+	}
+	return m
+}
+
+// String renders q in rule notation, e.g. "Q(x) :- E(x,y), E(y,x)".
+func (q *Query) String() string {
+	name := q.Name
+	if name == "" {
+		name = "Q"
+	}
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('(')
+	b.WriteString(strings.Join(q.Head, ","))
+	b.WriteString(") :- ")
+	parts := make([]string, len(q.Atoms))
+	for i, a := range q.Atoms {
+		parts[i] = a.String()
+	}
+	b.WriteString(strings.Join(parts, ", "))
+	return b.String()
+}
+
+// Tableau is a CQ body as a relational structure, together with the
+// distinguished tuple of (elements standing for) free variables.
+type Tableau struct {
+	S    *relstr.Structure
+	Dist []int          // images of the head variables, in head order
+	Var  map[int]string // element → variable name (best-effort)
+}
+
+// Tableau returns the tableau (T_Q, x̄) of q. Variables are numbered by
+// first occurrence, head first.
+func (q *Query) Tableau() *Tableau {
+	vars := q.Vars()
+	id := make(map[string]int, len(vars))
+	names := make(map[int]string, len(vars))
+	for i, v := range vars {
+		id[v] = i
+		names[i] = v
+	}
+	s := relstr.New()
+	for _, a := range q.Atoms {
+		args := make([]int, len(a.Args))
+		for i, v := range a.Args {
+			args[i] = id[v]
+		}
+		s.Add(a.Rel, args...)
+	}
+	dist := make([]int, len(q.Head))
+	for i, v := range q.Head {
+		dist[i] = id[v]
+		s.AddElement(id[v]) // keep isolated head variables in the domain
+	}
+	return &Tableau{S: s, Dist: dist, Var: names}
+}
+
+// FromTableau converts a tableau back into a CQ. Elements are named
+// using names when provided (falling back to xN). The head lists the
+// distinguished tuple in order.
+func FromTableau(s *relstr.Structure, dist []int, names map[int]string) *Query {
+	name := func(e int) string {
+		if n, ok := names[e]; ok {
+			return n
+		}
+		return fmt.Sprintf("x%d", e)
+	}
+	q := &Query{Name: "Q"}
+	for _, e := range dist {
+		q.Head = append(q.Head, name(e))
+	}
+	for _, rel := range s.Relations() {
+		for _, t := range s.SortedTuples(rel) {
+			args := make([]string, len(t))
+			for i, e := range t {
+				args[i] = name(e)
+			}
+			q.Atoms = append(q.Atoms, Atom{Rel: rel, Args: args})
+		}
+	}
+	return q
+}
+
+// Rename returns a copy of q with variables renamed canonically
+// (v0, v1, … by first occurrence). Useful for comparing queries
+// syntactically.
+func (q *Query) Rename() *Query {
+	vars := q.Vars()
+	ren := make(map[string]string, len(vars))
+	for i, v := range vars {
+		ren[v] = fmt.Sprintf("v%d", i)
+	}
+	out := q.Clone()
+	for i := range out.Head {
+		out.Head[i] = ren[out.Head[i]]
+	}
+	for i := range out.Atoms {
+		for j := range out.Atoms[i].Args {
+			out.Atoms[i].Args[j] = ren[out.Atoms[i].Args[j]]
+		}
+	}
+	return out
+}
+
+// SortAtoms returns a copy of q with atoms sorted lexicographically;
+// combined with Rename it gives a syntactic normal form.
+func (q *Query) SortAtoms() *Query {
+	out := q.Clone()
+	sort.Slice(out.Atoms, func(i, j int) bool {
+		return out.Atoms[i].String() < out.Atoms[j].String()
+	})
+	return out
+}

@@ -1,0 +1,170 @@
+package cq
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseBasic(t *testing.T) {
+	q, err := Parse("Q(x,y) :- E(x,y), E(y,z), E(z,x)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Name != "Q" || len(q.Head) != 2 || len(q.Atoms) != 3 {
+		t.Fatalf("parsed %v", q)
+	}
+	if q.NumJoins() != 2 {
+		t.Fatalf("NumJoins = %d, want 2", q.NumJoins())
+	}
+	if q.IsBoolean() {
+		t.Fatal("query with head vars reported Boolean")
+	}
+}
+
+func TestParseBooleanForms(t *testing.T) {
+	for _, src := range []string{
+		"Q() :- E(x,x)",
+		"Q :- E(x,x)",
+		"Q :- E(x,x).",
+		"  Q  ( )  :-  E ( x , x )  .  ",
+	} {
+		q, err := Parse(src)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", src, err)
+		}
+		if !q.IsBoolean() {
+			t.Fatalf("Parse(%q) not Boolean", src)
+		}
+		if len(q.Atoms) != 1 || q.Atoms[0].Rel != "E" {
+			t.Fatalf("Parse(%q) = %v", src, q)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, src := range []string{
+		"",
+		"Q(x)",
+		"Q(x) :- ",
+		"Q(x) :- E(x,y,z), E(x,y)", // arity clash
+		"Q(w) :- E(x,y)",           // head var not in body
+		"Q(x) :- E(x,y) garbage",
+		"Q(x) :- E()",
+	} {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestPrimedVariables(t *testing.T) {
+	q, err := Parse("Q(x') :- E(x', y''), E(y'', x')")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Head[0] != "x'" {
+		t.Fatalf("head = %v", q.Head)
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	for _, src := range []string{
+		"Q(x,y) :- E(x,y), E(y,z), E(z,x)",
+		"Q() :- R(x,u,y), R(y,v,z), R(z,w,x)",
+		"P(a) :- S(a,a)",
+	} {
+		q := MustParse(src)
+		q2, err := Parse(q.String())
+		if err != nil {
+			t.Fatalf("re-parse of %q failed: %v", q.String(), err)
+		}
+		if q.String() != q2.String() {
+			t.Fatalf("round trip: %q != %q", q.String(), q2.String())
+		}
+	}
+}
+
+func TestVarsOrder(t *testing.T) {
+	q := MustParse("Q(y) :- E(x,y), E(y,z)")
+	vars := q.Vars()
+	want := []string{"y", "x", "z"}
+	if len(vars) != 3 {
+		t.Fatalf("Vars = %v", vars)
+	}
+	for i := range want {
+		if vars[i] != want[i] {
+			t.Fatalf("Vars = %v, want %v", vars, want)
+		}
+	}
+}
+
+func TestTableau(t *testing.T) {
+	q := MustParse("Q(x,x) :- E(x,y), E(y,x)")
+	tb := q.Tableau()
+	if len(tb.Dist) != 2 || tb.Dist[0] != tb.Dist[1] {
+		t.Fatalf("Dist = %v", tb.Dist)
+	}
+	if tb.S.NumFacts() != 2 || tb.S.DomainSize() != 2 {
+		t.Fatalf("tableau = %v", tb.S)
+	}
+}
+
+func TestTableauRepeatedAtomsCollapse(t *testing.T) {
+	// Duplicate atoms are set-collapsed in the tableau.
+	q := MustParse("Q() :- E(x,y), E(x,y)")
+	tb := q.Tableau()
+	if tb.S.NumFacts() != 1 {
+		t.Fatalf("NumFacts = %d, want 1", tb.S.NumFacts())
+	}
+}
+
+func TestFromTableauRoundTrip(t *testing.T) {
+	q := MustParse("Q(x) :- E(x,y), E(y,z), E(z,x)")
+	tb := q.Tableau()
+	back := FromTableau(tb.S, tb.Dist, tb.Var)
+	if err := back.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	tb2 := back.Tableau()
+	if tb2.S.NumFacts() != tb.S.NumFacts() || len(tb2.Dist) != len(tb.Dist) {
+		t.Fatalf("round trip changed tableau: %v vs %v", tb2.S, tb.S)
+	}
+}
+
+func TestIsolatedHeadVariableKeptInDomain(t *testing.T) {
+	// Q(x) :- E(x,x) has x in the body; but a head var can be isolated
+	// only via body presence, so test the AddElement path with a
+	// distinguished element that appears in one loop atom only.
+	q := MustParse("Q(x,y) :- E(x,x), E(y,y)")
+	tb := q.Tableau()
+	if tb.S.DomainSize() != 2 {
+		t.Fatalf("domain = %v", tb.S.Domain())
+	}
+}
+
+func TestRenameNormalForm(t *testing.T) {
+	a := MustParse("Q(u) :- E(u,w), E(w,u)")
+	b := MustParse("Q(x) :- E(x,y), E(y,x)")
+	if a.Rename().SortAtoms().String() != b.Rename().SortAtoms().String() {
+		t.Fatalf("rename normal forms differ: %q vs %q",
+			a.Rename().SortAtoms(), b.Rename().SortAtoms())
+	}
+}
+
+func TestSchema(t *testing.T) {
+	q := MustParse("Q() :- R(x,y,z), E(x,y)")
+	sch := q.Schema()
+	if sch["R"] != 3 || sch["E"] != 2 || len(sch) != 2 {
+		t.Fatalf("Schema = %v", sch)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	q := MustParse("Q(x) :- E(x,y)")
+	c := q.Clone()
+	c.Atoms[0].Args[0] = "zzz"
+	c.Head[0] = "zzz"
+	if strings.Contains(q.String(), "zzz") {
+		t.Fatal("Clone shares slices with original")
+	}
+}

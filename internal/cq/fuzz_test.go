@@ -1,0 +1,99 @@
+package cq
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// The parser must never panic: on arbitrary byte soup it either parses
+// or returns an error.
+func TestQuickParseNeverPanics(t *testing.T) {
+	alphabet := "Qq(),:-. xyzERS123'_\t\n"
+	f := func(seed int64) (ok bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				ok = false
+			}
+		}()
+		rng := rand.New(rand.NewSource(seed))
+		var b strings.Builder
+		n := rng.Intn(60)
+		for i := 0; i < n; i++ {
+			b.WriteByte(alphabet[rng.Intn(len(alphabet))])
+		}
+		_, _ = Parse(b.String())
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Mutations of a valid query never panic and, when they parse, yield a
+// query that survives Validate and round-trips through String.
+func TestQuickParseMutations(t *testing.T) {
+	base := "Q(x,y) :- E(x,y), R(y,z,w), E(w,x)"
+	f := func(seed int64) (ok bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				ok = false
+			}
+		}()
+		rng := rand.New(rand.NewSource(seed))
+		bs := []byte(base)
+		for i := 0; i < 1+rng.Intn(3); i++ {
+			pos := rng.Intn(len(bs))
+			switch rng.Intn(3) {
+			case 0:
+				bs[pos] = byte("(),:-.xyzE"[rng.Intn(10)])
+			case 1:
+				bs = append(bs[:pos], bs[pos+1:]...)
+			case 2:
+				bs = append(bs[:pos], append([]byte{byte(rng.Intn(94) + 33)}, bs[pos:]...)...)
+			}
+		}
+		q, err := Parse(string(bs))
+		if err != nil {
+			return true
+		}
+		if q.Validate() != nil {
+			return false // Parse must only return validated queries
+		}
+		if _, err := Parse(q.String()); err != nil {
+			return false // printer output must re-parse
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Unicode and pathological whitespace inputs.
+func TestParseExoticInputs(t *testing.T) {
+	for _, src := range []string{
+		"Q(□) :- E(□,ø)", // unicode identifiers are letters: allowed or clean error
+		"Q(é) :- E(é,é)",
+		strings.Repeat(" ", 1000) + "Q(x) :- E(x,x)" + strings.Repeat(".", 1),
+		"Q(x) :- E(x,\x00y)",
+	} {
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Errorf("Parse(%q) panicked: %v", src, r)
+				}
+			}()
+			_, _ = Parse(src)
+		}()
+	}
+	// An accented identifier parses (letters per unicode.IsLetter).
+	q, err := Parse("Q(é) :- E(é,é)")
+	if err != nil {
+		t.Fatalf("unicode identifier rejected: %v", err)
+	}
+	if q.NumVars() != 1 {
+		t.Fatalf("vars = %d", q.NumVars())
+	}
+}

@@ -1,0 +1,170 @@
+package cq
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+	"unicode/utf8"
+)
+
+// Parse reads a CQ in rule notation:
+//
+//	Q(x, y) :- E(x, y), E(y, z)
+//	Q() :- E(x, x)
+//	Q :- E(x, y), E(y, x)           (Boolean, head parentheses optional)
+//
+// A trailing period is accepted. Variable and relation names are
+// identifiers: a letter or underscore followed by letters, digits,
+// underscores or primes (').
+func Parse(input string) (*Query, error) {
+	p := &parser{src: input}
+	q, err := p.parseQuery()
+	if err != nil {
+		return nil, err
+	}
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+// MustParse is Parse that panics on error; intended for tests and
+// examples with literal queries.
+func MustParse(input string) *Query {
+	q, err := Parse(input)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+type parser struct {
+	src string
+	pos int
+}
+
+func (p *parser) errf(format string, args ...interface{}) error {
+	return fmt.Errorf("cq: parse error at offset %d: %s", p.pos, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) skipSpace() {
+	for p.pos < len(p.src) && unicode.IsSpace(rune(p.src[p.pos])) {
+		p.pos++
+	}
+}
+
+func (p *parser) peek() byte {
+	if p.pos < len(p.src) {
+		return p.src[p.pos]
+	}
+	return 0
+}
+
+func (p *parser) eat(c byte) bool {
+	p.skipSpace()
+	if p.peek() == c {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func isIdentStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isIdentPart(r rune) bool {
+	return r == '_' || r == '\'' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}
+
+func (p *parser) ident() (string, error) {
+	p.skipSpace()
+	start := p.pos
+	r, size := utf8.DecodeRuneInString(p.src[p.pos:])
+	if size == 0 || r == utf8.RuneError && size == 1 || !isIdentStart(r) {
+		return "", p.errf("expected identifier")
+	}
+	p.pos += size
+	for p.pos < len(p.src) {
+		r, size := utf8.DecodeRuneInString(p.src[p.pos:])
+		if r == utf8.RuneError && size == 1 || !isIdentPart(r) {
+			break
+		}
+		p.pos += size
+	}
+	return p.src[start:p.pos], nil
+}
+
+// argList parses "( ident , ident , … )", allowing the empty list "()".
+func (p *parser) argList() ([]string, error) {
+	if !p.eat('(') {
+		return nil, p.errf("expected '('")
+	}
+	var args []string
+	p.skipSpace()
+	if p.eat(')') {
+		return args, nil
+	}
+	for {
+		v, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		args = append(args, v)
+		if p.eat(',') {
+			continue
+		}
+		if p.eat(')') {
+			return args, nil
+		}
+		return nil, p.errf("expected ',' or ')'")
+	}
+}
+
+func (p *parser) parseQuery() (*Query, error) {
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	q := &Query{Name: name}
+	p.skipSpace()
+	if p.peek() == '(' {
+		head, err := p.argList()
+		if err != nil {
+			return nil, err
+		}
+		q.Head = head
+	}
+	p.skipSpace()
+	if !strings.HasPrefix(p.src[p.pos:], ":-") {
+		return nil, p.errf("expected ':-'")
+	}
+	p.pos += 2
+	for {
+		rel, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		args, err := p.argList()
+		if err != nil {
+			return nil, err
+		}
+		if len(args) == 0 {
+			return nil, p.errf("atom %s has no arguments", rel)
+		}
+		q.Atoms = append(q.Atoms, Atom{Rel: rel, Args: args})
+		if p.eat(',') {
+			continue
+		}
+		break
+	}
+	p.eat('.')
+	p.skipSpace()
+	if p.pos != len(p.src) {
+		return nil, p.errf("unexpected trailing input %q", p.src[p.pos:])
+	}
+	if len(q.Atoms) == 0 {
+		return nil, p.errf("query has no atoms")
+	}
+	return q, nil
+}

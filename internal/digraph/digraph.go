@@ -1,0 +1,269 @@
+// Package digraph provides the directed-graph machinery used throughout
+// Section 5 of the paper: oriented paths and cycles written as
+// {0,1}-strings, balancedness, levels and height of balanced digraphs
+// (Hell–Nešetřil), bipartiteness, k-colorability, and the acyclicity
+// notion relevant to TW(1) queries over graphs (no oriented cycles of
+// length ≥ 3, i.e. the underlying simple graph is a forest; loops and
+// 2-cycles are allowed).
+//
+// A digraph is a relstr.Structure over the single binary relation "E",
+// so it interoperates directly with the homomorphism engine.
+package digraph
+
+import (
+	"sort"
+
+	"cqapprox/internal/relstr"
+)
+
+// EdgeRel is the relation symbol used for digraph edges.
+const EdgeRel = "E"
+
+// New returns an empty digraph (with the edge relation declared).
+func New() *relstr.Structure {
+	s := relstr.New()
+	s.Declare(EdgeRel, 2)
+	return s
+}
+
+// FromEdges builds a digraph from the given directed edges.
+func FromEdges(edges ...[2]int) *relstr.Structure {
+	s := New()
+	for _, e := range edges {
+		s.Add(EdgeRel, e[0], e[1])
+	}
+	return s
+}
+
+// AddEdge inserts the edge u→v.
+func AddEdge(s *relstr.Structure, u, v int) { s.Add(EdgeRel, u, v) }
+
+// Edges returns the edges of s in insertion order.
+func Edges(s *relstr.Structure) [][2]int {
+	var out [][2]int
+	for _, t := range s.Tuples(EdgeRel) {
+		out = append(out, [2]int{t[0], t[1]})
+	}
+	return out
+}
+
+// HasLoop reports whether s has an edge v→v.
+func HasLoop(s *relstr.Structure) bool {
+	for _, t := range s.Tuples(EdgeRel) {
+		if t[0] == t[1] {
+			return true
+		}
+	}
+	return false
+}
+
+// DirectedPath returns the directed path P_k: 0→1→…→k (k edges).
+func DirectedPath(k int) *relstr.Structure {
+	s := New()
+	for i := 0; i < k; i++ {
+		s.Add(EdgeRel, i, i+1)
+	}
+	return s
+}
+
+// DirectedCycle returns the directed cycle on n ≥ 1 nodes.
+func DirectedCycle(n int) *relstr.Structure {
+	s := New()
+	for i := 0; i < n; i++ {
+		s.Add(EdgeRel, i, (i+1)%n)
+	}
+	return s
+}
+
+// CompleteDigraph returns K_m^↔: m nodes with edges in both directions
+// between every pair of distinct nodes (no loops).
+func CompleteDigraph(m int) *relstr.Structure {
+	s := New()
+	for i := 0; i < m; i++ {
+		for j := 0; j < m; j++ {
+			if i != j {
+				s.Add(EdgeRel, i, j)
+			}
+		}
+	}
+	return s
+}
+
+// SymmetricClosure returns s plus the reverse of every edge.
+func SymmetricClosure(s *relstr.Structure) *relstr.Structure {
+	out := s.Clone()
+	for _, t := range s.Tuples(EdgeRel) {
+		out.Add(EdgeRel, t[1], t[0])
+	}
+	return out
+}
+
+// Loop returns the single-node digraph with a loop (K_1^loop), the
+// tableau of the trivial query over graphs.
+func Loop() *relstr.Structure {
+	s := New()
+	s.Add(EdgeRel, 0, 0)
+	return s
+}
+
+// adjacency returns the underlying simple undirected adjacency
+// (loops excluded, parallel/antiparallel edges merged).
+func adjacency(s *relstr.Structure) map[int]map[int]bool {
+	adj := map[int]map[int]bool{}
+	for _, e := range s.Domain() {
+		adj[e] = map[int]bool{}
+	}
+	for _, t := range s.Tuples(EdgeRel) {
+		if t[0] == t[1] {
+			continue
+		}
+		adj[t[0]][t[1]] = true
+		adj[t[1]][t[0]] = true
+	}
+	return adj
+}
+
+// Components returns the connected components of the underlying
+// undirected graph (isolated elements included), each sorted, ordered
+// by smallest element.
+func Components(s *relstr.Structure) [][]int {
+	adj := adjacency(s)
+	seen := map[int]bool{}
+	var comps [][]int
+	dom := s.Domain()
+	for _, start := range dom {
+		if seen[start] {
+			continue
+		}
+		var comp []int
+		stack := []int{start}
+		seen[start] = true
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			comp = append(comp, v)
+			for w := range adj[v] {
+				if !seen[w] {
+					seen[w] = true
+					stack = append(stack, w)
+				}
+			}
+		}
+		sort.Ints(comp)
+		comps = append(comps, comp)
+	}
+	return comps
+}
+
+// IsConnected reports whether the underlying undirected graph is
+// connected (or empty).
+func IsConnected(s *relstr.Structure) bool { return len(Components(s)) <= 1 }
+
+// IsBipartite reports whether s is 2-colorable, i.e. s → K_2^↔.
+// A digraph with a loop is not bipartite.
+func IsBipartite(s *relstr.Structure) bool {
+	if HasLoop(s) {
+		return false
+	}
+	adj := adjacency(s)
+	color := map[int]int{}
+	for _, start := range s.Domain() {
+		if _, done := color[start]; done {
+			continue
+		}
+		color[start] = 0
+		queue := []int{start}
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			for w := range adj[v] {
+				if c, done := color[w]; done {
+					if c == color[v] {
+						return false
+					}
+					continue
+				}
+				color[w] = 1 - color[v]
+				queue = append(queue, w)
+			}
+		}
+	}
+	return true
+}
+
+// IsKColorable reports whether the underlying simple graph of s is
+// k-colorable. Digraphs with loops are never k-colorable. The check is
+// exact (backtracking on the underlying graph), so it is exponential in
+// the worst case; tableaux are small.
+func IsKColorable(s *relstr.Structure, k int) bool {
+	if k < 1 {
+		return false
+	}
+	if HasLoop(s) {
+		return false
+	}
+	adj := adjacency(s)
+	dom := s.Domain()
+	// Order by degree descending for better pruning.
+	sort.Slice(dom, func(i, j int) bool { return len(adj[dom[i]]) > len(adj[dom[j]]) })
+	color := map[int]int{}
+	var rec func(i int) bool
+	rec = func(i int) bool {
+		if i == len(dom) {
+			return true
+		}
+		v := dom[i]
+		used := map[int]bool{}
+		for w := range adj[v] {
+			if c, ok := color[w]; ok {
+				used[c] = true
+			}
+		}
+		// Symmetry breaking: first vertex uses color 0, and each vertex
+		// may use at most one never-before-used color.
+		maxSoFar := -1
+		for _, u := range dom[:i] {
+			if c := color[u]; c > maxSoFar {
+				maxSoFar = c
+			}
+		}
+		limit := maxSoFar + 1
+		if limit >= k {
+			limit = k - 1
+		}
+		for c := 0; c <= limit; c++ {
+			if used[c] {
+				continue
+			}
+			color[v] = c
+			if rec(i + 1) {
+				return true
+			}
+			delete(color, v)
+		}
+		return false
+	}
+	return rec(0)
+}
+
+// IsForestLike reports whether s is "acyclic" in the sense relevant to
+// TW(1) queries over graphs: no oriented cycles of length 3 or more.
+// Equivalently, the underlying simple undirected graph (loops dropped,
+// parallel and antiparallel edges merged) is a forest. Loops and
+// 2-cycles are allowed: K_2^↔ is forest-like.
+func IsForestLike(s *relstr.Structure) bool {
+	adj := adjacency(s)
+	nodes := 0
+	edges := 0
+	for v, ns := range adj {
+		nodes++
+		for w := range ns {
+			if w > v {
+				edges++
+			}
+		}
+	}
+	// A forest has (#nodes − #components) edges; any extra edge closes a
+	// cycle.
+	return edges == nodes-len(Components(s))
+}

@@ -1,0 +1,56 @@
+package digraph
+
+import "cqapprox/internal/relstr"
+
+// This file implements the homomorphism-duality machinery behind
+// Proposition 5.6 (tight approximations): transitive tournaments are
+// the duals of directed paths (Gallai–Hasse–Roy–Vitaver), categorical
+// products give the gap pairs of Nešetřil–Tardif, and the core of
+// dual × path is the paper's gap witness G_k.
+
+// TransitiveTournament returns TT_k: vertices 0..k−1 with an edge i→j
+// whenever i < j. By the Gallai–Hasse–Roy–Vitaver theorem, TT_k is the
+// dual of the directed path P_k with k edges (k+1 vertices): for every
+// digraph G, exactly one of G → TT_k and P_k → G holds.
+func TransitiveTournament(k int) *relstr.Structure {
+	s := New()
+	for i := 0; i < k; i++ {
+		s.AddElement(i)
+		for j := i + 1; j < k; j++ {
+			s.Add(EdgeRel, i, j)
+		}
+	}
+	return s
+}
+
+// Product returns the categorical (tensor) product a × b of two
+// digraphs: vertices are pairs, with an edge (u,v) → (u',v') iff
+// u → u' in a and v → v' in b. The product maps homomorphically to
+// both factors; Nešetřil–Tardif use dual × path products to exhibit
+// gaps in the homomorphism lattice. The pair (u, v) is encoded as
+// u·|V(b)|-index + index(v); the encoding map is returned.
+func Product(a, b *relstr.Structure) (*relstr.Structure, map[[2]int]int) {
+	bdom := b.Domain()
+	bIdx := make(map[int]int, len(bdom))
+	for i, v := range bdom {
+		bIdx[v] = i
+	}
+	code := map[[2]int]int{}
+	next := 0
+	id := func(u, v int) int {
+		key := [2]int{u, v}
+		if c, ok := code[key]; ok {
+			return c
+		}
+		code[key] = next
+		next++
+		return code[key]
+	}
+	out := New()
+	for _, ea := range a.Tuples(EdgeRel) {
+		for _, eb := range b.Tuples(EdgeRel) {
+			out.Add(EdgeRel, id(ea[0], eb[0]), id(ea[1], eb[1]))
+		}
+	}
+	return out, code
+}

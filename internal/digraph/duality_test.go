@@ -1,0 +1,82 @@
+package digraph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"cqapprox/internal/hom"
+	"cqapprox/internal/relstr"
+)
+
+func TestTransitiveTournamentShape(t *testing.T) {
+	tt4 := TransitiveTournament(4)
+	if tt4.DomainSize() != 4 || tt4.NumFacts() != 6 {
+		t.Fatalf("TT4 = %v", tt4)
+	}
+	if !IsForestLike(TransitiveTournament(2)) {
+		t.Fatal("TT2 is a single edge")
+	}
+	if HasLoop(tt4) {
+		t.Fatal("tournaments have no loops")
+	}
+}
+
+// Gallai–Hasse–Roy–Vitaver as a homomorphism duality: for every
+// digraph G, exactly one of G → TT_k and P_k → G holds.
+func TestQuickGHRVDuality(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(4)
+		g := New()
+		for i := 0; i < n+rng.Intn(4); i++ {
+			a, b := rng.Intn(n), rng.Intn(n)
+			g.Add(EdgeRel, a, b)
+		}
+		for k := 2; k <= 4; k++ {
+			toDual := hom.Exists(g, TransitiveTournament(k), nil)
+			fromPath := hom.Exists(DirectedPath(k), g, nil)
+			if toDual == fromPath {
+				return false // must be exactly one
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProductMapsToFactors(t *testing.T) {
+	a := DirectedCycle(3)
+	b := DirectedPath(4)
+	p, _ := Product(a, b)
+	if !hom.Exists(p, a, nil) || !hom.Exists(p, b, nil) {
+		t.Fatal("product must map to both factors")
+	}
+}
+
+// Product is the categorical product: C → A×B iff C → A and C → B.
+func TestQuickProductUniversalProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := randomDigraph(rng, 3, 4)
+		b := randomDigraph(rng, 3, 4)
+		c := randomDigraph(rng, 3, 3)
+		p, _ := Product(a, b)
+		lhs := hom.Exists(c, p, nil)
+		rhs := hom.Exists(c, a, nil) && hom.Exists(c, b, nil)
+		return lhs == rhs
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func randomDigraph(rng *rand.Rand, n, edges int) *relstr.Structure {
+	g := New()
+	for i := 0; i < edges; i++ {
+		g.Add(EdgeRel, rng.Intn(n), rng.Intn(n))
+	}
+	return g
+}

@@ -1,0 +1,89 @@
+package digraph
+
+import (
+	"cqapprox/internal/hom"
+	"cqapprox/internal/relstr"
+)
+
+// LevelRestriction builds, for connected balanced digraphs a and b of
+// equal height, the candidate restriction "a node of level ℓ may only
+// map to nodes of level ℓ" — sound by Lemma 4.5 of the paper (any
+// homomorphism between balanced digraphs of the same height preserves
+// levels; connectivity of a makes the component-wise statement apply).
+// ok=false when the restriction does not apply.
+func LevelRestriction(a, b *relstr.Structure) (map[int][]int, bool) {
+	if !IsConnected(a) {
+		return nil, false
+	}
+	la, oka := Levels(a)
+	lb, okb := Levels(b)
+	if !oka || !okb {
+		return nil, false
+	}
+	ha, hb := 0, 0
+	for _, l := range la {
+		if l > ha {
+			ha = l
+		}
+	}
+	for _, l := range lb {
+		if l > hb {
+			hb = l
+		}
+	}
+	if ha != hb {
+		return nil, false
+	}
+	byLevel := map[int][]int{}
+	for v, l := range lb {
+		byLevel[l] = append(byLevel[l], v)
+	}
+	allowed := map[int][]int{}
+	for v, l := range la {
+		allowed[v] = byLevel[l]
+	}
+	return allowed, true
+}
+
+// ExistsHomLeveled reports a → b, exploiting level preservation when it
+// applies (Lemma 4.5) and falling back to the unrestricted search
+// otherwise. Use it for the paper's large balanced gadgets, where the
+// restriction collapses the search space.
+func ExistsHomLeveled(a, b *relstr.Structure) bool {
+	if allowed, ok := LevelRestriction(a, b); ok {
+		return hom.ExistsRestricted(a, b, nil, allowed)
+	}
+	return hom.Exists(a, b, nil)
+}
+
+// IsCoreBalanced decides core-ness of a connected balanced digraph,
+// restricting endomorphism candidates to equal levels (sound because
+// every endomorphism of a balanced digraph preserves levels). It falls
+// back to the generic check when g is not balanced or not connected.
+func IsCoreBalanced(g *relstr.Structure) bool {
+	lv, ok := Levels(g)
+	if !ok || !IsConnected(g) {
+		return hom.IsCore(g, nil)
+	}
+	byLevel := map[int][]int{}
+	for v, l := range lv {
+		byLevel[l] = append(byLevel[l], v)
+	}
+	for _, v := range g.Domain() {
+		sub := g.Without(v)
+		allowed := map[int][]int{}
+		for _, e := range g.Domain() {
+			var list []int
+			for _, w := range byLevel[lv[e]] {
+				if w != v {
+					list = append(list, w)
+				}
+			}
+			allowed[e] = list
+		}
+		if hom.ExistsRestricted(g, sub, nil, allowed) {
+			return false
+		}
+	}
+	return true
+}

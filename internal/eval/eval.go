@@ -1,0 +1,363 @@
+// Package eval implements CQ evaluation engines with the combined
+// complexities the paper contrasts:
+//
+//   - Naive: backtracking join, |D|^O(|Q|) combined complexity — the
+//     generic engine for arbitrary CQs.
+//   - Yannakakis: the classical semijoin algorithm for acyclic CQs,
+//     O(|D|·|Q|) per the paper's Section 1 (plus output cost for
+//     non-Boolean queries).
+//   - TreeDecomp: evaluation through a width-k tree decomposition,
+//     O(|D|^{k+1}) — the engine for TW(k) queries.
+//
+// All engines return the same answer sets; the test suite
+// cross-validates them on random instances.
+package eval
+
+import (
+	"fmt"
+	"sort"
+
+	"cqapprox/internal/cq"
+	"cqapprox/internal/hom"
+	"cqapprox/internal/relstr"
+)
+
+// Answers is a deduplicated set of answer tuples in deterministic
+// (lexicographic) order.
+type Answers []relstr.Tuple
+
+// Contains reports whether a includes t.
+func (a Answers) Contains(t relstr.Tuple) bool {
+	for _, x := range a {
+		if x.Equal(t) {
+			return true
+		}
+	}
+	return false
+}
+
+func sortAnswers(ts []relstr.Tuple) Answers {
+	sort.Slice(ts, func(i, j int) bool {
+		a, b := ts[i], ts[j]
+		for k := 0; k < len(a) && k < len(b); k++ {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return len(a) < len(b)
+	})
+	return ts
+}
+
+// Naive evaluates q on db by backtracking search over the query
+// variables (the generic NP engine).
+func Naive(q *cq.Query, db *relstr.Structure) Answers {
+	tb := q.Tableau()
+	var out []relstr.Tuple
+	hom.Project(tb.S, db, nil, tb.Dist, func(vals []int) bool {
+		out = append(out, relstr.Tuple(vals).Clone())
+		return true
+	})
+	return sortAnswers(out)
+}
+
+// NaiveBool evaluates a Boolean query (or reports whether q has any
+// answer).
+func NaiveBool(q *cq.Query, db *relstr.Structure) bool {
+	tb := q.Tableau()
+	found := false
+	hom.Project(tb.S, db, nil, tb.Dist, func([]int) bool {
+		found = true
+		return false
+	})
+	return found
+}
+
+// Eval evaluates q with the best applicable engine: Yannakakis when q
+// is acyclic, otherwise the naive engine.
+func Eval(q *cq.Query, db *relstr.Structure) Answers {
+	if ans, err := Yannakakis(q, db); err == nil {
+		return ans
+	}
+	return Naive(q, db)
+}
+
+// EvalBool is the Boolean variant of Eval.
+func EvalBool(q *cq.Query, db *relstr.Structure) bool {
+	if ok, err := YannakakisBool(q, db); err == nil {
+		return ok
+	}
+	return NaiveBool(q, db)
+}
+
+// --- shared relation-tree machinery -----------------------------------
+
+// rel is a materialised relation over a fixed variable list.
+type rel struct {
+	vars []int   // distinct variable (element) ids
+	rows [][]int // aligned with vars, deduplicated
+}
+
+// node is one node of a relation tree (a join tree of atoms, or a tree
+// decomposition's bag tree).
+type node struct {
+	rel
+	parent   int
+	children []int
+}
+
+func key(vals []int) string { return relstr.Tuple(vals).Key() }
+
+// project returns r projected onto the variables in want (in want
+// order), deduplicated. Variables in want must occur in r.vars.
+func (r rel) project(want []int) rel {
+	idx := make([]int, len(want))
+	for i, v := range want {
+		idx[i] = indexOf(r.vars, v)
+	}
+	seen := map[string]bool{}
+	out := rel{vars: append([]int{}, want...)}
+	for _, row := range r.rows {
+		vals := make([]int, len(want))
+		for i, j := range idx {
+			vals[i] = row[j]
+		}
+		k := key(vals)
+		if !seen[k] {
+			seen[k] = true
+			out.rows = append(out.rows, vals)
+		}
+	}
+	return out
+}
+
+func indexOf(vars []int, v int) int {
+	for i, x := range vars {
+		if x == v {
+			return i
+		}
+	}
+	panic(fmt.Sprintf("eval: variable %d not in %v", v, vars))
+}
+
+// sharedVars returns the variables common to a and b, in a's order.
+func sharedVars(a, b []int) []int {
+	inB := map[int]bool{}
+	for _, v := range b {
+		inB[v] = true
+	}
+	var out []int
+	for _, v := range a {
+		if inB[v] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// semijoin keeps the rows of l that agree with some row of r on the
+// shared variables.
+func semijoin(l, r rel) rel {
+	shared := sharedVars(l.vars, r.vars)
+	if len(shared) == 0 {
+		if len(r.rows) == 0 {
+			return rel{vars: l.vars}
+		}
+		return l
+	}
+	rIdx := make([]int, len(shared))
+	lIdx := make([]int, len(shared))
+	for i, v := range shared {
+		rIdx[i] = indexOf(r.vars, v)
+		lIdx[i] = indexOf(l.vars, v)
+	}
+	present := map[string]bool{}
+	buf := make([]int, len(shared))
+	for _, row := range r.rows {
+		for i, j := range rIdx {
+			buf[i] = row[j]
+		}
+		present[key(buf)] = true
+	}
+	out := rel{vars: l.vars}
+	for _, row := range l.rows {
+		for i, j := range lIdx {
+			buf[i] = row[j]
+		}
+		if present[key(buf)] {
+			out.rows = append(out.rows, row)
+		}
+	}
+	return out
+}
+
+// join computes the natural join of l and r.
+func join(l, r rel) rel {
+	shared := sharedVars(l.vars, r.vars)
+	lIdx := make([]int, len(shared))
+	rIdx := make([]int, len(shared))
+	for i, v := range shared {
+		lIdx[i] = indexOf(l.vars, v)
+		rIdx[i] = indexOf(r.vars, v)
+	}
+	// r-only variables appended to l's.
+	var rOnly []int
+	var rOnlyIdx []int
+	inL := map[int]bool{}
+	for _, v := range l.vars {
+		inL[v] = true
+	}
+	for j, v := range r.vars {
+		if !inL[v] {
+			rOnly = append(rOnly, v)
+			rOnlyIdx = append(rOnlyIdx, j)
+		}
+	}
+	// Hash r by shared key.
+	buckets := map[string][][]int{}
+	buf := make([]int, len(shared))
+	for _, row := range r.rows {
+		for i, j := range rIdx {
+			buf[i] = row[j]
+		}
+		k := key(buf)
+		buckets[k] = append(buckets[k], row)
+	}
+	out := rel{vars: append(append([]int{}, l.vars...), rOnly...)}
+	seen := map[string]bool{}
+	for _, lrow := range l.rows {
+		for i, j := range lIdx {
+			buf[i] = lrow[j]
+		}
+		for _, rrow := range buckets[key(buf)] {
+			vals := make([]int, 0, len(out.vars))
+			vals = append(vals, lrow...)
+			for _, j := range rOnlyIdx {
+				vals = append(vals, rrow[j])
+			}
+			k := key(vals)
+			if !seen[k] {
+				seen[k] = true
+				out.rows = append(out.rows, vals)
+			}
+		}
+	}
+	return out
+}
+
+// solveTree runs the full Yannakakis pipeline over a relation forest:
+// semijoin reduction (leaves→roots, roots→leaves), then a bottom-up
+// join keeping only the variables needed above plus free variables,
+// then a cross product across components, finally projecting onto the
+// head. Answers are deduplicated and sorted. head lists element ids
+// (with possible repeats); free is the set of distinct head elements.
+func solveTree(nodes []node, head []int) Answers {
+	freeSet := map[int]bool{}
+	for _, v := range head {
+		freeSet[v] = true
+	}
+	roots := []int{}
+	for i := range nodes {
+		if nodes[i].parent == -1 {
+			roots = append(roots, i)
+		}
+	}
+	// Post-order traversal per root.
+	var postorder func(i int, out *[]int)
+	postorder = func(i int, out *[]int) {
+		for _, c := range nodes[i].children {
+			postorder(c, out)
+		}
+		*out = append(*out, i)
+	}
+	// (1) bottom-up semijoin.
+	for _, r := range roots {
+		var order []int
+		postorder(r, &order)
+		for _, u := range order {
+			for _, c := range nodes[u].children {
+				nodes[u].rel = semijoin(nodes[u].rel, nodes[c].rel)
+			}
+		}
+	}
+	// (2) top-down semijoin.
+	for _, r := range roots {
+		var pre []int
+		var preorder func(i int)
+		preorder = func(i int) {
+			pre = append(pre, i)
+			for _, c := range nodes[i].children {
+				preorder(c)
+			}
+		}
+		preorder(r)
+		for _, u := range pre {
+			for _, c := range nodes[u].children {
+				nodes[c].rel = semijoin(nodes[c].rel, nodes[u].rel)
+			}
+		}
+	}
+	// Emptiness short-circuit.
+	for i := range nodes {
+		if len(nodes[i].rows) == 0 {
+			return Answers{}
+		}
+	}
+	// (3) bottom-up join with projection.
+	upRel := make([]rel, len(nodes))
+	var solve func(i int) rel
+	solve = func(i int) rel {
+		acc := nodes[i].rel
+		for _, c := range nodes[i].children {
+			acc = join(acc, solve(c))
+		}
+		// Keep: free variables of the subtree ∪ connector to parent.
+		keepSet := map[int]bool{}
+		for _, v := range acc.vars {
+			if freeSet[v] {
+				keepSet[v] = true
+			}
+		}
+		if p := nodes[i].parent; p != -1 {
+			for _, v := range sharedVars(acc.vars, nodes[p].vars) {
+				keepSet[v] = true
+			}
+		}
+		var keep []int
+		for _, v := range acc.vars {
+			if keepSet[v] {
+				keep = append(keep, v)
+			}
+		}
+		upRel[i] = acc.project(keep)
+		return upRel[i]
+	}
+	// (4) cross product across roots (disconnected queries).
+	total := rel{vars: nil, rows: [][]int{{}}}
+	for _, r := range roots {
+		rr := solve(r)
+		if len(rr.rows) == 0 {
+			return Answers{}
+		}
+		total = join(total, rr)
+	}
+	// (5) head projection (head may repeat variables).
+	idx := make([]int, len(head))
+	for i, v := range head {
+		idx[i] = indexOf(total.vars, v)
+	}
+	seen := map[string]bool{}
+	var out []relstr.Tuple
+	for _, row := range total.rows {
+		vals := make(relstr.Tuple, len(head))
+		for i, j := range idx {
+			vals[i] = row[j]
+		}
+		k := vals.Key()
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, vals)
+		}
+	}
+	return sortAnswers(out)
+}

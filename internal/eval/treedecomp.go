@@ -1,0 +1,133 @@
+package eval
+
+import (
+	"fmt"
+
+	"cqapprox/internal/cq"
+	"cqapprox/internal/hom"
+	"cqapprox/internal/relstr"
+	"cqapprox/internal/tw"
+)
+
+// ByTreeDecomposition evaluates q through an optimal-width tree
+// decomposition of its Gaifman graph: every bag is materialised as the
+// relation of assignments to its variables satisfying the atoms that
+// fit inside the bag, and the bag tree (which is an acyclic join
+// forest by the running-intersection property) is then solved with the
+// Yannakakis pipeline. Combined complexity O(|D|^{k+1}·|Q|) for a
+// width-k decomposition.
+func ByTreeDecomposition(q *cq.Query, db *relstr.Structure) (Answers, error) {
+	tb := q.Tableau()
+	g, id := tw.FromStructure(tb.S)
+	if g.N == 0 {
+		return nil, fmt.Errorf("eval: query has no variables")
+	}
+	dec := g.Decompose()
+	// Map graph vertex ids back to tableau elements.
+	back := make([]int, g.N)
+	for e, v := range id {
+		back[v] = e
+	}
+	// Assign each atom to a bag containing all of its variables. The
+	// atom's variables form a clique in G(Q), so such a bag exists.
+	atoms := atomList(tb.S)
+	bagAtoms := make([][]int, len(dec.Bags))
+	for ai, a := range atoms {
+		placed := false
+		for bi, bag := range dec.Bags {
+			if bagContains(bag, a.args, id) {
+				bagAtoms[bi] = append(bagAtoms[bi], ai)
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			return nil, fmt.Errorf("eval: atom %d not covered by any bag", ai)
+		}
+	}
+	// Materialise bag relations.
+	nodes := make([]node, len(dec.Bags))
+	for bi, bag := range dec.Bags {
+		elems := make([]int, len(bag))
+		for i, v := range bag {
+			elems[i] = back[v]
+		}
+		nodes[bi].rel = bagRelation(atoms, elems, db)
+	}
+	// Root the decomposition tree at the last bag.
+	adj := make([][]int, len(dec.Bags))
+	for _, e := range dec.Tree {
+		adj[e[0]] = append(adj[e[0]], e[1])
+		adj[e[1]] = append(adj[e[1]], e[0])
+	}
+	root := len(dec.Bags) - 1
+	for i := range nodes {
+		nodes[i].parent = -2 // unvisited marker
+	}
+	stack := []int{root}
+	nodes[root].parent = -1
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, w := range adj[u] {
+			if nodes[w].parent == -2 {
+				nodes[w].parent = u
+				nodes[u].children = append(nodes[u].children, w)
+				stack = append(stack, w)
+			}
+		}
+	}
+	for i := range nodes {
+		if nodes[i].parent == -2 {
+			return nil, fmt.Errorf("eval: decomposition tree is disconnected at bag %d", i)
+		}
+	}
+	return solveTree(nodes, tb.Dist), nil
+}
+
+func bagContains(bag []int, args []int, id map[int]int) bool {
+	in := map[int]bool{}
+	for _, v := range bag {
+		in[v] = true
+	}
+	for _, e := range args {
+		if !in[id[e]] {
+			return false
+		}
+	}
+	return true
+}
+
+// bagRelation computes the assignments of the bag's elements that
+// satisfy every atom of the tableau that fits inside the bag (a
+// superset of the assigned atoms, for stronger filtering). Variables
+// with no atom inside the bag range over the active domain of db.
+func bagRelation(atoms []patom, elems []int, db *relstr.Structure) rel {
+	inBag := map[int]bool{}
+	for _, e := range elems {
+		inBag[e] = true
+	}
+	// Sub-tableau: all atoms whose variables fit in the bag.
+	sub := relstr.New()
+	for _, a := range atoms {
+		ok := true
+		for _, e := range a.args {
+			if !inBag[e] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			sub.Add(a.rel, a.args...)
+		}
+	}
+	for _, e := range elems {
+		sub.AddElement(e)
+	}
+	out := rel{vars: append([]int{}, elems...)}
+	hom.Project(sub, db, nil, elems, func(vals []int) bool {
+		out.rows = append(out.rows, append([]int{}, vals...))
+		return true
+	})
+	return out
+}

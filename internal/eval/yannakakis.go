@@ -1,0 +1,208 @@
+package eval
+
+import (
+	"errors"
+
+	"cqapprox/internal/cq"
+	"cqapprox/internal/hypergraph"
+	"cqapprox/internal/relstr"
+)
+
+// ErrNotAcyclic is returned by Yannakakis for cyclic queries.
+var ErrNotAcyclic = errors.New("eval: query is not acyclic")
+
+// atomList extracts the atoms of a tableau in the deterministic order
+// used by hypergraph.FromStructure (relations sorted, tuples in
+// insertion order), so atom i corresponds to hypergraph edge i.
+func atomList(s *relstr.Structure) []patom {
+	var out []patom
+	for _, rel := range s.Relations() {
+		for _, t := range s.Tuples(rel) {
+			out = append(out, patom{rel: rel, args: append([]int{}, t...)})
+		}
+	}
+	return out
+}
+
+type patom struct {
+	rel  string
+	args []int
+}
+
+// distinctVars returns the atom's distinct variables in order of first
+// occurrence.
+func (a patom) distinctVars() []int {
+	seen := map[int]bool{}
+	var out []int
+	for _, v := range a.args {
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// atomRelation materialises the relation of one atom against db:
+// assignments of the atom's distinct variables realised by db tuples
+// matching the atom's repetition pattern.
+func atomRelation(a patom, db *relstr.Structure) rel {
+	vars := a.distinctVars()
+	pos := map[int]int{} // variable → first position
+	for i, v := range a.args {
+		if _, ok := pos[v]; !ok {
+			pos[v] = i
+		}
+	}
+	out := rel{vars: vars}
+	seen := map[string]bool{}
+tuples:
+	for _, t := range db.Tuples(a.rel) {
+		if len(t) != len(a.args) {
+			continue
+		}
+		// Repetition pattern: equal variables need equal values.
+		for i, v := range a.args {
+			if t[pos[v]] != t[i] {
+				continue tuples
+			}
+		}
+		row := make([]int, len(vars))
+		for i, v := range vars {
+			row[i] = t[pos[v]]
+		}
+		k := key(row)
+		if !seen[k] {
+			seen[k] = true
+			out.rows = append(out.rows, row)
+		}
+	}
+	return out
+}
+
+// buildJoinForest converts a hypergraph join tree into rooted nodes
+// with materialised atom relations.
+func buildJoinForest(atoms []patom, jt hypergraph.JoinTree, db *relstr.Structure) []node {
+	nodes := make([]node, len(atoms))
+	for i, a := range atoms {
+		nodes[i].rel = atomRelation(a, db)
+		nodes[i].parent = jt.Parent[i]
+	}
+	for i, p := range jt.Parent {
+		if p >= 0 {
+			nodes[p].children = append(nodes[p].children, i)
+		}
+	}
+	return nodes
+}
+
+// Yannakakis evaluates an acyclic CQ with the classical semijoin
+// algorithm: join-tree construction by GYO, a leaves→root and a
+// root→leaves semijoin pass, then a bottom-up join projected onto the
+// free variables. Returns ErrNotAcyclic for cyclic queries.
+func Yannakakis(q *cq.Query, db *relstr.Structure) (Answers, error) {
+	tb := q.Tableau()
+	h := hypergraph.FromStructure(tb.S)
+	jt, ok := h.GYO()
+	if !ok {
+		return nil, ErrNotAcyclic
+	}
+	atoms := atomList(tb.S)
+	nodes := buildJoinForest(atoms, jt, db)
+	return solveTree(nodes, tb.Dist), nil
+}
+
+// YannakakisBool evaluates a Boolean acyclic CQ with only the
+// leaves→root semijoin pass — the O(|D|·|Q|) check the paper's
+// introduction quotes. For non-Boolean q it reports whether q has at
+// least one answer.
+func YannakakisBool(q *cq.Query, db *relstr.Structure) (bool, error) {
+	tb := q.Tableau()
+	h := hypergraph.FromStructure(tb.S)
+	jt, ok := h.GYO()
+	if !ok {
+		return false, ErrNotAcyclic
+	}
+	atoms := atomList(tb.S)
+	nodes := buildJoinForest(atoms, jt, db)
+	var postorder func(i int, out *[]int)
+	postorder = func(i int, out *[]int) {
+		for _, c := range nodes[i].children {
+			postorder(c, out)
+		}
+		*out = append(*out, i)
+	}
+	for i := range nodes {
+		if nodes[i].parent != -1 {
+			continue
+		}
+		var order []int
+		postorder(i, &order)
+		for _, u := range order {
+			for _, c := range nodes[u].children {
+				nodes[u].rel = semijoin(nodes[u].rel, nodes[c].rel)
+			}
+			if len(nodes[u].rows) == 0 {
+				return false, nil
+			}
+		}
+	}
+	return true, nil
+}
+
+// SemijoinProgram describes the reduction schedule Yannakakis runs —
+// useful for inspection and teaching output in the CLI.
+type SemijoinProgram struct {
+	Atoms []string // rendered atoms, index-aligned with the join tree
+	Steps [][2]int // (target, source) semijoin steps, bottom-up then top-down
+	Tree  []int    // parent per atom (-1 for roots)
+}
+
+// Program returns the semijoin program Yannakakis would execute for q.
+func Program(q *cq.Query) (*SemijoinProgram, error) {
+	tb := q.Tableau()
+	h := hypergraph.FromStructure(tb.S)
+	jt, ok := h.GYO()
+	if !ok {
+		return nil, ErrNotAcyclic
+	}
+	atoms := atomList(tb.S)
+	prog := &SemijoinProgram{Tree: jt.Parent}
+	for _, a := range atoms {
+		prog.Atoms = append(prog.Atoms, cq.Atom{Rel: a.rel, Args: varNames(a.args, tb.Var)}.String())
+	}
+	children := jt.Children()
+	var post func(i int)
+	post = func(i int) {
+		for _, c := range children[i] {
+			post(c)
+			prog.Steps = append(prog.Steps, [2]int{i, c})
+		}
+	}
+	var pre func(i int)
+	pre = func(i int) {
+		for _, c := range children[i] {
+			prog.Steps = append(prog.Steps, [2]int{c, i})
+			pre(c)
+		}
+	}
+	for _, r := range jt.Roots() {
+		post(r)
+	}
+	for _, r := range jt.Roots() {
+		pre(r)
+	}
+	return prog, nil
+}
+
+func varNames(args []int, names map[int]string) []string {
+	out := make([]string, len(args))
+	for i, e := range args {
+		if n, ok := names[e]; ok {
+			out[i] = n
+		} else {
+			out[i] = relstr.Tuple{e}.Key()
+		}
+	}
+	return out
+}

@@ -1,0 +1,325 @@
+package gadgets
+
+import (
+	"fmt"
+	"strings"
+
+	"cqapprox/internal/digraph"
+	"cqapprox/internal/relstr"
+)
+
+// This file builds the machinery of Theorem 4.12 (DP-completeness of
+// Graph Acyclic Approximation): the incomparable oriented paths P_i,
+// the connector paths P_ij and P_ijk, the balanced gadget Q*, the
+// acyclic targets T_1…T_5 and the big target T, and the extended
+// choosers of Claim 8.9. Each construction follows the appendix
+// verbatim; the test suite verifies Claims 8.1–8.9 computationally.
+
+// PiDesc returns the description string of P_i = 0^{i+1} 1 0^{11−i}
+// for 1 ≤ i ≤ 9 (all have net length 11 and are incomparable cores).
+func PiDesc(i int) string {
+	if i < 1 || i > 9 {
+		panic(fmt.Sprintf("gadgets: PiDesc(%d) out of range", i))
+	}
+	return strings.Repeat("0", i+1) + "1" + strings.Repeat("0", 11-i)
+}
+
+// Pi returns the oriented path P_i.
+func Pi(i int) digraph.OrientedPath {
+	return digraph.OrientedPathFromString(PiDesc(i))
+}
+
+// PijDesc returns P_ij = 0^{i+1} 1 0 0^{j−i} 1 0^{11−j} (Claim 8.1):
+// an oriented path mapping into P_i and P_j but no other P_k.
+func PijDesc(i, j int) string {
+	if i < 1 || j <= i || j > 9 {
+		panic(fmt.Sprintf("gadgets: PijDesc(%d,%d) out of range", i, j))
+	}
+	return strings.Repeat("0", i+1) + "1" + "0" + strings.Repeat("0", j-i) + "1" + strings.Repeat("0", 11-j)
+}
+
+// Pij returns the oriented path P_ij.
+func Pij(i, j int) digraph.OrientedPath {
+	return digraph.OrientedPathFromString(PijDesc(i, j))
+}
+
+// PijkDesc returns P_ijk = 0^{i+1} 1 0 0^{j−i} 1 0 0^{k−j} 1 0^{11−k}
+// (Claim 8.2): maps into P_i, P_j, P_k and no other P_ℓ.
+func PijkDesc(i, j, k int) string {
+	if i < 1 || j <= i || k <= j || k > 9 {
+		panic(fmt.Sprintf("gadgets: PijkDesc(%d,%d,%d) out of range", i, j, k))
+	}
+	return strings.Repeat("0", i+1) + "1" + "0" + strings.Repeat("0", j-i) + "1" + "0" + strings.Repeat("0", k-j) + "1" + strings.Repeat("0", 11-k)
+}
+
+// Pijk returns the oriented path P_ijk.
+func Pijk(i, j, k int) digraph.OrientedPath {
+	return digraph.OrientedPathFromString(PijkDesc(i, j, k))
+}
+
+// QStar is the digraph Q* of Figure 7, with handles on its named nodes.
+type QStar struct {
+	G *relstr.Structure
+	X int    // initial node (level 0)
+	Y int    // terminal node (level 25)
+	A [9]int // A[1..8] are the hub nodes a1..a8
+}
+
+// NewQStar builds Q*: the balanced cycle (a1,…,a8,a1) with orientation
+// string 01010101; for odd i, a_i is the terminal node of a fresh copy
+// of P_i, for even i its initial node; and two fresh nodes x, y with
+// edges x → init(P1-copy) and term(P8-copy) → y.
+func NewQStar() QStar {
+	var q QStar
+	g := digraph.New()
+	for i := 1; i <= 8; i++ {
+		q.A[i] = i - 1 // a1..a8 are elements 0..7
+	}
+	// Cycle edges per "01010101": 0 = a_i→a_{i+1}, 1 = a_{i+1}→a_i
+	// (indices mod 8).
+	for i := 1; i <= 8; i++ {
+		next := i%8 + 1
+		if i%2 == 1 {
+			digraph.AddEdge(g, q.A[i], q.A[next])
+		} else {
+			digraph.AddEdge(g, q.A[next], q.A[i])
+		}
+	}
+	var p1Init, p8Term int
+	for i := 1; i <= 8; i++ {
+		p := Pi(i).AsPointed()
+		if i%2 == 1 {
+			// a_i = terminal of P_i: glue reversed at a_i; the returned
+			// free end is the path's initial node.
+			var free int
+			g, free = digraph.GlueAt(g, q.A[i], p.Reverse())
+			if i == 1 {
+				p1Init = free
+			}
+		} else {
+			var free int
+			g, free = digraph.GlueAt(g, q.A[i], p)
+			if i == 8 {
+				p8Term = free
+			}
+		}
+	}
+	// x and y.
+	x := maxElem(g) + 1
+	y := x + 1
+	digraph.AddEdge(g, x, p1Init)
+	digraph.AddEdge(g, p8Term, y)
+	q.G = g
+	q.X, q.Y = x, y
+	return q
+}
+
+func maxElem(s *relstr.Structure) int {
+	m := -1
+	for _, e := range s.Domain() {
+		if e > m {
+			m = e
+		}
+	}
+	return m
+}
+
+// Ti returns the acyclic digraph T_i (1 ≤ i ≤ 4) of the reduction:
+// Q* with hub identifications
+//
+//	T1: a1≡a7, a2≡a6, a3≡a5
+//	T2: a8≡a6, a1≡a5, a2≡a4
+//	T3: a7≡a5, a8≡a4, a1≡a3
+//	T4: a6≡a4, a7≡a3, a8≡a2
+//
+// returned as a pointed digraph from x (level 0) to y (level 25).
+func Ti(i int) digraph.Pointed {
+	q := NewQStar()
+	pairs := [5][3][2]int{
+		{},                       // unused
+		{{1, 7}, {2, 6}, {3, 5}}, // T1
+		{{8, 6}, {1, 5}, {2, 4}}, // T2
+		{{7, 5}, {8, 4}, {1, 3}}, // T3
+		{{6, 4}, {7, 3}, {8, 2}}, // T4
+	}
+	if i < 1 || i > 4 {
+		panic(fmt.Sprintf("gadgets: Ti(%d) out of range", i))
+	}
+	ident := map[int]int{}
+	for _, pr := range pairs[i] {
+		ident[q.A[pr[0]]] = q.A[pr[1]]
+	}
+	g := q.G.Map(func(e int) int {
+		if r, ok := ident[e]; ok {
+			return r
+		}
+		return e
+	})
+	return digraph.Pointed{G: g, Init: q.X, Term: q.Y}
+}
+
+// T5 returns the acyclic digraph T_5 of Figure 11: x5 → P1 → P8 → y5
+// with two extra copies of P9 — one whose terminal node is identified
+// with the terminal node of P1, one whose initial node is identified
+// with the initial node of P8.
+func T5() digraph.Pointed {
+	p1 := Pi(1).AsPointed()
+	p8 := Pi(8).AsPointed()
+	g := digraph.New()
+	digraph.AddEdge(g, 0, 1) // x5 → p1init
+	var p1term int
+	g, p1term = digraph.GlueAt(g, 1, p1)
+	next := maxElem(g) + 1
+	digraph.AddEdge(g, p1term, next) // term(P1) → init(P8)
+	var p8term int
+	g, p8term = digraph.GlueAt(g, next, p8)
+	y5 := maxElem(g) + 1
+	digraph.AddEdge(g, p8term, y5)
+	// P9 copy with terminal ≡ term(P1).
+	p9 := Pi(9).AsPointed()
+	g, _ = digraph.GlueAt(g, p1term, p9.Reverse())
+	// P9 copy with initial ≡ init(P8).
+	g, _ = digraph.GlueAt(g, next, p9)
+	return digraph.Pointed{G: g, Init: 0, Term: y5}
+}
+
+// Tij returns the acyclic branch digraph T_ij of Claim 8.5 for
+// (i,j) ∈ {(1,5),(2,5),(3,5),(1,2),(1,3),(2,3)}: the spine
+// p1 → P1 → P8 → p2 with a copy of X_ij whose terminal node is
+// identified with the terminal node of P1. The X_ij are
+// X15=P79, X25=P59, X35=P39, X12=P57, X13=P37, X23=P35.
+func Tij(i, j int) digraph.Pointed {
+	x, ok := map[[2]int]digraph.OrientedPath{
+		{1, 5}: Pij(7, 9),
+		{2, 5}: Pij(5, 9),
+		{3, 5}: Pij(3, 9),
+		{1, 2}: Pij(5, 7),
+		{1, 3}: Pij(3, 7),
+		{2, 3}: Pij(3, 5),
+	}[[2]int{i, j}]
+	if !ok {
+		panic(fmt.Sprintf("gadgets: Tij(%d,%d) not defined", i, j))
+	}
+	return spineWith(x.AsPointed(), true)
+}
+
+// Tijk returns T_ijk of Claim 8.6 for (1,2,5), (2,4,5), (3,4,5):
+// T125 attaches P579 at the terminal node of P1; T245 and T345 attach
+// X245=P269 and X345=P249 at the initial node of P8.
+func Tijk(i, j, k int) digraph.Pointed {
+	switch [3]int{i, j, k} {
+	case [3]int{1, 2, 5}:
+		return spineWith(Pijk(5, 7, 9).AsPointed(), true)
+	case [3]int{2, 4, 5}:
+		return spineWith(Pijk(2, 6, 9).AsPointed(), false)
+	case [3]int{3, 4, 5}:
+		return spineWith(Pijk(2, 4, 9).AsPointed(), false)
+	default:
+		panic(fmt.Sprintf("gadgets: Tijk(%d,%d,%d) not defined", i, j, k))
+	}
+}
+
+// spineWith builds p1 → P1 → P8 → p2 and glues the branch: terminal of
+// branch to terminal of P1 when atP1Term, else initial of branch to
+// initial of P8.
+func spineWith(branch digraph.Pointed, atP1Term bool) digraph.Pointed {
+	p1 := Pi(1).AsPointed()
+	p8 := Pi(8).AsPointed()
+	g := digraph.New()
+	digraph.AddEdge(g, 0, 1)
+	var p1term int
+	g, p1term = digraph.GlueAt(g, 1, p1)
+	p8init := maxElem(g) + 1
+	digraph.AddEdge(g, p1term, p8init)
+	var p8term int
+	g, p8term = digraph.GlueAt(g, p8init, p8)
+	p2 := maxElem(g) + 1
+	digraph.AddEdge(g, p8term, p2)
+	if atP1Term {
+		g, _ = digraph.GlueAt(g, p1term, branch.Reverse())
+	} else {
+		g, _ = digraph.GlueAt(g, p8init, branch)
+	}
+	return digraph.Pointed{G: g, Init: 0, Term: p2}
+}
+
+// BigT is the acyclic target T of Figure 14: the four branches
+// T_i·T_5⁻¹ with all initial nodes identified into V. TNode[i] is t_i
+// (the junction y_i ≡ y_5 of branch i, level 25) and UNode[i] is u_i
+// (the x_5 end of branch i, level 0), for 1 ≤ i ≤ 4.
+type BigT struct {
+	G     *relstr.Structure
+	V     int
+	TNode [5]int
+	UNode [5]int
+}
+
+// NewBigT assembles T.
+func NewBigT() BigT {
+	var out BigT
+	acc := digraph.New()
+	acc.AddElement(0) // v
+	out.V = 0
+	for i := 1; i <= 4; i++ {
+		branch := digraph.Concat(Ti(i), T5().Reverse())
+		// branch: Init = x_i, Term = x5-end (u_i); junction t_i is the
+		// Term of Ti, which Concat identified with T5's y5. Recover it:
+		// it is the Ti part's Term (offset 0 in Concat's left operand).
+		junction := Ti(i).Term
+		merged, off := relstr.DisjointUnion(acc, branch.G)
+		// Identify branch init with v.
+		init := branch.Init + off
+		merged = merged.Map(func(e int) int {
+			if e == init {
+				return out.V
+			}
+			return e
+		})
+		acc = merged
+		out.TNode[i] = junction + off
+		out.UNode[i] = branch.Term + off
+	}
+	out.G = acc
+	return out
+}
+
+// ExtChooser bundles an extended chooser with its distinguished nodes
+// a and b (both at level 25).
+type ExtChooser struct {
+	G    *relstr.Structure
+	A, B int
+}
+
+// NewExtChooser21 builds S̃21 = T12 · T125⁻¹ · T345 (Claim 8.9, an
+// extended (2,1)-chooser): a is the terminal node of the T12 part and
+// b the overall terminal node.
+func NewExtChooser21() ExtChooser {
+	t12 := Tij(1, 2)
+	t125 := Tijk(1, 2, 5)
+	t345 := Tijk(3, 4, 5)
+	part1 := digraph.Concat(t12, t125.Reverse())
+	whole := digraph.Concat(part1, t345)
+	// a = junction between T12 and T125⁻¹ = t12.Term (left operand keeps
+	// its element ids in Concat).
+	return ExtChooser{G: whole.G, A: t12.Term, B: whole.Term}
+}
+
+// NewExtChooser34 builds S̃34 = T12·T25⁻¹·T35·T15⁻¹·T245·T35⁻¹·T15
+// (Claim 8.9, an extended (3,4)-chooser).
+func NewExtChooser34() ExtChooser {
+	t12 := Tij(1, 2)
+	pieces := []digraph.Pointed{
+		t12,
+		Tij(2, 5).Reverse(),
+		Tij(3, 5),
+		Tij(1, 5).Reverse(),
+		Tijk(2, 4, 5),
+		Tij(3, 5).Reverse(),
+		Tij(1, 5),
+	}
+	whole := pieces[0]
+	for _, p := range pieces[1:] {
+		whole = digraph.Concat(whole, p)
+	}
+	return ExtChooser{G: whole.G, A: t12.Term, B: whole.Term}
+}

@@ -1,0 +1,267 @@
+package gadgets
+
+import (
+	"testing"
+
+	"cqapprox/internal/digraph"
+	"cqapprox/internal/hom"
+)
+
+func TestPiPaths(t *testing.T) {
+	for i := 1; i <= 9; i++ {
+		if nl := digraph.NetLength(PiDesc(i)); nl != 11 {
+			t.Errorf("net length of P%d = %d, want 11", i, nl)
+		}
+		if len(PiDesc(i)) != 13 {
+			t.Errorf("P%d has %d edges, want 13", i, len(PiDesc(i)))
+		}
+	}
+}
+
+func TestPiIncomparableCores(t *testing.T) {
+	paths := make([]digraph.OrientedPath, 10)
+	for i := 1; i <= 9; i++ {
+		paths[i] = Pi(i)
+	}
+	for i := 1; i <= 9; i++ {
+		if !hom.IsCore(paths[i].G, nil) {
+			t.Errorf("P%d is not a core", i)
+		}
+		for j := 1; j <= 9; j++ {
+			if i == j {
+				continue
+			}
+			if hom.Exists(paths[i].G, paths[j].G, nil) {
+				t.Errorf("P%d → P%d should not hold", i, j)
+			}
+		}
+	}
+}
+
+// Claim 8.1: P_ij → P_i, P_ij → P_j, P_ij ↛ P_k for k ∉ {i,j}.
+func TestClaim81Connectors(t *testing.T) {
+	pairs := [][2]int{{7, 9}, {5, 9}, {3, 9}, {5, 7}, {3, 7}, {3, 5}, {2, 6}, {2, 4}}
+	for _, pr := range pairs {
+		i, j := pr[0], pr[1]
+		pij := Pij(i, j)
+		for k := 1; k <= 9; k++ {
+			want := k == i || k == j
+			got := hom.Exists(pij.G, Pi(k).G, nil)
+			if got != want {
+				t.Errorf("P%d%d → P%d = %v, want %v", i, j, k, got, want)
+			}
+		}
+	}
+}
+
+// Claim 8.2: P_ijk maps exactly into P_i, P_j, P_k.
+func TestClaim82Connectors(t *testing.T) {
+	triples := [][3]int{{5, 7, 9}, {2, 6, 9}, {2, 4, 9}}
+	for _, tr := range triples {
+		i, j, k := tr[0], tr[1], tr[2]
+		p := Pijk(i, j, k)
+		for l := 1; l <= 9; l++ {
+			want := l == i || l == j || l == k
+			got := hom.Exists(p.G, Pi(l).G, nil)
+			if got != want {
+				t.Errorf("P%d%d%d → P%d = %v, want %v", i, j, k, l, got, want)
+			}
+		}
+	}
+}
+
+func TestQStarShape(t *testing.T) {
+	q := NewQStar()
+	if !digraph.IsBalanced(q.G) {
+		t.Fatal("Q* must be balanced")
+	}
+	if !digraph.IsConnected(q.G) {
+		t.Fatal("Q* must be connected")
+	}
+	if digraph.IsForestLike(q.G) {
+		t.Fatal("Q* contains the hub cycle")
+	}
+	if h := digraph.Height(q.G); h != 25 {
+		t.Fatalf("hg(Q*) = %d, want 25", h)
+	}
+	lv, _ := digraph.Levels(q.G)
+	for v, l := range lv {
+		if l == 0 && v != q.X {
+			t.Fatalf("extra level-0 node %d", v)
+		}
+		if l == 25 && v != q.Y {
+			t.Fatalf("extra level-25 node %d", v)
+		}
+	}
+	// Hub levels from Figure 8: odd hubs at 12, even hubs at 13.
+	for i := 1; i <= 8; i++ {
+		want := 12
+		if i%2 == 0 {
+			want = 13
+		}
+		if lv[q.A[i]] != want {
+			t.Errorf("level(a%d) = %d, want %d", i, lv[q.A[i]], want)
+		}
+	}
+}
+
+func TestTiAcyclicHeight25(t *testing.T) {
+	for i := 1; i <= 4; i++ {
+		ti := Ti(i)
+		if !digraph.IsForestLike(ti.G) {
+			t.Errorf("T%d is not acyclic", i)
+		}
+		if !digraph.IsBalanced(ti.G) || digraph.Height(ti.G) != 25 {
+			t.Errorf("T%d must be balanced of height 25", i)
+		}
+		lv, _ := digraph.Levels(ti.G)
+		if lv[ti.Init] != 0 || lv[ti.Term] != 25 {
+			t.Errorf("T%d: endpoints at levels %d/%d", i, lv[ti.Init], lv[ti.Term])
+		}
+	}
+	t5 := T5()
+	if !digraph.IsForestLike(t5.G) || digraph.Height(t5.G) != 25 {
+		t.Error("T5 must be acyclic of height 25")
+	}
+}
+
+// Q* maps into every T_i via the identification homomorphism, and
+// (Claim 8.3) that homomorphism is unique.
+func TestClaim83UniqueHom(t *testing.T) {
+	q := NewQStar()
+	for i := 1; i <= 4; i++ {
+		ti := Ti(i)
+		allowed, ok := digraph.LevelRestriction(q.G, ti.G)
+		if !ok {
+			t.Fatalf("level restriction must apply for Q* → T%d", i)
+		}
+		n := hom.CountRestricted(q.G, ti.G, nil, allowed)
+		if n != 1 {
+			t.Errorf("Q* → T%d has %d homomorphisms, want 1 (Claim 8.3)", i, n)
+		}
+	}
+}
+
+// T5 is incomparable with Q* and with each T_i.
+func TestT5Incomparable(t *testing.T) {
+	q := NewQStar()
+	t5 := T5()
+	if digraph.ExistsHomLeveled(q.G, t5.G) {
+		t.Error("Q* → T5 should not hold")
+	}
+	if digraph.ExistsHomLeveled(t5.G, q.G) {
+		t.Error("T5 → Q* should not hold")
+	}
+	for i := 1; i <= 4; i++ {
+		ti := Ti(i)
+		if digraph.ExistsHomLeveled(ti.G, t5.G) {
+			t.Errorf("T%d → T5 should not hold", i)
+		}
+		if digraph.ExistsHomLeveled(t5.G, ti.G) {
+			t.Errorf("T5 → T%d should not hold", i)
+		}
+	}
+}
+
+// T1..T4 are pairwise incomparable cores.
+func TestTiPairwiseIncomparable(t *testing.T) {
+	tis := make([]digraph.Pointed, 5)
+	for i := 1; i <= 4; i++ {
+		tis[i] = Ti(i)
+	}
+	for i := 1; i <= 4; i++ {
+		for j := 1; j <= 4; j++ {
+			if i == j {
+				continue
+			}
+			if digraph.ExistsHomLeveled(tis[i].G, tis[j].G) {
+				t.Errorf("T%d → T%d should not hold", i, j)
+			}
+		}
+	}
+}
+
+func TestTiAreCores(t *testing.T) {
+	if testing.Short() {
+		t.Skip("core checks on ~110-node digraphs")
+	}
+	for i := 1; i <= 4; i++ {
+		if !digraph.IsCoreBalanced(Ti(i).G) {
+			t.Errorf("T%d should be a core", i)
+		}
+	}
+	if !digraph.IsCoreBalanced(T5().G) {
+		t.Error("T5 should be a core")
+	}
+}
+
+func TestBigTShape(t *testing.T) {
+	bt := NewBigT()
+	if !digraph.IsForestLike(bt.G) {
+		t.Fatal("T must be acyclic")
+	}
+	if !digraph.IsBalanced(bt.G) || digraph.Height(bt.G) != 25 {
+		t.Fatal("T must be balanced of height 25")
+	}
+	lv, _ := digraph.Levels(bt.G)
+	if lv[bt.V] != 0 {
+		t.Fatalf("level(v) = %d, want 0", lv[bt.V])
+	}
+	for i := 1; i <= 4; i++ {
+		if lv[bt.TNode[i]] != 25 {
+			t.Errorf("level(t%d) = %d, want 25", i, lv[bt.TNode[i]])
+		}
+		if lv[bt.UNode[i]] != 0 {
+			t.Errorf("level(u%d) = %d, want 0", i, lv[bt.UNode[i]])
+		}
+	}
+	// The only level-25 nodes are t1..t4 and the only level-0 nodes are
+	// v, u1..u4 (Figure 14).
+	zero, top := 0, 0
+	for _, l := range lv {
+		switch l {
+		case 0:
+			zero++
+		case 25:
+			top++
+		}
+	}
+	if zero != 5 || top != 4 {
+		t.Fatalf("level-0 nodes = %d (want 5), level-25 nodes = %d (want 4)", zero, top)
+	}
+}
+
+// Claim 8.9: the extended choosers realise exactly the specified
+// (h(a), h(b)) pairs over homomorphisms into T.
+func TestClaim89ExtendedChoosers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chooser × T homomorphism table")
+	}
+	bt := NewBigT()
+	check := func(name string, ch ExtChooser, allowedPairs map[[2]int]bool) {
+		lr, ok := digraph.LevelRestriction(ch.G, bt.G)
+		if !ok {
+			t.Fatalf("%s: level restriction must apply", name)
+		}
+		for i := 1; i <= 4; i++ {
+			for j := 1; j <= 4; j++ {
+				pre := map[int]int{ch.A: bt.TNode[i], ch.B: bt.TNode[j]}
+				got := hom.ExistsRestricted(ch.G, bt.G, pre, lr)
+				want := allowedPairs[[2]int{i, j}]
+				if got != want {
+					t.Errorf("%s: h(a)=t%d, h(b)=t%d: got %v, want %v", name, i, j, got, want)
+				}
+			}
+		}
+	}
+	// Extended (2,1)-chooser: a ∈ {t1,t2}; a=t1 ⇒ b≠t2; a=t2 ⇒ b≠t1.
+	check("S̃21", NewExtChooser21(), map[[2]int]bool{
+		{1, 1}: true, {1, 3}: true, {1, 4}: true,
+		{2, 2}: true, {2, 3}: true, {2, 4}: true,
+	})
+	// Extended (3,4)-chooser: a ∈ {t1,t2}; a=t1 ⇒ b≠t3; a=t2 ⇒ b≠t4.
+	check("S̃34", NewExtChooser34(), map[[2]int]bool{
+		{1, 1}: true, {1, 2}: true, {1, 4}: true,
+		{2, 1}: true, {2, 2}: true, {2, 3}: true,
+	})
+}

@@ -1,0 +1,16 @@
+package gadgets
+
+import "cqapprox/internal/relstr"
+
+// partitionsHelper runs fn over the quotient maps induced by all set
+// partitions of dom.
+func partitionsHelper(dom []int, fn func(func(int) int) bool) {
+	relstr.Partitions(dom, func(p relstr.Partition) bool {
+		return fn(func(e int) int {
+			if r, ok := p[e]; ok {
+				return r
+			}
+			return e
+		})
+	})
+}

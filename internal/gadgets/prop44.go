@@ -1,0 +1,165 @@
+// Package gadgets constructs the digraph families the paper uses in its
+// proofs: the exponential-approximation family of Proposition 4.4, the
+// DP-hardness reduction of Theorem 4.12 (oriented paths P_i, the gadget
+// Q*, the acyclic targets T_1…T_5 and T, choosers, and ϕ(G)), and the
+// tight-approximation family of Proposition 5.6. They serve as test
+// vectors and as workloads for the hardness experiments.
+package gadgets
+
+import (
+	"fmt"
+
+	"cqapprox/internal/digraph"
+	"cqapprox/internal/relstr"
+)
+
+// Prop44P1 and Prop44P2 are the incomparable core oriented paths of
+// Proposition 4.4.
+const (
+	Prop44P1 = "001000"
+	Prop44P2 = "000100"
+)
+
+// DGadget is the digraph D of Figure 3 with its named nodes.
+type DGadget struct {
+	G *relstr.Structure
+	// The four hub nodes.
+	A, B, C, D int
+	// P1In is the initial (free) node of the copy of P1 whose terminal
+	// node is a; P2In likewise ends at c.
+	P1In, P2In int
+	// P1Out is the terminal (free) node of the copy of P1 starting at b;
+	// P2Out likewise starts at d.
+	P1Out, P2Out int
+}
+
+// NewD builds the digraph D of Proposition 4.4 (Figure 3): hub edges
+// (a,b), (a,d), (c,b), (c,d); copies of P1, P2 hanging from b and d
+// (identified at their initial nodes); and copies of P1, P2 entering a
+// and c (identified at their terminal nodes).
+func NewD() DGadget {
+	const (
+		a, b, c, d = 0, 1, 2, 3
+	)
+	g := digraph.FromEdges([2]int{a, b}, [2]int{a, d}, [2]int{c, b}, [2]int{c, d})
+	p1 := digraph.OrientedPathFromString(Prop44P1).AsPointed()
+	p2 := digraph.OrientedPathFromString(Prop44P2).AsPointed()
+	var out DGadget
+	out.A, out.B, out.C, out.D = a, b, c, d
+	// P1 from b (identify initial node with b).
+	g, t1 := digraph.GlueAt(g, b, p1)
+	out.P1Out = t1
+	// P2 from d.
+	g, t2 := digraph.GlueAt(g, d, p2)
+	out.P2Out = t2
+	// P1 into a (identify terminal node with a): glue reversed.
+	g, i1 := digraph.GlueAt(g, a, p1.Reverse())
+	out.P1In = i1
+	// P2 into c.
+	g, i2 := digraph.GlueAt(g, c, p2.Reverse())
+	out.P2In = i2
+	out.G = g
+	return out
+}
+
+// Dac returns the digraph D_ac: D with a and c identified.
+func Dac() *relstr.Structure {
+	d := NewD()
+	return d.G.Map(func(e int) int {
+		if e == d.C {
+			return d.A
+		}
+		return e
+	})
+}
+
+// Dbd returns the digraph D_bd: D with b and d identified.
+func Dbd() *relstr.Structure {
+	d := NewD()
+	return d.G.Map(func(e int) int {
+		if e == d.D {
+			return d.B
+		}
+		return e
+	})
+}
+
+// GnGadget is the family G_n of Proposition 4.4, with the handles
+// needed to apply the V/H identifications.
+type GnGadget struct {
+	G *relstr.Structure
+	// Per copy of D: the a,b,c,d hubs (already offset).
+	Copies []DGadget
+}
+
+// NewGn builds G_n: n disjoint copies of D, with an edge from the
+// terminal node of the i-th copy's P2-from-d path to the initial node
+// of the (i+1)-st copy's P1-into-a path.
+func NewGn(n int) GnGadget {
+	if n < 1 {
+		panic("gadgets: NewGn requires n ≥ 1")
+	}
+	var out GnGadget
+	acc := relstr.New()
+	acc.Declare(digraph.EdgeRel, 2)
+	for i := 0; i < n; i++ {
+		d := NewD()
+		merged, off := relstr.DisjointUnion(acc, d.G)
+		acc = merged
+		shifted := DGadget{
+			G: acc,
+			A: d.A + off, B: d.B + off, C: d.C + off, D: d.D + off,
+			P1In: d.P1In + off, P2In: d.P2In + off,
+			P1Out: d.P1Out + off, P2Out: d.P2Out + off,
+		}
+		out.Copies = append(out.Copies, shifted)
+		if i > 0 {
+			acc.Add(digraph.EdgeRel, out.Copies[i-1].P2Out, shifted.P1In)
+		}
+	}
+	out.G = acc
+	for i := range out.Copies {
+		out.Copies[i].G = acc
+	}
+	return out
+}
+
+// NewGns builds G_n^s for s ∈ {V,H}ⁿ: the i-th copy of D has a
+// identified with c when s[i] == 'V', and b identified with d when
+// s[i] == 'H'.
+func NewGns(n int, s string) *relstr.Structure {
+	if len(s) != n {
+		panic(fmt.Sprintf("gadgets: NewGns: len(s)=%d, want %d", len(s), n))
+	}
+	gn := NewGn(n)
+	ident := map[int]int{}
+	for i := 0; i < n; i++ {
+		cp := gn.Copies[i]
+		switch s[i] {
+		case 'V':
+			ident[cp.C] = cp.A
+		case 'H':
+			ident[cp.D] = cp.B
+		default:
+			panic(fmt.Sprintf("gadgets: NewGns: bad label %q", s[i]))
+		}
+	}
+	return gn.G.Map(func(e int) int {
+		if r, ok := ident[e]; ok {
+			return r
+		}
+		return e
+	})
+}
+
+// AllLabels enumerates {V,H}ⁿ in lexicographic order.
+func AllLabels(n int) []string {
+	if n == 0 {
+		return []string{""}
+	}
+	var out []string
+	for _, rest := range AllLabels(n - 1) {
+		out = append(out, "V"+rest, "H"+rest)
+	}
+	return out
+}

@@ -1,0 +1,165 @@
+package gadgets
+
+import (
+	"testing"
+
+	"cqapprox/internal/digraph"
+	"cqapprox/internal/hom"
+	"cqapprox/internal/relstr"
+)
+
+func TestDGadgetShape(t *testing.T) {
+	d := NewD()
+	// 4 hub edges + 4 oriented paths of 6 edges each.
+	if got := d.G.NumFacts(); got != 4+4*6 {
+		t.Fatalf("D has %d edges, want 28", got)
+	}
+	// The paper counts 28 variables per copy of D in Q_n.
+	if got := d.G.DomainSize(); got != 28 {
+		t.Fatalf("D has %d nodes, want 28", got)
+	}
+	if !digraph.IsBalanced(d.G) {
+		t.Fatal("D must be balanced")
+	}
+}
+
+func TestDacDbdBalancedHeight9(t *testing.T) {
+	ac, bd := Dac(), Dbd()
+	if !digraph.IsBalanced(ac) || !digraph.IsBalanced(bd) {
+		t.Fatal("D_ac and D_bd must be balanced")
+	}
+	if h := digraph.Height(ac); h != 9 {
+		t.Fatalf("hg(D_ac) = %d, want 9", h)
+	}
+	if h := digraph.Height(bd); h != 9 {
+		t.Fatalf("hg(D_bd) = %d, want 9", h)
+	}
+}
+
+// Claim 4.6: D_ac and D_bd are incomparable cores.
+func TestClaim46IncomparableCores(t *testing.T) {
+	ac, bd := Dac(), Dbd()
+	if hom.Exists(ac, bd, nil) {
+		t.Fatal("D_ac → D_bd should not hold")
+	}
+	if hom.Exists(bd, ac, nil) {
+		t.Fatal("D_bd → D_ac should not hold")
+	}
+	if !hom.IsCore(ac, nil) {
+		t.Fatal("D_ac should be a core")
+	}
+	if !hom.IsCore(bd, nil) {
+		t.Fatal("D_bd should be a core")
+	}
+}
+
+// G_n maps homomorphically onto each G_n^s (Claim 4.8's identification
+// homomorphism), and each G_n^s is forest-like (treewidth 1).
+func TestGnsContainedAndAcyclic(t *testing.T) {
+	for n := 1; n <= 2; n++ {
+		gn := NewGn(n)
+		if digraph.IsForestLike(gn.G) {
+			t.Fatalf("G_%d should be cyclic", n)
+		}
+		if got, want := gn.G.DomainSize(), 28*n; got != want {
+			t.Fatalf("G_%d has %d nodes, want %d (linear growth)", n, got, want)
+		}
+		if got, want := gn.G.NumFacts(), 29*n-1; got != want {
+			t.Fatalf("G_%d has %d edges, want %d (the paper's 29n−2 joins +1)", n, got, want)
+		}
+		for _, s := range AllLabels(n) {
+			gs := NewGns(n, s)
+			if !digraph.IsForestLike(gs) {
+				t.Errorf("G_%d^%s is not forest-like", n, s)
+			}
+			if !hom.Exists(gn.G, gs, nil) {
+				t.Errorf("G_%d ↛ G_%d^%s", n, n, s)
+			}
+			if !digraph.IsBalanced(gs) {
+				t.Errorf("G_%d^%s is not balanced", n, s)
+			}
+		}
+	}
+}
+
+// Claim 4.7: the G_n^s are pairwise incomparable cores — witnessing the
+// 2ⁿ lower bound of Proposition 4.4.
+func TestClaim47PairwiseIncomparableCores(t *testing.T) {
+	ns := []int{1, 2}
+	if testing.Short() {
+		ns = []int{1}
+	}
+	for _, n := range ns {
+		labels := AllLabels(n)
+		built := make(map[string]*relstr.Structure, len(labels))
+		for _, s := range labels {
+			built[s] = NewGns(n, s)
+		}
+		for _, s := range labels {
+			if !hom.IsCore(built[s], nil) {
+				t.Errorf("G_%d^%s is not a core", n, s)
+			}
+		}
+		for i, s := range labels {
+			for j, u := range labels {
+				if i == j {
+					continue
+				}
+				if digraph.ExistsHomLeveled(built[s], built[u]) {
+					t.Errorf("G_%d^%s → G_%d^%s should not hold", n, s, n, u)
+				}
+			}
+		}
+	}
+}
+
+// The level structure of G_n matches Figure 5: distinct copies of D
+// occupy disjoint level ranges, so homomorphisms cannot mix copies.
+func TestGnLevelSeparation(t *testing.T) {
+	gn := NewGn(2)
+	if !digraph.IsBalanced(gn.G) {
+		t.Fatal("G_2 must be balanced")
+	}
+	lv, _ := digraph.Levels(gn.G)
+	// Hub nodes of copy 1 sit strictly below hub nodes of copy 2.
+	max1 := 0
+	for _, v := range []int{gn.Copies[0].A, gn.Copies[0].B, gn.Copies[0].C, gn.Copies[0].D} {
+		if lv[v] > max1 {
+			max1 = lv[v]
+		}
+	}
+	min2 := 1 << 30
+	for _, v := range []int{gn.Copies[1].A, gn.Copies[1].B, gn.Copies[1].C, gn.Copies[1].D} {
+		if lv[v] < min2 {
+			min2 = lv[v]
+		}
+	}
+	if max1 >= min2 {
+		t.Fatalf("copy levels overlap: max1=%d min2=%d", max1, min2)
+	}
+}
+
+func TestAllLabels(t *testing.T) {
+	if got := AllLabels(0); len(got) != 1 || got[0] != "" {
+		t.Fatalf("AllLabels(0) = %v", got)
+	}
+	if got := AllLabels(3); len(got) != 8 {
+		t.Fatalf("AllLabels(3) has %d entries, want 8", len(got))
+	}
+	seen := map[string]bool{}
+	for _, s := range AllLabels(3) {
+		if len(s) != 3 || seen[s] {
+			t.Fatalf("bad label %q", s)
+		}
+		seen[s] = true
+	}
+}
+
+func TestNewGnsValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on bad label")
+		}
+	}()
+	NewGns(1, "X")
+}

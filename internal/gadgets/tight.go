@@ -1,0 +1,48 @@
+package gadgets
+
+import (
+	"cqapprox/internal/digraph"
+	"cqapprox/internal/relstr"
+)
+
+// NewGk builds the digraph G_k of Proposition 5.6 (tight acyclic
+// approximations): two disjoint directed paths x0→…→xk and y0→…→yk,
+// plus the cross edges (x_i, y_{i+2}) for 0 ≤ i ≤ k−2. For k ≥ 3,
+// G_k → P_{k+1} and there is no digraph strictly between G_k and
+// P_{k+1} in the homomorphism order, so the query with tableau P_{k+1}
+// is a tight acyclic approximation of the query with tableau G_k.
+func NewGk(k int) *relstr.Structure {
+	if k < 2 {
+		panic("gadgets: NewGk requires k ≥ 2")
+	}
+	g := digraph.New()
+	x := func(i int) int { return i }
+	y := func(i int) int { return k + 1 + i }
+	for i := 0; i < k; i++ {
+		digraph.AddEdge(g, x(i), x(i+1))
+		digraph.AddEdge(g, y(i), y(i+1))
+	}
+	for i := 0; i <= k-2; i++ {
+		digraph.AddEdge(g, x(i), y(i+2))
+	}
+	return g
+}
+
+// Example57 builds the tableau of the intro's query Q2 (also treated in
+// Example 5.7): two directed 3-paths with the cross edges E(x, z′) and
+// E(y, u′). Its unique acyclic approximation is P4.
+func Example57() *relstr.Structure {
+	g := digraph.New()
+	// First path x(0) → y(1) → z(2) → u(3).
+	digraph.AddEdge(g, 0, 1)
+	digraph.AddEdge(g, 1, 2)
+	digraph.AddEdge(g, 2, 3)
+	// Second path x'(4) → y'(5) → z'(6) → u'(7).
+	digraph.AddEdge(g, 4, 5)
+	digraph.AddEdge(g, 5, 6)
+	digraph.AddEdge(g, 6, 7)
+	// Cross edges E(x, z') and E(y, u').
+	digraph.AddEdge(g, 0, 6)
+	digraph.AddEdge(g, 1, 7)
+	return g
+}

@@ -1,0 +1,102 @@
+package hom
+
+import (
+	"cqapprox/internal/cq"
+	"cqapprox/internal/relstr"
+)
+
+// Core computes the core of the structure s with distinguished tuple
+// dist: a minimal retract of (s, dist). The returned retraction maps
+// each element of s to its image in the core; distinguished elements
+// are fixed pointwise. Cores are unique up to isomorphism
+// (Hell–Nešetřil), so the result is canonical up to renaming.
+//
+// The algorithm repeatedly looks for an endomorphism into the
+// substructure avoiding some element; any non-core structure admits one
+// that avoids at least one element, because a fact-losing endomorphism
+// of a finite structure cannot be injective on the active domain.
+func Core(s *relstr.Structure, dist []int) (*relstr.Structure, map[int]int) {
+	cur := s.Clone()
+	// retract maps original elements to their current images.
+	retract := map[int]int{}
+	for _, e := range s.Domain() {
+		retract[e] = e
+	}
+	fixed := map[int]bool{}
+	pre := map[int]int{}
+	for _, d := range dist {
+		fixed[d] = true
+		pre[d] = d
+	}
+	for {
+		improved := false
+		for _, v := range cur.Domain() {
+			if fixed[v] {
+				continue
+			}
+			sub := cur.Without(v)
+			h, ok := Find(cur, sub, pre)
+			if !ok {
+				continue
+			}
+			cur = cur.Map(func(e int) int { return h[e] })
+			for orig, img := range retract {
+				retract[orig] = h[img]
+			}
+			improved = true
+			break
+		}
+		if !improved {
+			return cur, retract
+		}
+	}
+}
+
+// IsCore reports whether (s, dist) is a core: no homomorphism into a
+// strictly contained substructure fixing dist pointwise.
+func IsCore(s *relstr.Structure, dist []int) bool {
+	pre := map[int]int{}
+	fixed := map[int]bool{}
+	for _, d := range dist {
+		pre[d] = d
+		fixed[d] = true
+	}
+	for _, v := range s.Domain() {
+		if fixed[v] {
+			continue
+		}
+		if Exists(s, s.Without(v), pre) {
+			return false
+		}
+	}
+	return true
+}
+
+// Minimize returns the canonical minimal CQ equivalent to q: the query
+// whose tableau is core(T_Q, x̄). Variable names from q are preserved
+// where the corresponding elements survive.
+func Minimize(q *cq.Query) *cq.Query {
+	tb := q.Tableau()
+	core, retract := Core(tb.S, tb.Dist)
+	dist := make([]int, len(tb.Dist))
+	for i, d := range tb.Dist {
+		dist[i] = retract[d]
+	}
+	names := map[int]string{}
+	for e, n := range tb.Var {
+		img := retract[e]
+		if img == e {
+			names[img] = n
+		}
+	}
+	out := cq.FromTableau(core, dist, names)
+	out.Name = q.Name
+	return out
+}
+
+// IsMinimized reports whether q's tableau is a core (i.e., q equals its
+// own minimization up to renaming).
+func IsMinimized(q *cq.Query) bool {
+	tb := q.Tableau()
+	return IsCore(tb.S, tb.Dist)
+}

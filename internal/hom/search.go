@@ -1,0 +1,562 @@
+// Package hom implements homomorphism search between relational
+// structures, along with the derived notions the paper builds on:
+// cores, CQ minimization, containment and equivalence of CQs, and the
+// homomorphism preorder on tableaux.
+//
+// The search is a backtracking constraint solver with per-position
+// indexes on the target, dynamic most-constrained-variable selection,
+// and candidate filtering through partially assigned atoms. It is exact
+// (CQ evaluation / homomorphism existence is NP-complete; the paper's
+// Section 2).
+package hom
+
+import (
+	"sort"
+
+	"cqapprox/internal/relstr"
+)
+
+// patom is an atom of the source structure, as element IDs.
+type patom struct {
+	rel  string
+	args []int
+}
+
+// relIndex indexes the target's tuples of one relation by position and
+// value.
+type relIndex struct {
+	tuples   []relstr.Tuple
+	byPosVal []map[int][]int // position → value → tuple indices
+}
+
+// problem is a compiled homomorphism-search instance from a to b.
+type problem struct {
+	atoms    []patom
+	varAtoms map[int][]int // source element → indices into atoms
+	varNbrs  map[int][]int // source element → co-occurring elements
+	idx      map[string]*relIndex
+	bDom     []int
+	posCand  map[int][]int // static candidate list per source element; nil = whole domain
+	aDom     []int
+	unsat    bool
+}
+
+func compile(a, b *relstr.Structure) *problem { return compileRestricted(a, b, nil) }
+
+// compileRestricted additionally intersects each source element's
+// candidates with allowed[e] when present (used for level-based
+// restrictions on balanced digraphs, Lemma 4.5).
+func compileRestricted(a, b *relstr.Structure, allowed map[int][]int) *problem {
+	p := &problem{
+		varAtoms: map[int][]int{},
+		varNbrs:  map[int][]int{},
+		idx:      map[string]*relIndex{},
+		posCand:  map[int][]int{},
+	}
+	p.bDom = b.Domain()
+	p.aDom = a.Domain()
+
+	for _, rel := range a.Relations() {
+		ts := a.Tuples(rel)
+		if len(ts) == 0 {
+			continue
+		}
+		bts := b.Tuples(rel)
+		if len(bts) == 0 {
+			p.unsat = true
+			return p
+		}
+		if _, ok := p.idx[rel]; !ok {
+			ri := &relIndex{tuples: bts, byPosVal: make([]map[int][]int, b.Arity(rel))}
+			for pos := range ri.byPosVal {
+				ri.byPosVal[pos] = map[int][]int{}
+			}
+			for ti, t := range bts {
+				for pos, v := range t {
+					ri.byPosVal[pos][v] = append(ri.byPosVal[pos][v], ti)
+				}
+			}
+			p.idx[rel] = ri
+		}
+		for _, t := range ts {
+			ai := len(p.atoms)
+			args := make([]int, len(t))
+			copy(args, t)
+			p.atoms = append(p.atoms, patom{rel: rel, args: args})
+			seen := map[int]bool{}
+			for _, e := range args {
+				if !seen[e] {
+					seen[e] = true
+					p.varAtoms[e] = append(p.varAtoms[e], ai)
+				}
+			}
+			for e := range seen {
+				for f := range seen {
+					if e != f {
+						p.varNbrs[e] = append(p.varNbrs[e], f)
+					}
+				}
+			}
+		}
+	}
+
+	// Static per-position candidate sets.
+	for _, e := range p.aDom {
+		var cand map[int]bool
+		if allowed != nil {
+			if list, ok := allowed[e]; ok {
+				cand = map[int]bool{}
+				for _, v := range list {
+					cand[v] = true
+				}
+			}
+		}
+		for _, ai := range p.varAtoms[e] {
+			at := p.atoms[ai]
+			ri := p.idx[at.rel]
+			for pos, arg := range at.args {
+				if arg != e {
+					continue
+				}
+				vals := map[int]bool{}
+				for v := range ri.byPosVal[pos] {
+					vals[v] = true
+				}
+				if cand == nil {
+					cand = vals
+				} else {
+					for v := range cand {
+						if !vals[v] {
+							delete(cand, v)
+						}
+					}
+				}
+			}
+		}
+		if cand == nil {
+			p.posCand[e] = nil // unconstrained element: whole target domain
+			continue
+		}
+		list := make([]int, 0, len(cand))
+		for v := range cand {
+			list = append(list, v)
+		}
+		sort.Ints(list)
+		if len(list) == 0 {
+			p.unsat = true
+			return p
+		}
+		p.posCand[e] = list
+	}
+	return p
+}
+
+// candidates returns the feasible target values for source element v
+// under the partial assignment, by filtering target tuples through
+// every atom of v that has at least one assigned argument.
+func (p *problem) candidates(v int, assign map[int]int) []int {
+	var cand map[int]bool
+	base := p.posCand[v]
+	if base == nil {
+		base = p.bDom
+	}
+	restrict := func(vals map[int]bool) {
+		if cand == nil {
+			cand = vals
+			return
+		}
+		for x := range cand {
+			if !vals[x] {
+				delete(cand, x)
+			}
+		}
+	}
+	for _, ai := range p.varAtoms[v] {
+		at := p.atoms[ai]
+		hasAssigned := false
+		for _, arg := range at.args {
+			if _, ok := assign[arg]; ok {
+				hasAssigned = true
+				break
+			}
+		}
+		if !hasAssigned {
+			continue
+		}
+		ri := p.idx[at.rel]
+		// Pick the assigned position with the fewest matching tuples.
+		bestPos, bestLen := -1, -1
+		for pos, arg := range at.args {
+			if val, ok := assign[arg]; ok {
+				l := len(ri.byPosVal[pos][val])
+				if bestPos == -1 || l < bestLen {
+					bestPos, bestLen = pos, l
+				}
+			}
+		}
+		val := assign[at.args[bestPos]]
+		vals := map[int]bool{}
+	tuples:
+		for _, ti := range ri.byPosVal[bestPos][val] {
+			t := ri.tuples[ti]
+			// Full pattern check: assigned args must match; repeated
+			// unassigned vars must agree within the tuple.
+			pat := map[int]int{}
+			for pos, arg := range at.args {
+				if w, ok := assign[arg]; ok {
+					if t[pos] != w {
+						continue tuples
+					}
+					continue
+				}
+				if prev, ok := pat[arg]; ok {
+					if prev != t[pos] {
+						continue tuples
+					}
+				} else {
+					pat[arg] = t[pos]
+				}
+			}
+			if w, ok := pat[v]; ok {
+				vals[w] = true
+			}
+		}
+		restrict(vals)
+		if len(cand) == 0 {
+			return nil
+		}
+	}
+	if cand == nil {
+		return base
+	}
+	out := make([]int, 0, len(cand))
+	for x := range cand {
+		// Respect the static positional candidates.
+		out = append(out, x)
+	}
+	if p.posCand[v] != nil {
+		allowed := map[int]bool{}
+		for _, x := range p.posCand[v] {
+			allowed[x] = true
+		}
+		filtered := out[:0]
+		for _, x := range out {
+			if allowed[x] {
+				filtered = append(filtered, x)
+			}
+		}
+		out = filtered
+	}
+	sort.Ints(out)
+	return out
+}
+
+// atomSatisfied checks, after assigning element v, every atom of v that
+// became fully assigned.
+func (p *problem) atomsOK(v int, assign map[int]int) bool {
+	for _, ai := range p.varAtoms[v] {
+		at := p.atoms[ai]
+		ri := p.idx[at.rel]
+		full := true
+		img := make([]int, len(at.args))
+		for pos, arg := range at.args {
+			w, ok := assign[arg]
+			if !ok {
+				full = false
+				break
+			}
+			img[pos] = w
+		}
+		if !full {
+			continue
+		}
+		// Membership check via the smallest index list.
+		bestPos, bestLen := 0, -1
+		for pos := range img {
+			l := len(ri.byPosVal[pos][img[pos]])
+			if bestLen == -1 || l < bestLen {
+				bestPos, bestLen = pos, l
+			}
+		}
+		found := false
+	search:
+		for _, ti := range ri.byPosVal[bestPos][img[bestPos]] {
+			t := ri.tuples[ti]
+			for pos := range img {
+				if t[pos] != img[pos] {
+					continue search
+				}
+			}
+			found = true
+			break
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+// selectVar picks the next element to assign: the most-constrained
+// frontier element (one sharing an atom with an assigned element), or —
+// when the frontier is empty, e.g. at the start or on a fresh connected
+// component — the element with the smallest static candidate list.
+// It returns the index into remaining and the candidate values.
+func (p *problem) selectVar(assign map[int]int, remaining []int, frontier map[int]int) (int, []int) {
+	bestI := -1
+	var bestCand []int
+	onFrontier := false
+	for i, v := range remaining {
+		if frontier[v] > 0 {
+			c := p.candidates(v, assign)
+			if !onFrontier || len(c) < len(bestCand) {
+				bestI, bestCand, onFrontier = i, c, true
+				if len(c) == 0 {
+					return bestI, bestCand
+				}
+			}
+		}
+	}
+	if onFrontier {
+		return bestI, bestCand
+	}
+	// Fresh component: smallest static candidate list.
+	bestLen := -1
+	for i, v := range remaining {
+		l := len(p.posCand[v])
+		if p.posCand[v] == nil {
+			l = len(p.bDom)
+		}
+		if bestLen == -1 || l < bestLen {
+			bestI, bestLen = i, l
+		}
+	}
+	v := remaining[bestI]
+	if p.posCand[v] == nil {
+		return bestI, p.bDom
+	}
+	return bestI, p.posCand[v]
+}
+
+// solve enumerates assignments of the elements in remaining, extending
+// assign. frontier counts, per unassigned element, how many of its
+// co-occurring elements are assigned. fn is invoked on every complete
+// assignment; if it returns false the search stops and solve returns
+// false ("interrupted"); otherwise solve returns true after exhausting
+// the space.
+func (p *problem) solve(assign map[int]int, remaining []int, frontier map[int]int, fn func() bool) bool {
+	if len(remaining) == 0 {
+		return fn()
+	}
+	bestI, bestCand := p.selectVar(assign, remaining, frontier)
+	if len(bestCand) == 0 {
+		return true // dead end: continue overall search
+	}
+	v := remaining[bestI]
+	rest := make([]int, 0, len(remaining)-1)
+	rest = append(rest, remaining[:bestI]...)
+	rest = append(rest, remaining[bestI+1:]...)
+	for _, w := range p.varNbrs[v] {
+		frontier[w]++
+	}
+	for _, val := range bestCand {
+		assign[v] = val
+		if p.atomsOK(v, assign) {
+			if !p.solve(assign, rest, frontier, fn) {
+				delete(assign, v)
+				for _, w := range p.varNbrs[v] {
+					frontier[w]--
+				}
+				return false
+			}
+		}
+		delete(assign, v)
+	}
+	for _, w := range p.varNbrs[v] {
+		frontier[w]--
+	}
+	return true
+}
+
+// initFrontier counts assigned neighbors for the initial assignment.
+func (p *problem) initFrontier(assign map[int]int) map[int]int {
+	frontier := map[int]int{}
+	for e := range assign {
+		for _, w := range p.varNbrs[e] {
+			frontier[w]++
+		}
+	}
+	return frontier
+}
+
+// prepare validates the pre-assignment and returns the initial
+// assignment plus the list of unassigned elements, or ok=false if pre
+// is immediately inconsistent.
+func (p *problem) prepare(pre map[int]int) (assign map[int]int, remaining []int, ok bool) {
+	if p.unsat {
+		return nil, nil, false
+	}
+	assign = make(map[int]int, len(pre))
+	inDom := map[int]bool{}
+	for _, e := range p.aDom {
+		inDom[e] = true
+	}
+	for e, w := range pre {
+		if !inDom[e] {
+			continue // pre may mention elements outside the active domain
+		}
+		assign[e] = w
+	}
+	// Check atoms already fully assigned and positional feasibility.
+	for e := range assign {
+		if !p.atomsOK(e, assign) {
+			return nil, nil, false
+		}
+		if pc := p.posCand[e]; pc != nil {
+			i := sort.SearchInts(pc, assign[e])
+			if i >= len(pc) || pc[i] != assign[e] {
+				return nil, nil, false
+			}
+		}
+	}
+	for _, e := range p.aDom {
+		if _, done := assign[e]; !done {
+			remaining = append(remaining, e)
+		}
+	}
+	return assign, remaining, true
+}
+
+// Exists reports whether there is a homomorphism from a to b extending
+// the partial map pre.
+func Exists(a, b *relstr.Structure, pre map[int]int) bool {
+	_, ok := Find(a, b, pre)
+	return ok
+}
+
+// Find returns a homomorphism from a to b extending pre, if one exists.
+func Find(a, b *relstr.Structure, pre map[int]int) (map[int]int, bool) {
+	p := compile(a, b)
+	assign, remaining, ok := p.prepare(pre)
+	if !ok {
+		return nil, false
+	}
+	var found map[int]int
+	p.solve(assign, remaining, p.initFrontier(assign), func() bool {
+		found = make(map[int]int, len(assign))
+		for k, v := range assign {
+			found[k] = v
+		}
+		return false // stop at first solution
+	})
+	if found == nil {
+		return nil, false
+	}
+	return found, true
+}
+
+// ForEach enumerates every homomorphism from a to b extending pre,
+// invoking fn on each. If fn returns false the enumeration stops early
+// and ForEach returns false; otherwise it returns true.
+func ForEach(a, b *relstr.Structure, pre map[int]int, fn func(h map[int]int) bool) bool {
+	p := compile(a, b)
+	assign, remaining, ok := p.prepare(pre)
+	if !ok {
+		return true
+	}
+	return p.solve(assign, remaining, p.initFrontier(assign), func() bool {
+		h := make(map[int]int, len(assign))
+		for k, v := range assign {
+			h[k] = v
+		}
+		return fn(h)
+	})
+}
+
+// Count returns the number of homomorphisms from a to b extending pre.
+func Count(a, b *relstr.Structure, pre map[int]int) int {
+	n := 0
+	ForEach(a, b, pre, func(map[int]int) bool { n++; return true })
+	return n
+}
+
+// Project enumerates the distinct values taken by the projection
+// elements proj across all homomorphisms from a to b extending pre.
+// For each distinct tuple of values for proj that extends to a full
+// homomorphism, fn is called once. This is CQ evaluation when a is a
+// tableau, proj its distinguished tuple and b a database. If fn returns
+// false enumeration stops early (Project then returns false).
+func Project(a, b *relstr.Structure, pre map[int]int, proj []int, fn func(vals []int) bool) bool {
+	p := compile(a, b)
+	assign, remaining, ok := p.prepare(pre)
+	if !ok {
+		return true
+	}
+	// Split remaining into projection elements (assigned first) and the
+	// rest (existence-checked).
+	isProj := map[int]bool{}
+	for _, e := range proj {
+		isProj[e] = true
+	}
+	var projRemaining, rest []int
+	for _, e := range remaining {
+		if isProj[e] {
+			projRemaining = append(projRemaining, e)
+		} else {
+			rest = append(rest, e)
+		}
+	}
+	seen := map[string]bool{}
+	var assignProj func(rem []int) bool
+	assignProj = func(rem []int) bool {
+		if len(rem) == 0 {
+			// All projection elements assigned; does a completion exist?
+			complete := false
+			p.solve(assign, rest, p.initFrontier(assign), func() bool { complete = true; return false })
+			if !complete {
+				return true
+			}
+			vals := make([]int, len(proj))
+			for i, e := range proj {
+				vals[i] = assign[e]
+			}
+			k := relstr.Tuple(vals).Key()
+			if seen[k] {
+				return true
+			}
+			seen[k] = true
+			return fn(vals)
+		}
+		// MRV within the projection elements.
+		bestI := -1
+		var bestCand []int
+		for i, v := range rem {
+			c := p.candidates(v, assign)
+			if bestI == -1 || len(c) < len(bestCand) {
+				bestI, bestCand = i, c
+				if len(c) == 0 {
+					break
+				}
+			}
+		}
+		if len(bestCand) == 0 {
+			return true
+		}
+		v := rem[bestI]
+		next := make([]int, 0, len(rem)-1)
+		next = append(next, rem[:bestI]...)
+		next = append(next, rem[bestI+1:]...)
+		for _, val := range bestCand {
+			assign[v] = val
+			if p.atomsOK(v, assign) {
+				if !assignProj(next) {
+					delete(assign, v)
+					return false
+				}
+			}
+			delete(assign, v)
+		}
+		return true
+	}
+	return assignProj(projRemaining)
+}

@@ -1,0 +1,369 @@
+// Package htw decides membership in the paper's hypergraph-based
+// tractable classes HTW(k) (hypertree width ≤ k, Gottlob–Leone–
+// Scarcello) and GHTW(k) (generalized hypertree width ≤ k).
+//
+// HTW(k) is decided by a memoised recursive search in the
+// Gottlob–Leone–Scarcello normal form (the scheme behind
+// opt-k-decomp/det-k-decomp): a node is a pair (component, connector);
+// a candidate guard is any set S of ≤ k hyperedges; the node's bag in
+// normal form is V(S) ∩ (V(component) ∪ connector). Every hypergraph of
+// hypertree width ≤ k admits a decomposition in this normal form, so
+// the procedure is exact and runs in polynomial time for fixed k.
+//
+// GHTW(k) drops the special condition; deciding ghw ≤ k is NP-complete
+// for k ≥ 3 in general. GHTWAtMost performs an exact search in which
+// the bag may be any subset of V(S) covering the connector — complete
+// on the small hypergraphs used here (it enumerates subsets of V(S) ∩
+// (V(component) ∪ connector)), exponential in k·(max edge size) in the
+// worst case.
+package htw
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+
+	"cqapprox/internal/hypergraph"
+	"cqapprox/internal/relstr"
+)
+
+type solver struct {
+	edges      [][]int // deduplicated edge list, each sorted
+	k          int
+	memo       map[string]bool
+	inProgress map[string]bool
+	tainted    bool // current computation consulted an in-progress node
+	general    bool // GHTW mode: allow arbitrary bags ⊆ V(S)
+}
+
+func newSolver(h *hypergraph.Hypergraph, k int, general bool) *solver {
+	// Deduplicate edges: identical atoms do not change width.
+	seen := map[string]bool{}
+	s := &solver{k: k, memo: map[string]bool{}, inProgress: map[string]bool{}, general: general}
+	for _, e := range h.Edges {
+		key := keyInts(e)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		cp := append([]int{}, e...)
+		s.edges = append(s.edges, cp)
+	}
+	return s
+}
+
+func keyInts(xs []int) string {
+	parts := make([]string, len(xs))
+	for i, x := range xs {
+		parts[i] = strconv.Itoa(x)
+	}
+	return strings.Join(parts, ",")
+}
+
+// AtMost reports whether the hypertree width of h is at most k.
+func AtMost(h *hypergraph.Hypergraph, k int) bool {
+	if k < 1 {
+		return len(h.Edges) == 0
+	}
+	s := newSolver(h, k, false)
+	all := make([]int, len(s.edges))
+	for i := range all {
+		all[i] = i
+	}
+	return s.decide(all, nil)
+}
+
+// GHTWAtMost reports whether the generalized hypertree width of h is at
+// most k (exact bounded search; see the package comment).
+func GHTWAtMost(h *hypergraph.Hypergraph, k int) bool {
+	if k < 1 {
+		return len(h.Edges) == 0
+	}
+	s := newSolver(h, k, true)
+	all := make([]int, len(s.edges))
+	for i := range all {
+		all[i] = i
+	}
+	return s.decide(all, nil)
+}
+
+// Width returns the exact hypertree width of h (0 for edgeless).
+func Width(h *hypergraph.Hypergraph) int {
+	if len(h.Edges) == 0 {
+		return 0
+	}
+	for k := 1; ; k++ {
+		if AtMost(h, k) {
+			return k
+		}
+	}
+}
+
+// GHTWWidth returns the generalized hypertree width of h.
+func GHTWWidth(h *hypergraph.Hypergraph) int {
+	if len(h.Edges) == 0 {
+		return 0
+	}
+	for k := 1; ; k++ {
+		if GHTWAtMost(h, k) {
+			return k
+		}
+	}
+}
+
+// decide reports whether the component comp (edge indexes) with
+// connector conn (sorted vertex list) can be decomposed within width k.
+func (s *solver) decide(comp []int, conn []int) bool {
+	if len(comp) == 0 {
+		return true
+	}
+	key := keyInts(comp) + "|" + keyInts(conn) + "|" + strconv.FormatBool(s.general)
+	if v, ok := s.memo[key]; ok {
+		return v
+	}
+	// Re-entering an in-progress node means the candidate decomposition
+	// nests (comp, conn) inside itself; by the standard replacement
+	// argument such a decomposition can always be short-circuited, so
+	// answering false here only prunes redundant shapes. The taint flag
+	// prevents memoising false results that were derived under this
+	// provisional answer.
+	if s.inProgress[key] {
+		s.tainted = true
+		return false
+	}
+	s.inProgress[key] = true
+	saved := s.tainted
+	s.tainted = false
+	res := s.search(comp, conn)
+	delete(s.inProgress, key)
+	if res || !s.tainted {
+		s.memo[key] = res
+	}
+	s.tainted = s.tainted || saved
+	return res
+}
+
+func (s *solver) search(comp []int, conn []int) bool {
+	connSet := map[int]bool{}
+	for _, v := range conn {
+		connSet[v] = true
+	}
+	compVerts := map[int]bool{}
+	for _, ei := range comp {
+		for _, v := range s.edges[ei] {
+			compVerts[v] = true
+		}
+	}
+	// Enumerate guards: subsets S of edges, 1 ≤ |S| ≤ k.
+	n := len(s.edges)
+	idx := make([]int, 0, s.k)
+	var tryGuard func(start int) bool
+	tryGuard = func(start int) bool {
+		if len(idx) > 0 && s.tryBags(idx, comp, connSet, compVerts) {
+			return true
+		}
+		if len(idx) == s.k {
+			return false
+		}
+		for i := start; i < n; i++ {
+			idx = append(idx, i)
+			if tryGuard(i + 1) {
+				idx = idx[:len(idx)-1]
+				return true
+			}
+			idx = idx[:len(idx)-1]
+		}
+		return false
+	}
+	return tryGuard(0)
+}
+
+// tryBags tests the guard S = edges[idx...] at the current node,
+// enumerating the admissible bags (one in HTW normal form, all subsets
+// in GHTW mode) and recursing into the resulting components.
+func (s *solver) tryBags(guard []int, comp []int, connSet, compVerts map[int]bool) bool {
+	vs := map[int]bool{} // V(S)
+	for _, gi := range guard {
+		for _, v := range s.edges[gi] {
+			vs[v] = true
+		}
+	}
+	// conn must be covered by V(S) in any case.
+	for v := range connSet {
+		if !vs[v] {
+			return false
+		}
+	}
+	// Relevant vertices for the bag.
+	var relevant []int
+	for v := range vs {
+		if compVerts[v] || connSet[v] {
+			relevant = append(relevant, v)
+		}
+	}
+	sort.Ints(relevant)
+	if !s.general {
+		// Normal-form bag: χ = V(S) ∩ (V(comp) ∪ conn).
+		return s.tryBag(relevant, comp, connSet, compVerts)
+	}
+	// GHTW: any bag conn ⊆ χ ⊆ relevant. Enumerate subsets of the
+	// optional part (relevant minus conn).
+	var optional []int
+	for _, v := range relevant {
+		if !connSet[v] {
+			optional = append(optional, v)
+		}
+	}
+	if len(optional) > 20 {
+		// Fall back to the maximal bag only (sound: accepts a subset of
+		// true positives; never wrong when it answers true).
+		return s.tryBag(relevant, comp, connSet, compVerts)
+	}
+	base := make([]int, 0, len(relevant))
+	for v := range connSet {
+		base = append(base, v)
+	}
+	for mask := (1 << len(optional)) - 1; mask >= 0; mask-- {
+		bag := append([]int{}, base...)
+		for i, v := range optional {
+			if mask&(1<<i) != 0 {
+				bag = append(bag, v)
+			}
+		}
+		if len(bag) == 0 {
+			continue
+		}
+		sort.Ints(bag)
+		if s.tryBag(bag, comp, connSet, compVerts) {
+			return true
+		}
+	}
+	return false
+}
+
+func (s *solver) tryBag(bag []int, comp []int, connSet, compVerts map[int]bool) bool {
+	bagSet := map[int]bool{}
+	for _, v := range bag {
+		bagSet[v] = true
+	}
+	// Progress condition: the bag must either cover some component
+	// vertex beyond the connector, or fully cover some component edge;
+	// otherwise the recursion would not shrink.
+	progress := false
+	for v := range bagSet {
+		if compVerts[v] && !connSet[v] {
+			progress = true
+			break
+		}
+	}
+	if !progress {
+		// Maybe an edge of comp is ⊆ conn ⊆ bag (fully covered here).
+		for _, ei := range comp {
+			if coveredBy(s.edges[ei], bagSet) {
+				progress = true
+				break
+			}
+		}
+	}
+	if !progress {
+		return false
+	}
+	// Split comp into [bag]-components: edges connected via vertices
+	// outside the bag. Edges fully inside the bag are covered here.
+	comps := s.split(comp, bagSet)
+	for _, sub := range comps {
+		// Connector of the child = V(sub) ∩ bag.
+		childConnSet := map[int]bool{}
+		for _, ei := range sub {
+			for _, v := range s.edges[ei] {
+				if bagSet[v] {
+					childConnSet[v] = true
+				}
+			}
+		}
+		childConn := make([]int, 0, len(childConnSet))
+		for v := range childConnSet {
+			childConn = append(childConn, v)
+		}
+		sort.Ints(childConn)
+		if !s.decide(sub, childConn) {
+			return false
+		}
+	}
+	return true
+}
+
+func coveredBy(e []int, set map[int]bool) bool {
+	for _, v := range e {
+		if !set[v] {
+			return false
+		}
+	}
+	return true
+}
+
+// split partitions the edges of comp not covered by the bag into
+// connected components w.r.t. shared vertices outside the bag.
+func (s *solver) split(comp []int, bagSet map[int]bool) [][]int {
+	var rest []int
+	for _, ei := range comp {
+		if !coveredBy(s.edges[ei], bagSet) {
+			rest = append(rest, ei)
+		}
+	}
+	// Union-find over rest via shared outside-bag vertices.
+	parent := map[int]int{}
+	var find func(x int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) { parent[find(a)] = find(b) }
+	for _, ei := range rest {
+		parent[ei] = ei
+	}
+	byVertex := map[int]int{} // outside-bag vertex → representative edge
+	for _, ei := range rest {
+		for _, v := range s.edges[ei] {
+			if bagSet[v] {
+				continue
+			}
+			if other, ok := byVertex[v]; ok {
+				union(ei, other)
+			} else {
+				byVertex[v] = ei
+			}
+		}
+	}
+	groups := map[int][]int{}
+	for _, ei := range rest {
+		r := find(ei)
+		groups[r] = append(groups[r], ei)
+	}
+	var out [][]int
+	var reps []int
+	for r := range groups {
+		reps = append(reps, r)
+	}
+	sort.Ints(reps)
+	for _, r := range reps {
+		g := groups[r]
+		sort.Ints(g)
+		out = append(out, g)
+	}
+	return out
+}
+
+// StructureAtMost reports whether the CQ with tableau s has hypertree
+// width ≤ k.
+func StructureAtMost(s *relstr.Structure, k int) bool {
+	return AtMost(hypergraph.FromStructure(s), k)
+}
+
+// StructureWidth returns the hypertree width of the hypergraph of s.
+func StructureWidth(s *relstr.Structure) int {
+	return Width(hypergraph.FromStructure(s))
+}

@@ -1,0 +1,327 @@
+// Package hypergraph implements query hypergraphs and the classical
+// acyclicity machinery: the GYO reduction, join-tree construction, and
+// the closure operations (induced subhypergraphs, edge extensions) that
+// Section 6 of the paper uses to prove the existence of
+// hypergraph-based approximations.
+package hypergraph
+
+import (
+	"sort"
+
+	"cqapprox/internal/relstr"
+)
+
+// Hypergraph is a finite hypergraph. Edges are stored per original
+// index (one per query atom), so duplicates are kept: GYO and join
+// trees operate on atom indexes directly.
+type Hypergraph struct {
+	Edges [][]int // each sorted ascending; may repeat
+}
+
+// New builds a hypergraph from the given edges (each edge is
+// deduplicated and sorted; empty edges are invalid and panic).
+func New(edges ...[]int) *Hypergraph {
+	h := &Hypergraph{}
+	for _, e := range edges {
+		h.AddEdge(e)
+	}
+	return h
+}
+
+// AddEdge appends an edge (set of vertices).
+func (h *Hypergraph) AddEdge(vs []int) {
+	if len(vs) == 0 {
+		panic("hypergraph: empty edge")
+	}
+	set := map[int]bool{}
+	for _, v := range vs {
+		set[v] = true
+	}
+	e := make([]int, 0, len(set))
+	for v := range set {
+		e = append(e, v)
+	}
+	sort.Ints(e)
+	h.Edges = append(h.Edges, e)
+}
+
+// FromStructure builds the hypergraph of a structure (one edge per
+// tuple, vertices are the tuple's distinct elements). For a tableau T_Q
+// this is the paper's H(Q).
+func FromStructure(s *relstr.Structure) *Hypergraph {
+	h := &Hypergraph{}
+	for _, rel := range s.Relations() {
+		for _, t := range s.Tuples(rel) {
+			h.AddEdge([]int(t))
+		}
+	}
+	return h
+}
+
+// Vertices returns the sorted vertex set.
+func (h *Hypergraph) Vertices() []int {
+	set := map[int]bool{}
+	for _, e := range h.Edges {
+		for _, v := range e {
+			set[v] = true
+		}
+	}
+	out := make([]int, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// NumEdges returns the number of edges (atoms).
+func (h *Hypergraph) NumEdges() int { return len(h.Edges) }
+
+// Induced returns the induced subhypergraph on keep: each edge is
+// intersected with keep, empty intersections dropped (the paper's
+// closure condition #1 in Section 6).
+func (h *Hypergraph) Induced(keep map[int]bool) *Hypergraph {
+	out := &Hypergraph{}
+	for _, e := range h.Edges {
+		var ne []int
+		for _, v := range e {
+			if keep[v] {
+				ne = append(ne, v)
+			}
+		}
+		if len(ne) > 0 {
+			out.AddEdge(ne)
+		}
+	}
+	return out
+}
+
+// ExtendEdge returns a copy of h in which edge i is extended with the
+// fresh vertices vs (the paper's closure condition #2). The vertices
+// must not already occur in h.
+func (h *Hypergraph) ExtendEdge(i int, vs ...int) *Hypergraph {
+	out := &Hypergraph{}
+	for j, e := range h.Edges {
+		if j == i {
+			out.AddEdge(append(append([]int{}, e...), vs...))
+		} else {
+			out.AddEdge(e)
+		}
+	}
+	return out
+}
+
+// JoinTree is a join tree over edge indexes: Parent[i] is the parent of
+// edge i, or -1 for roots. A valid join tree satisfies the
+// connectedness condition: for every vertex, the edges containing it
+// form a connected subtree.
+type JoinTree struct {
+	Parent []int
+}
+
+// Roots returns the indices with no parent.
+func (jt JoinTree) Roots() []int {
+	var out []int
+	for i, p := range jt.Parent {
+		if p == -1 {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Children returns a child-list representation.
+func (jt JoinTree) Children() [][]int {
+	ch := make([][]int, len(jt.Parent))
+	for i, p := range jt.Parent {
+		if p >= 0 {
+			ch[p] = append(ch[p], i)
+		}
+	}
+	return ch
+}
+
+// GYO runs the Graham–Yu–Özsoyoğlu reduction and reports whether h is
+// α-acyclic; when it is, a join tree over the original edge indexes is
+// returned. The reduction repeatedly (a) deletes "ear vertices" that
+// occur in a single remaining edge and (b) deletes edges contained in
+// another remaining edge, recording the witness as the join-tree
+// parent. The hypergraph is acyclic iff every edge is eventually
+// deleted (the last edge per connected component empties out).
+func (h *Hypergraph) GYO() (JoinTree, bool) {
+	n := len(h.Edges)
+	jt := JoinTree{Parent: make([]int, n)}
+	for i := range jt.Parent {
+		jt.Parent[i] = -1
+	}
+	if n == 0 {
+		return jt, true
+	}
+	work := make([]map[int]bool, n)
+	for i, e := range h.Edges {
+		work[i] = map[int]bool{}
+		for _, v := range e {
+			work[i][v] = true
+		}
+	}
+	alive := make([]bool, n)
+	for i := range alive {
+		alive[i] = true
+	}
+	aliveCount := n
+	for {
+		changed := false
+		// (a) ear vertices: occurrence count 1 among alive edges.
+		occ := map[int]int{}
+		for i := range work {
+			if !alive[i] {
+				continue
+			}
+			for v := range work[i] {
+				occ[v]++
+			}
+		}
+		for i := range work {
+			if !alive[i] {
+				continue
+			}
+			for v := range work[i] {
+				if occ[v] == 1 {
+					delete(work[i], v)
+					occ[v] = 0
+					changed = true
+				}
+			}
+		}
+		// (b) subsumed edges; deterministic order.
+		for i := 0; i < n; i++ {
+			if !alive[i] {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				if i == j || !alive[j] {
+					continue
+				}
+				if subset(work[i], work[j]) {
+					alive[i] = false
+					aliveCount--
+					jt.Parent[i] = j
+					changed = true
+					break
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	// Acyclic iff every remaining edge is empty (one per connected
+	// component, fully ear-reduced).
+	for i := range work {
+		if alive[i] && len(work[i]) > 0 {
+			return JoinTree{}, false
+		}
+	}
+	// Link multiple empty roots into a chain so the tree is connected;
+	// they share no vertices, so connectedness is unaffected.
+	if aliveCount > 1 {
+		prev := -1
+		for i := range work {
+			if alive[i] {
+				if prev != -1 {
+					jt.Parent[prev] = i
+				}
+				prev = i
+			}
+		}
+	}
+	return jt, true
+}
+
+func subset(a, b map[int]bool) bool {
+	if len(a) > len(b) {
+		return false
+	}
+	for v := range a {
+		if !b[v] {
+			return false
+		}
+	}
+	return true
+}
+
+// IsAcyclic reports α-acyclicity of h.
+func (h *Hypergraph) IsAcyclic() bool {
+	_, ok := h.GYO()
+	return ok
+}
+
+// ValidJoinTree checks the join-tree connectedness condition of jt for
+// h: for every vertex v, the set of edges containing v induces a
+// connected subtree.
+func (h *Hypergraph) ValidJoinTree(jt JoinTree) bool {
+	n := len(h.Edges)
+	if len(jt.Parent) != n {
+		return false
+	}
+	// Adjacency of the tree.
+	adj := make([][]int, n)
+	roots := 0
+	for i, p := range jt.Parent {
+		if p == -1 {
+			roots++
+			continue
+		}
+		if p < 0 || p >= n {
+			return false
+		}
+		adj[i] = append(adj[i], p)
+		adj[p] = append(adj[p], i)
+	}
+	if n > 0 && roots != 1 {
+		return false
+	}
+	for _, v := range h.Vertices() {
+		var with []int
+		for i, e := range h.Edges {
+			if containsSorted(e, v) {
+				with = append(with, i)
+			}
+		}
+		if len(with) <= 1 {
+			continue
+		}
+		inSet := map[int]bool{}
+		for _, i := range with {
+			inSet[i] = true
+		}
+		// BFS within the restriction.
+		seen := map[int]bool{with[0]: true}
+		queue := []int{with[0]}
+		for len(queue) > 0 {
+			x := queue[0]
+			queue = queue[1:]
+			for _, y := range adj[x] {
+				if inSet[y] && !seen[y] {
+					seen[y] = true
+					queue = append(queue, y)
+				}
+			}
+		}
+		if len(seen) != len(with) {
+			return false
+		}
+	}
+	return true
+}
+
+func containsSorted(e []int, v int) bool {
+	i := sort.SearchInts(e, v)
+	return i < len(e) && e[i] == v
+}
+
+// AcyclicStructure reports whether the CQ with tableau s is acyclic
+// (α-acyclic hypergraph).
+func AcyclicStructure(s *relstr.Structure) bool {
+	return FromStructure(s).IsAcyclic()
+}

@@ -1,0 +1,213 @@
+package relstr
+
+import "sort"
+
+// Map returns the homomorphic image of s under f: the structure whose
+// facts are R(f(t̄)) for every fact R(t̄) of s. Registered extra
+// elements are mapped as well. f must be defined (total) on the active
+// domain of s.
+//
+// When f is induced by a partition of the domain this is exactly the
+// quotient structure; the paper's Im(h) for a homomorphism h defined on
+// s coincides with s.Map(h) as a structure.
+func (s *Structure) Map(f func(int) int) *Structure {
+	out := s.CloneSchema()
+	for name, r := range s.rels {
+		buf := make([]int, r.arity)
+		for _, t := range r.tuples {
+			for i, e := range t {
+				buf[i] = f(e)
+			}
+			out.Add(name, buf...)
+		}
+	}
+	for e := range s.extra {
+		out.AddElement(f(e))
+	}
+	return out
+}
+
+// MapTuple applies f pointwise to t.
+func MapTuple(t Tuple, f func(int) int) Tuple {
+	out := make(Tuple, len(t))
+	for i, e := range t {
+		out[i] = f(e)
+	}
+	return out
+}
+
+// Induced returns the substructure of s induced by keep: all facts
+// whose elements all lie in keep. Extra elements outside keep are
+// dropped.
+func (s *Structure) Induced(keep map[int]bool) *Structure {
+	out := s.CloneSchema()
+	for name, r := range s.rels {
+	tuples:
+		for _, t := range r.tuples {
+			for _, e := range t {
+				if !keep[e] {
+					continue tuples
+				}
+			}
+			out.Add(name, t...)
+		}
+	}
+	for e := range s.extra {
+		if keep[e] {
+			out.AddElement(e)
+		}
+	}
+	return out
+}
+
+// Without returns the substructure of s induced by adom(s) ∖ {v}.
+func (s *Structure) Without(v int) *Structure {
+	keep := s.DomainSet()
+	delete(keep, v)
+	return s.Induced(keep)
+}
+
+// Union returns the (non-disjoint) union of s and o: the structure
+// whose facts are facts of either. Arities must agree on shared
+// symbols.
+func Union(s, o *Structure) *Structure {
+	out := s.Clone()
+	for name, r := range o.rels {
+		out.Declare(name, r.arity)
+		for _, t := range r.tuples {
+			out.Add(name, t...)
+		}
+	}
+	for e := range o.extra {
+		out.AddElement(e)
+	}
+	return out
+}
+
+// DisjointUnion returns the disjoint union of s and o, renaming the
+// elements of o by adding offset so they cannot clash with elements of
+// s. It returns the union together with the offset used, so callers can
+// locate o's elements (element e of o becomes e+offset).
+func DisjointUnion(s, o *Structure) (*Structure, int) {
+	offset := 0
+	if d := s.Domain(); len(d) > 0 {
+		offset = d[len(d)-1] + 1
+	}
+	if od := o.Domain(); len(od) > 0 && od[0] < 0 {
+		offset -= od[0] // ensure shifted elements stay above s's max
+	}
+	out := s.Clone()
+	shifted := o.Map(func(e int) int { return e + offset })
+	for name, r := range shifted.rels {
+		out.Declare(name, r.arity)
+		for _, t := range r.tuples {
+			out.Add(name, t...)
+		}
+	}
+	for e := range shifted.extra {
+		out.AddElement(e)
+	}
+	return out, offset
+}
+
+// Normalize returns an isomorphic copy of s whose domain is
+// {0, …, n−1} following the ascending order of the original domain,
+// together with the renaming old→new.
+func (s *Structure) Normalize() (*Structure, map[int]int) {
+	dom := s.Domain()
+	ren := make(map[int]int, len(dom))
+	for i, e := range dom {
+		ren[e] = i
+	}
+	return s.Map(func(e int) int { return ren[e] }), ren
+}
+
+// Partition represents a partition of a finite element set as a map
+// from element to block representative (the minimum element of the
+// block).
+type Partition map[int]int
+
+// QuotientBy returns the quotient of s by the partition p: every
+// element is replaced by its block representative. Elements absent from
+// p map to themselves.
+func (s *Structure) QuotientBy(p Partition) *Structure {
+	return s.Map(func(e int) int {
+		if r, ok := p[e]; ok {
+			return r
+		}
+		return e
+	})
+}
+
+// Partitions enumerates all set partitions of elems, invoking fn with
+// each partition (as element → block-representative). Enumeration
+// follows restricted-growth strings, so the number of calls is the Bell
+// number B(len(elems)). If fn returns false the enumeration stops early
+// and Partitions returns false; otherwise it returns true.
+func Partitions(elems []int, fn func(Partition) bool) bool {
+	n := len(elems)
+	if n == 0 {
+		return fn(Partition{})
+	}
+	// rgs[i] = block index of elems[i]; rgs[0] = 0;
+	// rgs[i] ≤ max(rgs[0..i-1]) + 1.
+	rgs := make([]int, n)
+	var rec func(i, maxBlock int) bool
+	rec = func(i, maxBlock int) bool {
+		if i == n {
+			// Build representative map: representative of block b is the
+			// first (minimum-index) element assigned to b.
+			rep := make([]int, maxBlock+1)
+			for b := range rep {
+				rep[b] = -1
+			}
+			p := make(Partition, n)
+			for j, e := range elems {
+				b := rgs[j]
+				if rep[b] == -1 {
+					rep[b] = e
+				}
+				p[e] = rep[b]
+			}
+			return fn(p)
+		}
+		for b := 0; b <= maxBlock+1; b++ {
+			rgs[i] = b
+			nb := maxBlock
+			if b > maxBlock {
+				nb = b
+			}
+			if !rec(i+1, nb) {
+				return false
+			}
+		}
+		return true
+	}
+	rgs[0] = 0
+	return rec(1, 0)
+}
+
+// Blocks returns the blocks of p over the given universe, each sorted,
+// with blocks ordered by their representative.
+func (p Partition) Blocks(universe []int) [][]int {
+	by := map[int][]int{}
+	for _, e := range universe {
+		r, ok := p[e]
+		if !ok {
+			r = e
+		}
+		by[r] = append(by[r], e)
+	}
+	reps := make([]int, 0, len(by))
+	for r := range by {
+		reps = append(reps, r)
+	}
+	sort.Ints(reps)
+	out := make([][]int, 0, len(reps))
+	for _, r := range reps {
+		b := by[r]
+		sort.Ints(b)
+		out = append(out, b)
+	}
+	return out
+}

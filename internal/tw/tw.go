@@ -1,0 +1,419 @@
+// Package tw computes exact treewidth and tree decompositions of small
+// graphs. The paper's graph-based tractable classes TW(k) are defined
+// through the treewidth of the query's Gaifman graph G(Q); membership
+// tests here are exact.
+//
+// The exact algorithm is the classic dynamic program over vertex
+// subsets (Bodlaender–Fomin–Koster): dp[S] is the minimum width over
+// elimination orderings that eliminate exactly S first, with
+// dp[S] = min_{v∈S} max(dp[S∖{v}], Q(S∖{v}, v)), where Q(R, v) counts
+// the vertices outside R∪{v} reachable from v through R. It runs in
+// O(2ⁿ·n·(n+m)) time and O(2ⁿ) space and is limited to n ≤ MaxExactN
+// vertices — far beyond any tableau arising in the experiments.
+package tw
+
+import (
+	"fmt"
+	"sort"
+
+	"cqapprox/internal/relstr"
+)
+
+// MaxExactN bounds the vertex count for the exact subset DP.
+const MaxExactN = 24
+
+// Graph is a simple undirected graph on vertices 0..N-1.
+type Graph struct {
+	N   int
+	adj []uint64 // adjacency bitmasks; requires N ≤ 64
+}
+
+// NewGraph returns an empty graph on n vertices (n ≤ 64).
+func NewGraph(n int) *Graph {
+	if n > 64 {
+		panic(fmt.Sprintf("tw: graph too large (%d > 64 vertices)", n))
+	}
+	return &Graph{N: n, adj: make([]uint64, n)}
+}
+
+// AddEdge inserts the undirected edge {u, v}; loops are ignored.
+func (g *Graph) AddEdge(u, v int) {
+	if u == v {
+		return
+	}
+	g.adj[u] |= 1 << uint(v)
+	g.adj[v] |= 1 << uint(u)
+}
+
+// HasEdge reports whether {u,v} is an edge.
+func (g *Graph) HasEdge(u, v int) bool { return u != v && g.adj[u]&(1<<uint(v)) != 0 }
+
+// Degree returns the degree of v.
+func (g *Graph) Degree(v int) int { return popcount(g.adj[v]) }
+
+// NumEdges returns the number of undirected edges.
+func (g *Graph) NumEdges() int {
+	total := 0
+	for _, m := range g.adj {
+		total += popcount(m)
+	}
+	return total / 2
+}
+
+// Clone returns a copy of g.
+func (g *Graph) Clone() *Graph {
+	c := NewGraph(g.N)
+	copy(c.adj, g.adj)
+	return c
+}
+
+func popcount(x uint64) int {
+	n := 0
+	for x != 0 {
+		x &= x - 1
+		n++
+	}
+	return n
+}
+
+// FromStructure builds the Gaifman graph of a relational structure:
+// one vertex per active-domain element, an edge between every pair of
+// distinct elements co-occurring in some tuple. It returns the graph
+// and the element→vertex mapping. For a tableau T_Q this is exactly
+// the paper's G(Q).
+func FromStructure(s *relstr.Structure) (*Graph, map[int]int) {
+	dom := s.Domain()
+	id := make(map[int]int, len(dom))
+	for i, e := range dom {
+		id[e] = i
+	}
+	g := NewGraph(len(dom))
+	for _, rel := range s.Relations() {
+		for _, t := range s.Tuples(rel) {
+			for i := 0; i < len(t); i++ {
+				for j := i + 1; j < len(t); j++ {
+					if t[i] != t[j] {
+						g.AddEdge(id[t[i]], id[t[j]])
+					}
+				}
+			}
+		}
+	}
+	return g, id
+}
+
+// IsForest reports whether g has no cycles.
+func (g *Graph) IsForest() bool {
+	// A forest has exactly N - (#components) edges.
+	return g.NumEdges() == g.N-g.components()
+}
+
+func (g *Graph) components() int {
+	seen := make([]bool, g.N)
+	n := 0
+	for s := 0; s < g.N; s++ {
+		if seen[s] {
+			continue
+		}
+		n++
+		stack := []int{s}
+		seen[s] = true
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			m := g.adj[v]
+			for m != 0 {
+				w := trailingZeros(m)
+				m &= m - 1
+				if !seen[w] {
+					seen[w] = true
+					stack = append(stack, w)
+				}
+			}
+		}
+	}
+	return n
+}
+
+func trailingZeros(x uint64) int {
+	n := 0
+	for x&1 == 0 {
+		x >>= 1
+		n++
+	}
+	return n
+}
+
+// qValue counts vertices outside R∪{v} reachable from v through
+// internal vertices in R.
+func (g *Graph) qValue(r uint64, v int) int {
+	visited := uint64(1) << uint(v)
+	frontier := g.adj[v]
+	reach := uint64(0)
+	for {
+		newInR := frontier & r &^ visited
+		reach |= frontier &^ r &^ visited
+		if newInR == 0 {
+			break
+		}
+		visited |= newInR
+		next := uint64(0)
+		m := newInR
+		for m != 0 {
+			w := trailingZeros(m)
+			m &= m - 1
+			next |= g.adj[w]
+		}
+		frontier = next
+	}
+	return popcount(reach)
+}
+
+// Treewidth returns the exact treewidth of g. A graph with no edges has
+// treewidth 0; the empty graph has treewidth 0 by convention here.
+// Panics if g.N > MaxExactN.
+func (g *Graph) Treewidth() int {
+	w, _ := g.treewidthDP()
+	return w
+}
+
+// TreewidthAtMost reports whether tw(g) ≤ k, with fast paths for k ≥
+// N−1 and k = 1.
+func (g *Graph) TreewidthAtMost(k int) bool {
+	if k < 0 {
+		return g.N == 0
+	}
+	if g.N == 0 || k >= g.N-1 {
+		return true
+	}
+	if g.NumEdges() == 0 {
+		return true
+	}
+	if k == 1 {
+		return g.IsForest()
+	}
+	return g.Treewidth() <= k
+}
+
+// treewidthDP runs the subset DP, returning the treewidth and an
+// elimination order achieving it (vertices in elimination sequence).
+func (g *Graph) treewidthDP() (int, []int) {
+	n := g.N
+	if n == 0 {
+		return 0, nil
+	}
+	if n > MaxExactN {
+		panic(fmt.Sprintf("tw: exact treewidth limited to %d vertices, got %d", MaxExactN, n))
+	}
+	if g.NumEdges() == 0 {
+		order := make([]int, n)
+		for i := range order {
+			order[i] = i
+		}
+		return 0, order
+	}
+	size := 1 << uint(n)
+	dp := make([]int8, size)
+	choice := make([]int8, size)
+	for s := 1; s < size; s++ {
+		best := int8(127)
+		bestV := int8(-1)
+		m := uint64(s)
+		for m != 0 {
+			v := trailingZeros(m)
+			m &= m - 1
+			prev := s &^ (1 << uint(v))
+			q := g.qValue(uint64(prev), v)
+			cost := dp[prev]
+			if int8(q) > cost {
+				cost = int8(q)
+			}
+			if cost < best {
+				best = cost
+				bestV = int8(v)
+			}
+		}
+		dp[s] = best
+		choice[s] = bestV
+	}
+	// Reconstruct elimination order: choice[S] is eliminated last in S.
+	order := make([]int, n)
+	s := size - 1
+	for i := n - 1; i >= 0; i-- {
+		v := int(choice[s])
+		order[i] = v
+		s &^= 1 << uint(v)
+	}
+	return int(dp[size-1]), order
+}
+
+// Decomposition is a tree decomposition: Bags[i] is a sorted vertex
+// set, and Tree lists the decomposition-tree edges between bag indices.
+type Decomposition struct {
+	Bags  [][]int
+	Tree  [][2]int
+	Width int
+}
+
+// Decompose returns an optimal-width tree decomposition of g, derived
+// from the exact elimination ordering.
+func (g *Graph) Decompose() Decomposition {
+	n := g.N
+	if n == 0 {
+		return Decomposition{Width: 0}
+	}
+	_, order := g.treewidthDP()
+	pos := make([]int, n)
+	for i, v := range order {
+		pos[v] = i
+	}
+	// Fill-in simulation: eliminate in order, bag(v) = {v} ∪ current
+	// neighbors; connect neighbors into a clique.
+	work := g.Clone()
+	bags := make([][]int, n)
+	bagOf := make([]int, n) // vertex → its bag index (same as pos order index)
+	for i, v := range order {
+		nbrs := []int{}
+		m := work.adj[v]
+		for m != 0 {
+			w := trailingZeros(m)
+			m &= m - 1
+			if pos[w] > i {
+				nbrs = append(nbrs, w)
+			}
+		}
+		bag := append([]int{v}, nbrs...)
+		sort.Ints(bag)
+		bags[i] = bag
+		bagOf[v] = i
+		for a := 0; a < len(nbrs); a++ {
+			for b := a + 1; b < len(nbrs); b++ {
+				work.AddEdge(nbrs[a], nbrs[b])
+			}
+		}
+	}
+	var tree [][2]int
+	for i, v := range order {
+		// Parent: bag of the earliest-later-eliminated neighbor.
+		bestPos := -1
+		m := work.adj[v]
+		for m != 0 {
+			w := trailingZeros(m)
+			m &= m - 1
+			if pos[w] > i && (bestPos == -1 || pos[w] < bestPos) {
+				bestPos = pos[w]
+			}
+		}
+		if bestPos >= 0 {
+			tree = append(tree, [2]int{i, bestPos})
+		} else if i+1 < n {
+			tree = append(tree, [2]int{i, i + 1}) // keep the tree connected
+		}
+	}
+	width := 0
+	for _, b := range bags {
+		if len(b)-1 > width {
+			width = len(b) - 1
+		}
+	}
+	return Decomposition{Bags: bags, Tree: tree, Width: width}
+}
+
+// Valid checks the three tree-decomposition conditions against g:
+// every vertex appears in a bag, every edge is inside some bag, and
+// each vertex's bags form a connected subtree.
+func (d Decomposition) Valid(g *Graph) bool {
+	inBag := make([]bool, g.N)
+	for _, b := range d.Bags {
+		for _, v := range b {
+			inBag[v] = true
+		}
+	}
+	for v := 0; v < g.N; v++ {
+		if !inBag[v] {
+			return false
+		}
+	}
+	for u := 0; u < g.N; u++ {
+		m := g.adj[u]
+		for m != 0 {
+			v := trailingZeros(m)
+			m &= m - 1
+			if v < u {
+				continue
+			}
+			found := false
+			for _, b := range d.Bags {
+				hasU, hasV := false, false
+				for _, x := range b {
+					if x == u {
+						hasU = true
+					}
+					if x == v {
+						hasV = true
+					}
+				}
+				if hasU && hasV {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return false
+			}
+		}
+	}
+	// Connectivity per vertex.
+	adjB := make(map[int][]int)
+	for _, e := range d.Tree {
+		adjB[e[0]] = append(adjB[e[0]], e[1])
+		adjB[e[1]] = append(adjB[e[1]], e[0])
+	}
+	for v := 0; v < g.N; v++ {
+		var with []int
+		for i, b := range d.Bags {
+			for _, x := range b {
+				if x == v {
+					with = append(with, i)
+					break
+				}
+			}
+		}
+		if len(with) <= 1 {
+			continue
+		}
+		inSet := map[int]bool{}
+		for _, i := range with {
+			inSet[i] = true
+		}
+		seen := map[int]bool{with[0]: true}
+		stack := []int{with[0]}
+		for len(stack) > 0 {
+			b := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, nb := range adjB[b] {
+				if inSet[nb] && !seen[nb] {
+					seen[nb] = true
+					stack = append(stack, nb)
+				}
+			}
+		}
+		if len(seen) != len(with) {
+			return false
+		}
+	}
+	return true
+}
+
+// StructureTreewidth returns the treewidth of the Gaifman graph of s —
+// the treewidth of a CQ whose tableau is s.
+func StructureTreewidth(s *relstr.Structure) int {
+	g, _ := FromStructure(s)
+	return g.Treewidth()
+}
+
+// StructureTreewidthAtMost reports tw(G(s)) ≤ k.
+func StructureTreewidthAtMost(s *relstr.Structure, k int) bool {
+	g, _ := FromStructure(s)
+	return g.TreewidthAtMost(k)
+}

@@ -1,0 +1,185 @@
+// Package workload generates the synthetic databases and query families
+// used by the benchmark harness and the examples. The paper is a theory
+// paper; these generators stand in for the "very large databases" its
+// introduction motivates (see DESIGN.md §5), exercising the same code
+// paths: evaluation engines and approximation computation.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"cqapprox/internal/cq"
+	"cqapprox/internal/relstr"
+)
+
+// RandomDigraph returns a uniform random digraph database with n nodes
+// and m edges (duplicates collapse, loops allowed).
+func RandomDigraph(rng *rand.Rand, n, m int) *relstr.Structure {
+	db := relstr.New()
+	db.Declare("E", 2)
+	for i := 0; i < m; i++ {
+		db.Add("E", rng.Intn(n), rng.Intn(n))
+	}
+	return db
+}
+
+// RandomSocial returns a digraph shaped like a follower graph: average
+// out-degree avgDeg with preferential attachment, and a fraction
+// reciprocity of edges reciprocated (reciprocated edges are what the
+// 2-cycle approximations of unbalanced cyclic queries match).
+func RandomSocial(rng *rand.Rand, n, avgDeg int, reciprocity float64) *relstr.Structure {
+	db := relstr.New()
+	db.Declare("E", 2)
+	targets := make([]int, 0, n*avgDeg)
+	for v := 0; v < n; v++ {
+		targets = append(targets, v) // every node appears at least once
+	}
+	for v := 0; v < n; v++ {
+		for d := 0; d < avgDeg; d++ {
+			var w int
+			if rng.Float64() < 0.5 || len(targets) == 0 {
+				w = rng.Intn(n)
+			} else {
+				w = targets[rng.Intn(len(targets))] // preferential attachment
+			}
+			if w == v {
+				continue
+			}
+			db.Add("E", v, w)
+			targets = append(targets, w)
+			if rng.Float64() < reciprocity {
+				db.Add("E", w, v)
+			}
+		}
+	}
+	return db
+}
+
+// LayeredDAG returns a balanced digraph database: `layers` layers of
+// `width` nodes, with edges only from layer i to layer i+1 (so every
+// oriented cycle is balanced, and level-based reasoning applies).
+func LayeredDAG(rng *rand.Rand, layers, width, edgesPerNode int) *relstr.Structure {
+	db := relstr.New()
+	db.Declare("E", 2)
+	at := func(l, i int) int { return l*width + i }
+	for l := 0; l+1 < layers; l++ {
+		for i := 0; i < width; i++ {
+			for e := 0; e < edgesPerNode; e++ {
+				db.Add("E", at(l, i), at(l+1, rng.Intn(width)))
+			}
+		}
+	}
+	return db
+}
+
+// RandomTernary returns a random database over one ternary relation R.
+func RandomTernary(rng *rand.Rand, n, m int) *relstr.Structure {
+	db := relstr.New()
+	db.Declare("R", 3)
+	for i := 0; i < m; i++ {
+		db.Add("R", rng.Intn(n), rng.Intn(n), rng.Intn(n))
+	}
+	return db
+}
+
+// CycleQuery returns the Boolean directed n-cycle query
+// Q() :- E(x0,x1), …, E(x_{n-1},x0).
+func CycleQuery(n int) *cq.Query {
+	q := &cq.Query{Name: fmt.Sprintf("C%d", n)}
+	v := func(i int) string { return fmt.Sprintf("x%d", i%n) }
+	for i := 0; i < n; i++ {
+		q.Atoms = append(q.Atoms, cq.Atom{Rel: "E", Args: []string{v(i), v(i + 1)}})
+	}
+	return q
+}
+
+// CycleQueryFree returns the n-cycle query with the first variable
+// free: Q(x0) :- E(x0,x1), …, E(x_{n-1},x0).
+func CycleQueryFree(n int) *cq.Query {
+	q := CycleQuery(n)
+	q.Name = fmt.Sprintf("C%d(x)", n)
+	q.Head = []string{"x0"}
+	return q
+}
+
+// ChordedCycleQuery returns the n-cycle with a chord from x0 to x_{n/2}
+// (treewidth 2, denser than the plain cycle).
+func ChordedCycleQuery(n int) *cq.Query {
+	q := CycleQuery(n)
+	q.Name = fmt.Sprintf("C%d+chord", n)
+	q.Atoms = append(q.Atoms, cq.Atom{
+		Rel:  "E",
+		Args: []string{"x0", fmt.Sprintf("x%d", n/2)},
+	})
+	return q
+}
+
+// TernaryCycleQuery returns the Example 6.6 family generalised to n
+// atoms: Q() :- R(x0,y0,x1), R(x1,y1,x2), …, R(x_{n-1},y_{n-1},x0).
+func TernaryCycleQuery(n int) *cq.Query {
+	q := &cq.Query{Name: fmt.Sprintf("T%d", n)}
+	x := func(i int) string { return fmt.Sprintf("x%d", i%n) }
+	y := func(i int) string { return fmt.Sprintf("y%d", i) }
+	for i := 0; i < n; i++ {
+		q.Atoms = append(q.Atoms, cq.Atom{Rel: "R", Args: []string{x(i), y(i), x(i + 1)}})
+	}
+	return q
+}
+
+// GridQuery returns the r×c grid query over E (treewidth min(r,c)).
+func GridQuery(r, c int) *cq.Query {
+	q := &cq.Query{Name: fmt.Sprintf("Grid%dx%d", r, c)}
+	v := func(i, j int) string { return fmt.Sprintf("g%d_%d", i, j) }
+	for i := 0; i < r; i++ {
+		for j := 0; j < c; j++ {
+			if j+1 < c {
+				q.Atoms = append(q.Atoms, cq.Atom{Rel: "E", Args: []string{v(i, j), v(i, j+1)}})
+			}
+			if i+1 < r {
+				q.Atoms = append(q.Atoms, cq.Atom{Rel: "E", Args: []string{v(i, j), v(i+1, j)}})
+			}
+		}
+	}
+	return q
+}
+
+// RandomGraphQuery returns a random Boolean query over E with the given
+// number of variables and atoms (connected-ish: each atom after the
+// first reuses an existing variable).
+func RandomGraphQuery(rng *rand.Rand, vars, atoms int) *cq.Query {
+	q := &cq.Query{Name: "R"}
+	names := make([]string, vars)
+	for i := range names {
+		names[i] = fmt.Sprintf("v%d", i)
+	}
+	used := []string{names[0]}
+	pick := func() string {
+		if len(used) == 0 || rng.Intn(2) == 0 {
+			v := names[rng.Intn(vars)]
+			used = append(used, v)
+			return v
+		}
+		return used[rng.Intn(len(used))]
+	}
+	for i := 0; i < atoms; i++ {
+		q.Atoms = append(q.Atoms, cq.Atom{Rel: "E", Args: []string{pick(), pick()}})
+	}
+	return q
+}
+
+// QuerySuite returns the named query suite used by the Figure 1
+// experiment: a spread of cyclic queries over graphs and ternary
+// relations.
+func QuerySuite() []*cq.Query {
+	return []*cq.Query{
+		CycleQuery(3),
+		CycleQuery(4),
+		CycleQuery(5),
+		CycleQueryFree(4),
+		ChordedCycleQuery(4),
+		ChordedCycleQuery(6),
+		TernaryCycleQuery(3),
+		GridQuery(2, 3),
+	}
+}

@@ -1,0 +1,129 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+
+	"cqapprox/internal/hypergraph"
+	"cqapprox/internal/tw"
+)
+
+func TestRandomDigraphSize(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	db := RandomDigraph(rng, 50, 200)
+	if db.NumFacts() == 0 || db.NumFacts() > 200 {
+		t.Fatalf("NumFacts = %d", db.NumFacts())
+	}
+	if db.DomainSize() > 50 {
+		t.Fatalf("domain = %d", db.DomainSize())
+	}
+}
+
+func TestRandomSocialReciprocity(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	db := RandomSocial(rng, 200, 4, 0.5)
+	recip, total := 0, 0
+	for _, e := range db.Tuples("E") {
+		total++
+		if db.Has("E", e[1], e[0]) {
+			recip++
+		}
+	}
+	if total == 0 {
+		t.Fatal("no edges")
+	}
+	if recip == 0 {
+		t.Fatal("no reciprocated edges with reciprocity 0.5")
+	}
+}
+
+func TestLayeredDAGIsBalancedShaped(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	db := LayeredDAG(rng, 4, 5, 2)
+	// All edges go from layer l to l+1: check span.
+	for _, e := range db.Tuples("E") {
+		if e[1]/5 != e[0]/5+1 {
+			t.Fatalf("edge %v crosses layers badly", e)
+		}
+	}
+}
+
+func TestCycleQueryShape(t *testing.T) {
+	q := CycleQuery(5)
+	if err := q.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if q.NumVars() != 5 || len(q.Atoms) != 5 || !q.IsBoolean() {
+		t.Fatalf("C5 = %v", q)
+	}
+	if tw.StructureTreewidthAtMost(q.Tableau().S, 1) {
+		t.Fatal("cycle queries are not treewidth 1")
+	}
+	if !tw.StructureTreewidthAtMost(q.Tableau().S, 2) {
+		t.Fatal("cycle queries are treewidth 2")
+	}
+}
+
+func TestCycleQueryFree(t *testing.T) {
+	q := CycleQueryFree(4)
+	if err := q.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Head) != 1 {
+		t.Fatalf("head = %v", q.Head)
+	}
+}
+
+func TestChordedCycleTreewidth(t *testing.T) {
+	q := ChordedCycleQuery(6)
+	if err := q.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if w := tw.StructureTreewidth(q.Tableau().S); w != 2 {
+		t.Fatalf("tw = %d, want 2", w)
+	}
+}
+
+func TestTernaryCycleQuery(t *testing.T) {
+	q := TernaryCycleQuery(3)
+	if err := q.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if hypergraph.AcyclicStructure(q.Tableau().S) {
+		t.Fatal("ternary cycle should be cyclic")
+	}
+	if q.NumVars() != 6 {
+		t.Fatalf("vars = %d, want 6", q.NumVars())
+	}
+}
+
+func TestGridQuery(t *testing.T) {
+	q := GridQuery(2, 3)
+	if err := q.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if w := tw.StructureTreewidth(q.Tableau().S); w != 2 {
+		t.Fatalf("tw(2x3 grid) = %d, want 2", w)
+	}
+}
+
+func TestRandomGraphQueryValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 50; i++ {
+		q := RandomGraphQuery(rng, 4, 5)
+		if err := q.Validate(); err != nil {
+			t.Fatalf("invalid random query %v: %v", q, err)
+		}
+	}
+}
+
+func TestQuerySuiteValid(t *testing.T) {
+	for _, q := range QuerySuite() {
+		if err := q.Validate(); err != nil {
+			t.Fatalf("%v: %v", q, err)
+		}
+		if q.NumVars() > 10 {
+			t.Fatalf("%v exceeds the approximation engine's default MaxVars", q)
+		}
+	}
+}
