@@ -6,6 +6,7 @@ package cqapprox
 // prints the same data as human-readable tables.
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -235,6 +236,107 @@ func BenchmarkCor65_HTWApprox(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := core.Approximate(q, HTW(2), DefaultOptions()); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// --- E17 (this repo): prepare-once / execute-many ----------------------
+
+// BenchmarkPreparedReuse quantifies what the Engine/PreparedQuery
+// redesign buys a service answering the same query repeatedly. The
+// Cold variant is the stateless flow this API replaced: every request
+// re-runs the Bell-number approximation search before evaluating. The
+// Warm variant prepares once outside the loop and only evaluates the
+// cached plan per request. The CachedPrepare variant measures a
+// Prepare that hits the engine cache (the per-request cost for a
+// service that calls Prepare on every request).
+// preparedReuseDBs: OLTP is a request-sized database where the static
+// search cost dominates (the redesign's headline win: ≥10× for the
+// triangle query); Social300 is a bulk workload where evaluation cost
+// dominates and the saving is the search cost alone.
+func preparedReuseDBs() map[string]*Structure {
+	small := NewStructure()
+	for _, e := range [][2]int{{1, 2}, {2, 3}, {3, 1}, {4, 4}, {5, 6}} {
+		small.Add("E", e[0], e[1])
+	}
+	return map[string]*Structure{"OLTP": small, "Social300": speedupDB(300)}
+}
+
+func BenchmarkPreparedReuse_Cold(b *testing.B) {
+	q := MustParse("Q(x) :- E(x,y), E(y,z), E(z,x)")
+	for name, db := range preparedReuseDBs() {
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				a, err := core.Approximate(q, TW(1), core.DefaultOptions())
+				if err != nil {
+					b.Fatal(err)
+				}
+				eval.Eval(a, db)
+			}
+		})
+	}
+}
+
+func BenchmarkPreparedReuse_Warm(b *testing.B) {
+	ctx := context.Background()
+	engine := NewEngine()
+	q := MustParse("Q(x) :- E(x,y), E(y,z), E(z,x)")
+	p, err := engine.Prepare(ctx, q, TW(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for name, db := range preparedReuseDBs() {
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := p.Eval(ctx, db); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkPreparedReuse_CachedPrepare(b *testing.B) {
+	ctx := context.Background()
+	engine := NewEngine()
+	q := MustParse("Q(x) :- E(x,y), E(y,z), E(z,x)")
+	if _, err := engine.Prepare(ctx, q, TW(1)); err != nil {
+		b.Fatal(err)
+	}
+	for name, db := range preparedReuseDBs() {
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				p, err := engine.Prepare(ctx, q, TW(1))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := p.Eval(ctx, db); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPreparedStream measures the streaming path (semijoin
+// reduction + enumeration) against materialised evaluation.
+func BenchmarkPreparedStream(b *testing.B) {
+	ctx := context.Background()
+	engine := NewEngine()
+	q := MustParse("Q(x,w) :- E(x,y), E(y,z), E(z,w)")
+	p, err := engine.PrepareExact(ctx, q)
+	if err != nil {
+		b.Fatal(err)
+	}
+	db := speedupDB(60)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		for range p.Answers(ctx, db) {
+			n++
+		}
+		if n == 0 {
+			b.Fatal("no answers")
 		}
 	}
 }

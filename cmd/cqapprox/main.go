@@ -6,9 +6,17 @@
 //
 //	cqapprox parse    -q "Q(x) :- E(x,y), E(y,z), E(z,x)"
 //	cqapprox classify -q "Q() :- E(x,y), E(y,z), E(z,x)"
-//	cqapprox approx   -q "..." -class TW1 [-all]
+//	cqapprox approx   -q "..." -class TW1 [-all] [-timeout 30s]
 //	cqapprox check    -q "..." -cand "..." -class AC
 //	cqapprox eval     -q "..." -db graph.txt [-engine auto|naive|yannakakis|td]
+//	                  [-class TW1] [-stream] [-timeout 30s]
+//
+// The approx and eval commands run on a cqapprox.Engine: queries are
+// prepared once (minimize → approximate → plan) and evaluated through
+// the prepared plan, with -timeout cancelling long searches cleanly.
+// eval -class evaluates the query's C-approximation instead of the
+// query itself; -stream prints answers as they are found instead of
+// materialising the sorted answer set.
 //
 // Database files contain one fact per line: a relation name followed by
 // integer arguments, e.g. "E 1 2". Lines starting with '#' are ignored.
@@ -16,14 +24,28 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"cqapprox"
 )
+
+// engine is the process-wide prepared-query engine all commands share.
+var engine = cqapprox.NewEngine()
+
+// withTimeout builds the command context from a -timeout flag value;
+// zero means no deadline.
+func withTimeout(d time.Duration) (context.Context, context.CancelFunc) {
+	if d <= 0 {
+		return context.Background(), func() {}
+	}
+	return context.WithTimeout(context.Background(), d)
+}
 
 func main() {
 	if len(os.Args) < 2 {
@@ -62,8 +84,10 @@ commands:
   parse     parse a query and report treewidth / acyclicity / hypertree width
   classify  Theorem 5.1 trichotomy classification for graph queries
   approx    compute C-approximations (-class TW1|TW2|TW3|AC|HTW1|HTW2|GHTW1|GHTW2)
+            [-all] [-timeout 30s] [-v]
   check     decide whether -cand is a C-approximation of -q
-  eval      evaluate a query on a database file (one fact per line: "E 1 2")`)
+  eval      evaluate a query on a database file (one fact per line: "E 1 2")
+            [-class TW1] evaluates its approximation; [-stream] streams answers`)
 }
 
 func classFromName(name string) (cqapprox.Class, error) {
@@ -149,6 +173,8 @@ func cmdApprox(args []string) error {
 	maxVars := fs.Int("maxvars", 10, "variable bound for the search")
 	extras := fs.Int("extras", 1, "extra atoms for hypergraph-based classes")
 	fresh := fs.Int("fresh", 0, "fresh variables per extra atom")
+	timeout := fs.Duration("timeout", 0, "abort the search after this long (0 = no limit)")
+	verbose := fs.Bool("v", false, "report plan mode and search statistics")
 	fs.Parse(args)
 	q, err := cqapprox.Parse(*src)
 	if err != nil {
@@ -170,22 +196,24 @@ func cmdApprox(args []string) error {
 		}
 		return nil
 	}
+	ctx, cancel := withTimeout(*timeout)
+	defer cancel()
+	p, err := engine.PrepareOpt(ctx, q, c, opt)
+	if err != nil {
+		return err
+	}
 	if *all {
-		apps, err := cqapprox.Approximations(q, c, opt)
-		if err != nil {
-			return err
-		}
+		apps := p.Approximations()
 		fmt.Printf("%d %s-approximation(s) of %v:\n", len(apps), c.Name(), q)
 		for _, a := range apps {
 			fmt.Printf("  %v   (%d joins)\n", a, a.NumJoins())
 		}
-		return nil
+	} else {
+		fmt.Println(p.Approx())
 	}
-	a, err := cqapprox.Approximate(q, c, opt)
-	if err != nil {
-		return err
+	if *verbose {
+		fmt.Printf("plan: %s; candidates inspected: %d\n", p.PlanMode(), p.CandidatesInspected())
 	}
-	fmt.Println(a)
 	return nil
 }
 
@@ -219,7 +247,10 @@ func cmdEval(args []string) error {
 	fs := flag.NewFlagSet("eval", flag.ExitOnError)
 	src := fs.String("q", "", "query in rule notation")
 	dbPath := fs.String("db", "", "database file (one fact per line)")
-	engine := fs.String("engine", "auto", "auto|naive|yannakakis|td")
+	engineName := fs.String("engine", "auto", "auto|naive|yannakakis|td")
+	className := fs.String("class", "", "evaluate the query's C-approximation instead (e.g. TW1, AC)")
+	stream := fs.Bool("stream", false, "print answers as they are found (discovery order)")
+	timeout := fs.Duration("timeout", 0, "abort after this long (0 = no limit)")
 	fs.Parse(args)
 	q, err := cqapprox.Parse(*src)
 	if err != nil {
@@ -229,22 +260,97 @@ func cmdEval(args []string) error {
 	if err != nil {
 		return err
 	}
-	var ans cqapprox.Answers
-	switch *engine {
-	case "auto":
-		ans = cqapprox.Eval(q, db)
-	case "naive":
-		ans = cqapprox.NaiveEval(q, db)
-	case "yannakakis":
-		ans, err = cqapprox.Yannakakis(q, db)
-	case "td":
-		ans, err = cqapprox.EvalByTreeDecomposition(q, db)
-	default:
-		return fmt.Errorf("unknown engine %q", *engine)
+	if *stream && *engineName != "auto" {
+		return fmt.Errorf("-stream requires -engine auto (streaming runs through the prepared plan)")
 	}
+	if *stream && q.IsBoolean() {
+		return fmt.Errorf("-stream requires a non-Boolean query (a Boolean query has a single true/false answer)")
+	}
+	ctx, cancel := withTimeout(*timeout)
+	defer cancel()
+
+	// -class swaps the query for its prepared C-approximation before
+	// any engine runs.
+	target := q
+	var p *cqapprox.PreparedQuery
+	if *className != "" {
+		c, err := classFromName(*className)
+		if err != nil {
+			return err
+		}
+		if p, err = engine.Prepare(ctx, q, c); err != nil {
+			return err
+		}
+		target = p.Approx()
+		how := "plan: " + p.PlanMode()
+		if *engineName != "auto" {
+			how = "engine: " + *engineName
+		}
+		fmt.Printf("# evaluating %s-approximation %v (%s)\n", c.Name(), target, how)
+	}
+
+	// Explicitly chosen engines bypass the prepared plan but still
+	// honour -class (via target) and -timeout (via ctx).
+	switch *engineName {
+	case "auto":
+	case "naive":
+		ans, err := cqapprox.NaiveEvalCtx(ctx, target, db)
+		if err != nil {
+			return err
+		}
+		return printAnswers(target, ans)
+	case "yannakakis":
+		ans, err := cqapprox.YannakakisCtx(ctx, target, db)
+		if err != nil {
+			return err
+		}
+		return printAnswers(target, ans)
+	case "td":
+		ans, err := cqapprox.EvalByTreeDecompositionCtx(ctx, target, db)
+		if err != nil {
+			return err
+		}
+		return printAnswers(target, ans)
+	default:
+		return fmt.Errorf("unknown engine %q", *engineName)
+	}
+
+	if p == nil {
+		if p, err = engine.PrepareExact(ctx, q); err != nil {
+			return err
+		}
+	}
+	if *stream {
+		seq, errf := p.AnswersErr(ctx, db)
+		n := 0
+		for t := range seq {
+			fmt.Println(t)
+			n++
+		}
+		if err := errf(); err != nil {
+			return fmt.Errorf("stream interrupted after %d answers: %w", n, err)
+		}
+		fmt.Printf("(%d answers)\n", n)
+		return nil
+	}
+	if q.IsBoolean() {
+		ok, err := p.EvalBool(ctx, db)
+		if err != nil {
+			return err
+		}
+		fmt.Println(ok)
+		return nil
+	}
+	ans, err := p.Eval(ctx, db)
 	if err != nil {
 		return err
 	}
+	return printAnswers(q, ans)
+}
+
+// printAnswers renders an answer set the way eval always has: one
+// tuple per line plus a count, or a bare boolean for Boolean queries.
+func printAnswers(q *cqapprox.Query, ans cqapprox.Answers) error {
 	if q.IsBoolean() {
 		fmt.Println(len(ans) > 0)
 		return nil

@@ -1,8 +1,8 @@
 // Command experiments regenerates every experiment in DESIGN.md's
 // experiment index (E1–E16): the Figure 1 summary table and the
 // quantitative content of the paper's propositions, theorems and
-// examples. Each experiment prints a table; EXPERIMENTS.md records the
-// expected (paper) versus measured outcomes.
+// examples. Each experiment prints a table comparing the paper's
+// expected outcome against the measured one.
 //
 // Usage:
 //

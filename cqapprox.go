@@ -13,19 +13,50 @@
 // by Q' turns |D|^O(|Q|) evaluation into O(|D|·|Q'|) (acyclic) or
 // O(|D|^{k+1}) (treewidth k).
 //
+// The expensive work — minimization and the NP-hard approximation
+// search — is static: it depends only on the query, never on the data.
+// The API is built around that split. An Engine prepares a query once
+// (parse → minimize → approximate → plan) and caches the result; the
+// returned PreparedQuery then evaluates cheaply on any number of
+// databases, concurrently, with context cancellation and streaming
+// answers.
+//
 // Quick start:
 //
+//	engine := cqapprox.NewEngine()
 //	q := cqapprox.MustParse("Q(x) :- E(x,y), E(y,z), E(z,x)")
-//	a, err := cqapprox.Approximate(q, cqapprox.TW(1), cqapprox.DefaultOptions())
-//	// a is guaranteed: a ⊆ q, a acyclic, and no acyclic query sits
-//	// strictly between a and q.
-//	answers := cqapprox.Eval(a, db) // O(|db|·|a|) via Yannakakis
 //
-// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
-// paper-vs-measured record of every reproduced result.
+//	// Pay the NP-hard search once. p's approximation is guaranteed:
+//	// p.Approx() ⊆ q, acyclic, and no acyclic query sits strictly
+//	// between them.
+//	p, err := engine.Prepare(ctx, q, cqapprox.TW(1))
+//
+//	// Execute many times, on many databases, from many goroutines.
+//	answers, err := p.Eval(ctx, db)        // O(|db|·|Q'|) via Yannakakis
+//	ok, err := p.EvalBool(ctx, db)         // answer existence
+//	for t := range p.Answers(ctx, db) { …} // stream without materialising
+//
+//	// Preparing an equivalent query again is a cache hit: no search.
+//	p2, _ := engine.Prepare(ctx, cqapprox.MustParse("Q(a) :- E(a,b), E(b,c), E(c,a)"), cqapprox.TW(1))
+//	_ = engine.CacheStats().Hits // 1
+//
+// Errors are typed: errors.Is against ErrCanceled, ErrBudgetExceeded,
+// ErrNotInClass, ErrNotAcyclic; parse errors carry positions
+// (ParseError).
+//
+// The package-level free functions (Approximate, Eval, …) remain as
+// thin wrappers over a shared default Engine. They are convenient for
+// scripts and tests; long-running services should hold their own
+// Engine and PreparedQuery values instead, which adds cancellation,
+// typed errors and cache control.
+//
+// See DESIGN.md for the architecture, the package inventory, and the
+// experiment index.
 package cqapprox
 
 import (
+	"context"
+
 	"cqapprox/internal/core"
 	"cqapprox/internal/cq"
 	"cqapprox/internal/eval"
@@ -98,19 +129,37 @@ func GHTW(k int) Class { return core.GHTW(k) }
 func DefaultOptions() Options { return core.DefaultOptions() }
 
 // Approximate returns one minimized C-approximation of q.
+//
+// It is a thin wrapper over the default Engine: the search result is
+// cached, so repeated calls with equivalent queries skip the search.
+// Services should prefer an explicit Engine and PreparedQuery, which
+// add context cancellation and cache control.
 func Approximate(q *Query, c Class, opt Options) (*Query, error) {
-	return core.Approximate(q, c, opt)
+	p, err := defaultEngine.PrepareOpt(context.Background(), q, c, opt)
+	if err != nil {
+		return nil, err
+	}
+	return p.Approx(), nil
 }
 
 // Approximations returns all minimized C-approximations of q up to
-// equivalence (the paper's C-APPR_min(Q)).
+// equivalence (the paper's C-APPR_min(Q)). Like Approximate, it is a
+// cached wrapper over the default Engine.
 func Approximations(q *Query, c Class, opt Options) ([]*Query, error) {
-	return core.Approximations(q, c, opt)
+	p, err := defaultEngine.PrepareOpt(context.Background(), q, c, opt)
+	if err != nil {
+		return nil, err
+	}
+	return p.Approximations(), nil
 }
 
 // CountApproximations returns |C-APPR_min(q)|.
 func CountApproximations(q *Query, c Class, opt Options) (int, error) {
-	return core.CountApproximations(q, c, opt)
+	p, err := defaultEngine.PrepareOpt(context.Background(), q, c, opt)
+	if err != nil {
+		return 0, err
+	}
+	return len(p.approxes), nil
 }
 
 // IsApproximation decides whether cand is a C-approximation of q
@@ -180,22 +229,64 @@ func IsMinimized(q *Query) bool { return hom.IsMinimized(q) }
 
 // Eval evaluates q on db with the best applicable engine (Yannakakis
 // for acyclic queries, backtracking otherwise).
-func Eval(q *Query, db *Structure) Answers { return eval.Eval(q, db) }
+//
+// It is a thin wrapper over the default Engine: the query's plan (and
+// minimization) is prepared and cached on first use. Services should
+// prefer Engine.PrepareExact and PreparedQuery.Eval, which add context
+// cancellation and streaming.
+func Eval(q *Query, db *Structure) Answers {
+	p, err := defaultEngine.PrepareExact(context.Background(), q)
+	if err != nil {
+		// Legacy compatibility: the free function predates validation
+		// and never rejected a query — keep evaluating directly when
+		// Prepare refuses one. Engine users get the typed error instead.
+		return eval.Eval(q, db)
+	}
+	// Plan evaluation only errors through ctx, which Background never
+	// cancels.
+	ans, _ := p.Eval(context.Background(), db)
+	return ans
+}
 
-// EvalBool evaluates a Boolean query (or answer-existence).
-func EvalBool(q *Query, db *Structure) bool { return eval.EvalBool(q, db) }
+// EvalBool evaluates a Boolean query (or answer-existence). Like Eval,
+// it is a cached wrapper over the default Engine.
+func EvalBool(q *Query, db *Structure) bool {
+	p, err := defaultEngine.PrepareExact(context.Background(), q)
+	if err != nil {
+		// Legacy compatibility — see Eval.
+		return eval.EvalBool(q, db)
+	}
+	ok, _ := p.EvalBool(context.Background(), db)
+	return ok
+}
 
 // Yannakakis evaluates an acyclic query in O(|db|·|q|) plus output
 // cost; it fails on cyclic queries.
 func Yannakakis(q *Query, db *Structure) (Answers, error) { return eval.Yannakakis(q, db) }
 
+// YannakakisCtx is Yannakakis under a context.
+func YannakakisCtx(ctx context.Context, q *Query, db *Structure) (Answers, error) {
+	return eval.YannakakisCtx(ctx, q, db)
+}
+
 // NaiveEval evaluates q by backtracking search (|db|^O(|q|)).
 func NaiveEval(q *Query, db *Structure) Answers { return eval.Naive(q, db) }
+
+// NaiveEvalCtx is NaiveEval under a context.
+func NaiveEvalCtx(ctx context.Context, q *Query, db *Structure) (Answers, error) {
+	return eval.NaiveCtx(ctx, q, db)
+}
 
 // EvalByTreeDecomposition evaluates q through an optimal tree
 // decomposition (O(|db|^{k+1}) for treewidth k).
 func EvalByTreeDecomposition(q *Query, db *Structure) (Answers, error) {
 	return eval.ByTreeDecomposition(q, db)
+}
+
+// EvalByTreeDecompositionCtx is EvalByTreeDecomposition under a
+// context.
+func EvalByTreeDecompositionCtx(ctx context.Context, q *Query, db *Structure) (Answers, error) {
+	return eval.ByTreeDecompositionCtx(ctx, q, db)
 }
 
 // Treewidth returns the treewidth of q (of its Gaifman graph).

@@ -1,0 +1,342 @@
+package cqapprox
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"cqapprox/internal/core"
+	"cqapprox/internal/cqerr"
+	"cqapprox/internal/eval"
+	"cqapprox/internal/hom"
+)
+
+// Engine is the long-lived entry point for services: it owns a cache of
+// prepared queries keyed by the canonical form of (query, class,
+// options), so the expensive static work — minimization and the
+// Bell-number approximation search — is paid once per distinct query
+// and every later Prepare of an equivalent query is a map lookup.
+//
+// An Engine is safe for concurrent use. Concurrent Prepares of the same
+// key are deduplicated: one goroutine runs the search, the others wait
+// for its result (unless their own context expires first).
+//
+// The zero value is not usable; construct with NewEngine.
+type Engine struct {
+	opt        Options // search defaults used by Prepare
+	maxEntries int     // cache capacity; oldest entries evicted beyond it
+
+	mu      sync.Mutex
+	cache   map[string]*PreparedQuery
+	order   []string // insertion order for FIFO eviction
+	pending map[string]*inflight
+	hits    uint64
+	misses  uint64
+
+	// keyMemo maps a cheap syntactic normal form of (q, c, opt) to the
+	// expensive canonical cache key, so repeated Prepares of a
+	// syntactically identical query (the free Eval wrapper's hot path)
+	// skip the canonical-form search. Pure accelerator: a memo miss
+	// just recomputes; entries stay valid across ResetCache.
+	keyMemo   map[string]string
+	memoOrder []string
+}
+
+// inflight tracks one in-progress Prepare so concurrent callers of the
+// same key wait instead of duplicating the search.
+type inflight struct {
+	done chan struct{}
+	p    *PreparedQuery
+	err  error
+}
+
+// EngineOption configures NewEngine.
+type EngineOption func(*Engine)
+
+// WithOptions sets the approximation-search options Prepare uses
+// (PrepareOpt overrides them per call).
+func WithOptions(opt Options) EngineOption {
+	return func(e *Engine) { e.opt = opt }
+}
+
+// WithCacheCapacity bounds the number of cached prepared queries;
+// beyond it the oldest entry is evicted. n <= 0 means unbounded.
+func WithCacheCapacity(n int) EngineOption {
+	return func(e *Engine) { e.maxEntries = n }
+}
+
+// DefaultCacheCapacity is the prepared-query cache bound of NewEngine
+// unless overridden with WithCacheCapacity.
+const DefaultCacheCapacity = 1024
+
+// NewEngine returns an Engine with the documented search defaults and a
+// cache bounded at DefaultCacheCapacity entries.
+func NewEngine(opts ...EngineOption) *Engine {
+	e := &Engine{
+		opt:        DefaultOptions(),
+		maxEntries: DefaultCacheCapacity,
+		cache:      map[string]*PreparedQuery{},
+		pending:    map[string]*inflight{},
+		keyMemo:    map[string]string{},
+	}
+	for _, o := range opts {
+		o(e)
+	}
+	return e
+}
+
+// defaultEngine backs the package-level free functions.
+var defaultEngine = NewEngine()
+
+// Default returns the process-wide engine used by the package-level
+// Approximate/Eval free functions. Services should prefer their own
+// NewEngine so cache capacity and options are under their control.
+func Default() *Engine { return defaultEngine }
+
+// CacheStats is a snapshot of an engine's cache counters.
+type CacheStats struct {
+	Hits    uint64 // Prepares answered without re-running the search
+	Misses  uint64 // Prepares that ran the full pipeline
+	Entries int    // prepared queries currently cached
+}
+
+// CacheStats returns a snapshot of the cache counters.
+func (e *Engine) CacheStats() CacheStats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return CacheStats{Hits: e.hits, Misses: e.misses, Entries: len(e.cache)}
+}
+
+// ResetCache drops every cached prepared query and zeroes the counters.
+// In-flight Prepares are unaffected (they re-insert on completion).
+func (e *Engine) ResetCache() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.cache = map[string]*PreparedQuery{}
+	e.order = nil
+	e.hits, e.misses = 0, 0
+}
+
+// Prepare runs the full static pipeline for q once — validate,
+// minimize, search for the C-approximation, choose an evaluation plan —
+// and returns a PreparedQuery that evaluates the approximation on any
+// database via Eval/EvalBool/Answers. Results are cached: preparing a
+// query equal up to variable renaming and atom order (same class and
+// options) is a cache hit and skips the search entirely.
+//
+// ctx cancels the search mid-way with an ErrCanceled-wrapped error;
+// cancellation is polled inside the candidate sweep and the
+// homomorphism searches, so it is observed promptly even on large
+// inputs.
+func (e *Engine) Prepare(ctx context.Context, q *Query, c Class) (*PreparedQuery, error) {
+	return e.PrepareOpt(ctx, q, c, e.opt)
+}
+
+// PrepareOpt is Prepare with explicit search options.
+func (e *Engine) PrepareOpt(ctx context.Context, q *Query, c Class, opt Options) (*PreparedQuery, error) {
+	if c == nil {
+		return nil, fmt.Errorf("cqapprox: Prepare requires a class (use PrepareExact for plain evaluation)")
+	}
+	return e.prepare(ctx, q, c, opt)
+}
+
+// PrepareExact prepares q for evaluation as-is, with no approximation:
+// the pipeline is validate → minimize → plan. Use it to serve the exact
+// query through the same cached, context-aware, streaming surface.
+func (e *Engine) PrepareExact(ctx context.Context, q *Query) (*PreparedQuery, error) {
+	return e.prepare(ctx, q, nil, e.opt)
+}
+
+// The cache key for (q, c, opt) — built in memoizedKey — pairs the
+// query's canonical form (CanonicalKey: equal iff alpha-equivalent)
+// with the class identified by concrete type plus Name() (so distinct
+// Class implementations sharing a display name never share entries;
+// within one type, Name() must identify the class's semantics — see
+// core.Class) and the options normalized by core's own rule (values
+// core treats identically, e.g. MaxVars 0 vs the default, collide).
+
+// memoizedKey returns the canonical cache key for (q, c, opt), going
+// through the syntactic-key memo: only the first Prepare of each
+// syntactic form pays the canonical-form search. The memo is bounded at
+// four times the cache capacity with FIFO eviction.
+func (e *Engine) memoizedKey(q *Query, c Class, opt Options) string {
+	class := "exact"
+	if c != nil {
+		class = fmt.Sprintf("%T:%s", c, c.Name())
+	}
+	opt = opt.WithDefaults()
+	syn := fmt.Sprintf("%s\x00%s\x00%d/%d/%d",
+		synNormalForm(q), class, opt.MaxVars, opt.MaxExtraAtoms, opt.FreshVars)
+	e.mu.Lock()
+	if k, ok := e.keyMemo[syn]; ok {
+		e.mu.Unlock()
+		return k
+	}
+	e.mu.Unlock()
+	key := fmt.Sprintf("%s\x00%s\x00%d/%d/%d",
+		q.CanonicalKey(), class, opt.MaxVars, opt.MaxExtraAtoms, opt.FreshVars)
+	e.mu.Lock()
+	if _, ok := e.keyMemo[syn]; !ok {
+		e.keyMemo[syn] = key
+		e.memoOrder = append(e.memoOrder, syn)
+		for limit := 4 * e.maxEntries; e.maxEntries > 0 && len(e.keyMemo) > limit; {
+			evict := e.memoOrder[0]
+			e.memoOrder = e.memoOrder[1:]
+			delete(e.keyMemo, evict)
+		}
+	}
+	e.mu.Unlock()
+	return key
+}
+
+// synNormalForm is the cheap first-level key: variables renamed by
+// first occurrence, atoms sorted, head name dropped. Not invariant
+// under atom reordering (that is CanonicalKey's job) — merely a fast
+// discriminator for byte-identical repeat queries.
+func synNormalForm(q *Query) string {
+	n := q.Rename() // returns a fresh copy; safe to overwrite the name
+	n.Name = "Q"
+	return n.SortAtoms().String()
+}
+
+func (e *Engine) prepare(ctx context.Context, q *Query, c Class, opt Options) (*PreparedQuery, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if ctx.Err() != nil {
+		return nil, cqerr.Canceled(ctx)
+	}
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	key := e.memoizedKey(q, c, opt)
+	for {
+		e.mu.Lock()
+		if p, ok := e.cache[key]; ok {
+			e.hits++
+			e.mu.Unlock()
+			return p.forCaller(q), nil
+		}
+		if fl, ok := e.pending[key]; ok {
+			e.mu.Unlock()
+			select {
+			case <-fl.done:
+			case <-ctx.Done():
+				return nil, cqerr.Canceled(ctx)
+			}
+			if fl.err == nil && fl.p != nil {
+				e.mu.Lock()
+				e.hits++
+				e.mu.Unlock()
+				return fl.p.forCaller(q), nil
+			}
+			// The leader failed. If it failed because of *its* context
+			// we retry (ours may still be live); a genuine error is
+			// shared by everyone waiting.
+			if fl.err == nil || errIsCanceled(fl.err) {
+				if ctx.Err() != nil {
+					return nil, cqerr.Canceled(ctx)
+				}
+				continue
+			}
+			return nil, fl.err
+		}
+		fl := &inflight{done: make(chan struct{})}
+		e.pending[key] = fl
+		e.misses++
+		e.mu.Unlock()
+
+		// Run the pipeline panic-safely: whatever happens, the pending
+		// entry is removed and fl.done closed, so waiters never block on
+		// a leader that died. A panic re-raises after cleanup; waiters
+		// see (nil, nil) and retry as leaders themselves.
+		func() {
+			defer func() {
+				e.mu.Lock()
+				delete(e.pending, key)
+				if fl.err == nil && fl.p != nil {
+					e.insertLocked(key, fl.p)
+				}
+				e.mu.Unlock()
+				close(fl.done)
+			}()
+			fl.p, fl.err = e.build(ctx, q, c, opt)
+		}()
+		return fl.p, fl.err
+	}
+}
+
+// insertLocked adds a cache entry, evicting the oldest beyond capacity.
+// Callers hold e.mu.
+func (e *Engine) insertLocked(key string, p *PreparedQuery) {
+	if _, ok := e.cache[key]; !ok {
+		e.order = append(e.order, key)
+	}
+	e.cache[key] = p
+	for e.maxEntries > 0 && len(e.cache) > e.maxEntries {
+		evict := e.order[0]
+		e.order = e.order[1:]
+		delete(e.cache, evict)
+	}
+}
+
+// build runs the uncached pipeline: minimize, approximate (unless
+// exact), plan.
+func (e *Engine) build(ctx context.Context, q *Query, c Class, opt Options) (*PreparedQuery, error) {
+	// Enforce the variable budget before minimization: minimization
+	// itself runs exponential homomorphism searches, so an over-budget
+	// query must be refused up front, exactly as core.Approximate does.
+	// Exact prepares have no search to protect, but skip minimizing
+	// over-budget queries too — the plain plan evaluates q as given,
+	// matching the pre-engine Eval behavior.
+	maxVars := opt.WithDefaults().MaxVars
+	if n := q.NumVars(); n > maxVars {
+		if c != nil {
+			return nil, core.BudgetError(n, maxVars)
+		}
+		min := q.Rename() // canonical variable names, like the normal path
+		min.Name = q.Name
+		p := &PreparedQuery{src: q.Clone(), min: min, opt: opt}
+		p.chosen = p.min
+		p.plan = eval.NewPlan(p.chosen)
+		return p, nil
+	}
+	min, err := hom.MinimizeCtx(ctx, q)
+	if err != nil {
+		return nil, err
+	}
+	// Canonicalize the minimized query's variable names so a cached
+	// entry carries nothing of the first preparer's identity: every
+	// caller (after forCaller rebinds the head name) sees the same
+	// deterministic rendering regardless of preparation order.
+	min = min.Rename()
+	min.Name = q.Name
+	p := &PreparedQuery{
+		src:   q.Clone(),
+		min:   min,
+		class: c,
+		opt:   opt,
+	}
+	target := min
+	if c != nil {
+		res, err := core.ApproximationsWithStatsCtx(ctx, min, c, opt)
+		if err != nil {
+			return nil, err
+		}
+		if len(res.Queries) == 0 {
+			return nil, fmt.Errorf("cqapprox: no %s-query is contained in %v: %w", c.Name(), q, cqerr.ErrNotInClass)
+		}
+		p.approxes = res.Queries
+		p.inspected = res.CandidatesInspected
+		target = res.Queries[0]
+	}
+	p.chosen = target
+	p.plan = eval.NewPlan(target)
+	return p, nil
+}
+
+// errIsCanceled reports whether err wraps the cancellation sentinel.
+func errIsCanceled(err error) bool {
+	return errors.Is(err, cqerr.ErrCanceled)
+}

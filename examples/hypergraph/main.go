@@ -1,13 +1,16 @@
 // Hypergraph: approximations beyond graphs (experiments E7/E15/E16 in
-// DESIGN.md). Over higher-arity relations the structure of
-// approximations is much richer than over graphs: Example 6.6's
-// ternary cycle query has exactly three non-equivalent acyclic
-// approximations — with fewer, equally many, and more joins than the
-// original query — and Proposition 5.15's almost-triangle query has a
-// strong treewidth approximation with the same number of joins.
+// DESIGN.md), on the Engine API. Over higher-arity relations the
+// structure of approximations is much richer than over graphs:
+// Example 6.6's ternary cycle query has exactly three non-equivalent
+// acyclic approximations — with fewer, equally many, and more joins
+// than the original query — and Proposition 5.15's almost-triangle
+// query has a strong treewidth approximation with the same number of
+// joins. One engine prepares the query against both AC and HTW(2);
+// each preparation is cached independently per class.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -15,6 +18,9 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
+	engine := cqapprox.NewEngine()
+
 	// Example 6.6: the ternary cycle.
 	q := cqapprox.MustParse("Q() :- R(x1,x2,x3), R(x3,x4,x5), R(x5,x6,x1)")
 	fmt.Println("query:          ", q)
@@ -22,10 +28,11 @@ func main() {
 	fmt.Println("hypertree width:", cqapprox.HypertreeWidth(q))
 	fmt.Println()
 
-	apps, err := cqapprox.Approximations(q, cqapprox.AC(), cqapprox.DefaultOptions())
+	ac, err := engine.Prepare(ctx, q, cqapprox.AC())
 	if err != nil {
 		log.Fatal(err)
 	}
+	apps := ac.Approximations()
 	fmt.Printf("acyclic approximations (%d, Example 6.6 predicts 3):\n", len(apps))
 	for _, a := range apps {
 		rel := "fewer"
@@ -41,12 +48,12 @@ func main() {
 
 	// Its HTW(2) approximation is the query itself: the ternary cycle
 	// already has hypertree width 2.
-	h2, err := cqapprox.Approximate(q, cqapprox.HTW(2), cqapprox.DefaultOptions())
+	h2, err := engine.Prepare(ctx, q, cqapprox.HTW(2))
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Println("HTW(2) approximation:", h2)
-	fmt.Println("equivalent to Q:     ", cqapprox.Equivalent(h2, q))
+	fmt.Println("HTW(2) approximation:", h2.Approx())
+	fmt.Println("equivalent to Q:     ", cqapprox.Equivalent(h2.Approx(), q))
 	fmt.Println()
 
 	// Proposition 5.15: the almost-triangle and its strong treewidth

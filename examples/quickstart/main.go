@@ -1,10 +1,13 @@
-// Quickstart: parse a cyclic conjunctive query, compute its acyclic
-// approximation, and evaluate both on a small database — the end-to-end
-// flow of the paper. The approximation is guaranteed to return only
-// correct answers (Q' ⊆ Q) while evaluating in O(|D|·|Q'|).
+// Quickstart: the prepare-once / execute-many flow of the library. A
+// cyclic conjunctive query is prepared against TW(1) — parse, minimize,
+// run the NP-hard approximation search, pick an evaluation plan — and
+// the resulting PreparedQuery is then evaluated on a database three
+// ways: materialised, Boolean, and streamed. Preparing an equivalent
+// query again is a cache hit and skips the search entirely.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -12,6 +15,9 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
+	engine := cqapprox.NewEngine()
+
 	// The triangle query with one output variable: find nodes lying on
 	// a directed triangle. Combined complexity |D|^O(|Q|).
 	q := cqapprox.MustParse("Q(x) :- E(x,y), E(y,z), E(z,x)")
@@ -19,13 +25,16 @@ func main() {
 	fmt.Println("treewidth:        ", cqapprox.Treewidth(q))
 	fmt.Println("acyclic:          ", cqapprox.IsAcyclic(q))
 
-	// Compute its acyclic (treewidth-1) approximation.
-	a, err := cqapprox.Approximate(q, cqapprox.TW(1), cqapprox.DefaultOptions())
+	// Pay the static cost once. The approximation is guaranteed:
+	// p.Approx() ⊆ q, acyclic, and no acyclic query sits strictly
+	// between them.
+	p, err := engine.Prepare(ctx, q, cqapprox.TW(1))
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Println("TW(1) approx:     ", a)
-	fmt.Println("contained in q:   ", cqapprox.Contained(a, q))
+	fmt.Println("TW(1) approx:     ", p.Approx())
+	fmt.Println("plan:             ", p.PlanMode())
+	fmt.Println("contained in q:   ", cqapprox.Contained(p.Approx(), q))
 
 	// A toy social graph: a mutual-follow pair with a self-loop user,
 	// and a genuine triangle.
@@ -40,10 +49,27 @@ func main() {
 		db.Add("E", e[0], e[1])
 	}
 
+	// Execute many: the same PreparedQuery serves any database.
 	exact := cqapprox.NaiveEval(q, db)
-	approx := cqapprox.Eval(a, db) // Yannakakis under the hood
+	approx, err := p.Eval(ctx, db)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Println("exact answers:    ", exact)
 	fmt.Println("approx answers:   ", approx)
+
+	ok, err := p.EvalBool(ctx, db)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("has any answer:   ", ok)
+
+	// Stream without materialising — break any time, cancel any time.
+	fmt.Print("streamed:          ")
+	for t := range p.Answers(ctx, db) {
+		fmt.Print(t, " ")
+	}
+	fmt.Println()
 
 	// Soundness guarantee: every approximate answer is correct.
 	for _, t := range approx {
@@ -52,4 +78,11 @@ func main() {
 		}
 	}
 	fmt.Println("soundness:         every approximate answer is exact ✓")
+
+	// Preparing an alpha-renamed variant hits the cache: no search.
+	if _, err := engine.Prepare(ctx, cqapprox.MustParse("Q(a) :- E(a,b), E(b,c), E(c,a)"), cqapprox.TW(1)); err != nil {
+		log.Fatal(err)
+	}
+	s := engine.CacheStats()
+	fmt.Printf("cache:             %d search run, %d served from cache\n", s.Misses, s.Hits)
 }

@@ -1,12 +1,14 @@
 // Trichotomy: Theorem 5.1's classification of Boolean graph queries
-// (experiment E3 in DESIGN.md). For each query the example prints the
-// tableau classification — non-bipartite / bipartite-unbalanced /
-// bipartite-balanced — and the computed acyclic approximations, showing
-// the three predicted behaviours: only Q_trivial, only Q_triv2 (K2↔),
-// or nontrivial approximations without 2-cycles.
+// (experiment E3 in DESIGN.md), on the Engine API. For each query the
+// example prints the tableau classification — non-bipartite /
+// bipartite-unbalanced / bipartite-balanced — and the acyclic
+// approximations found by a shared engine, showing the three predicted
+// behaviours: only Q_trivial, only Q_triv2 (K2↔), or nontrivial
+// approximations without 2-cycles.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -14,6 +16,8 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
+	engine := cqapprox.NewEngine()
 	queries := []string{
 		// Non-bipartite: odd cycle.
 		"Q() :- E(x,y), E(y,z), E(z,x)",
@@ -32,11 +36,11 @@ func main() {
 		}
 		fmt.Printf("query: %v\n", q)
 		fmt.Printf("  tableau kind: %v\n", kind)
-		apps, err := cqapprox.Approximations(q, cqapprox.TW(1), cqapprox.DefaultOptions())
+		p, err := engine.Prepare(ctx, q, cqapprox.TW(1))
 		if err != nil {
 			log.Fatal(err)
 		}
-		for _, a := range apps {
+		for _, a := range p.Approximations() {
 			tag := ""
 			switch {
 			case cqapprox.Equivalent(a, cqapprox.Trivial(q)):

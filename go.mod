@@ -1,0 +1,3 @@
+module cqapprox
+
+go 1.24

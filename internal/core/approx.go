@@ -1,10 +1,12 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
 	"cqapprox/internal/cq"
+	"cqapprox/internal/cqerr"
 	"cqapprox/internal/hom"
 	"cqapprox/internal/relstr"
 )
@@ -35,7 +37,11 @@ func DefaultOptions() Options {
 	return Options{MaxVars: 10, MaxExtraAtoms: 1, FreshVars: 0}
 }
 
-func (o Options) withDefaults() Options {
+// WithDefaults returns o with zero-valued fields replaced by the
+// documented defaults (currently only MaxVars). It is the single
+// normalization rule shared by the search entry points and the
+// engine cache key.
+func (o Options) WithDefaults() Options {
 	if o.MaxVars == 0 {
 		o.MaxVars = 10
 	}
@@ -56,7 +62,15 @@ type Result struct {
 // ApproximationsWithStats is Approximations, additionally reporting how
 // many candidates the search inspected.
 func ApproximationsWithStats(q *cq.Query, c Class, opt Options) (*Result, error) {
-	front, inspected, err := approxFront(q, c, opt)
+	return ApproximationsWithStatsCtx(nil, q, c, opt)
+}
+
+// ApproximationsWithStatsCtx is ApproximationsWithStats under a
+// context: the Bell-number candidate sweep polls ctx between candidates
+// (and the homomorphism searches poll it internally), returning a
+// cqerr.ErrCanceled-wrapped error when it expires.
+func ApproximationsWithStatsCtx(ctx context.Context, q *cq.Query, c Class, opt Options) (*Result, error) {
+	front, inspected, err := approxFront(ctx, q, c, opt)
 	if err != nil {
 		return nil, err
 	}
@@ -77,7 +91,12 @@ func ApproximationsWithStats(q *cq.Query, c Class, opt Options) (*Result, error)
 // the paper's examples; raise the bounds toward Claim 6.2's
 // n+(m−1)²nᵐ⁻¹ variables for completeness at exponential cost.
 func Approximations(q *cq.Query, c Class, opt Options) ([]*cq.Query, error) {
-	front, _, err := approxFront(q, c, opt)
+	return ApproximationsCtx(nil, q, c, opt)
+}
+
+// ApproximationsCtx is Approximations under a context.
+func ApproximationsCtx(ctx context.Context, q *cq.Query, c Class, opt Options) ([]*cq.Query, error) {
+	front, _, err := approxFront(ctx, q, c, opt)
 	if err != nil {
 		return nil, err
 	}
@@ -91,12 +110,17 @@ func Approximations(q *cq.Query, c Class, opt Options) ([]*cq.Query, error) {
 // Approximate returns one C-approximation of q (minimized). It is the
 // function A(Q) of Proposition 4.11.
 func Approximate(q *cq.Query, c Class, opt Options) (*cq.Query, error) {
-	front, _, err := approxFront(q, c, opt)
+	return ApproximateCtx(nil, q, c, opt)
+}
+
+// ApproximateCtx is Approximate under a context.
+func ApproximateCtx(ctx context.Context, q *cq.Query, c Class, opt Options) (*cq.Query, error) {
+	front, _, err := approxFront(ctx, q, c, opt)
 	if err != nil {
 		return nil, err
 	}
 	if len(front) == 0 {
-		return nil, fmt.Errorf("core: no %s-query is contained in %v", c.Name(), q)
+		return nil, fmt.Errorf("core: no %s-query is contained in %v: %w", c.Name(), q, cqerr.ErrNotInClass)
 	}
 	return queryFromPointed(q, front[0]), nil
 }
@@ -104,7 +128,7 @@ func Approximate(q *cq.Query, c Class, opt Options) (*cq.Query, error) {
 // CountApproximations returns |C-APPR_min(q)| within the candidate
 // space: the number of pairwise non-equivalent C-approximations.
 func CountApproximations(q *cq.Query, c Class, opt Options) (int, error) {
-	front, _, err := approxFront(q, c, opt)
+	front, _, err := approxFront(nil, q, c, opt)
 	if err != nil {
 		return 0, err
 	}
@@ -116,9 +140,9 @@ func CountApproximations(q *cq.Query, c Class, opt Options) (int, error) {
 // (the DP decision problem of Section 4.3: an NP containment check plus
 // a coNP no-better-witness check). Exact for graph-based classes.
 func IsApproximation(q, cand *cq.Query, c Class, opt Options) (bool, error) {
-	opt = opt.withDefaults()
+	opt = opt.WithDefaults()
 	if n := q.NumVars(); n > opt.MaxVars {
-		return false, fmt.Errorf("core: query has %d variables; limit is %d (raise Options.MaxVars)", n, opt.MaxVars)
+		return false, BudgetError(n, opt.MaxVars)
 	}
 	ct := cand.Tableau()
 	if !c.Contains(ct.S) {
@@ -129,7 +153,7 @@ func IsApproximation(q, cand *cq.Query, c Class, opt Options) (bool, error) {
 	}
 	candP := hom.Pointed{S: ct.S, Dist: ct.Dist}
 	better := false
-	err := forEachCandidate(q, c, opt, func(p hom.Pointed) bool {
+	err := forEachCandidate(nil, q, c, opt, func(p hom.Pointed) bool {
 		// cand ⊂ X ⊆ q ⟺ T_X → T_cand and T_cand ↛ T_X.
 		if hom.Maps(p, candP) && !hom.Maps(candP, p) {
 			better = true
@@ -143,15 +167,24 @@ func IsApproximation(q, cand *cq.Query, c Class, opt Options) (bool, error) {
 	return !better, nil
 }
 
+// BudgetError builds the typed over-budget error for a query with n
+// variables against limit max; the engine reuses it so the message and
+// sentinel stay in one place.
+func BudgetError(n, max int) error {
+	return fmt.Errorf("core: query has %d variables; limit is %d (raise Options.MaxVars): %w", n, max, cqerr.ErrBudgetExceeded)
+}
+
 // approxFront generates the candidate space and keeps its →-minimal
-// elements (one core representative per equivalence class).
-func approxFront(q *cq.Query, c Class, opt Options) ([]hom.Pointed, int, error) {
-	opt = opt.withDefaults()
+// elements (one core representative per equivalence class). A non-nil
+// ctx cancels the sweep between candidates and inside the homomorphism
+// searches.
+func approxFront(ctx context.Context, q *cq.Query, c Class, opt Options) ([]hom.Pointed, int, error) {
+	opt = opt.WithDefaults()
 	if err := q.Validate(); err != nil {
 		return nil, 0, err
 	}
 	if n := q.NumVars(); n > opt.MaxVars {
-		return nil, 0, fmt.Errorf("core: query has %d variables; limit is %d (raise Options.MaxVars)", n, opt.MaxVars)
+		return nil, 0, BudgetError(n, opt.MaxVars)
 	}
 	// Fast path: a query already in C is its own unique approximation —
 	// every other candidate is contained in it, hence dominated. The
@@ -159,7 +192,10 @@ func approxFront(q *cq.Query, c Class, opt Options) ([]hom.Pointed, int, error) 
 	// retractions, so every covering hyperedge keeps covering its
 	// image); the membership re-check below is a defensive guard.
 	if tb := q.Tableau(); c.Contains(tb.S) {
-		coreS, retract := hom.Core(tb.S, tb.Dist)
+		coreS, retract, err := hom.CoreCtx(ctx, tb.S, tb.Dist)
+		if err != nil {
+			return nil, 0, err
+		}
 		if c.Contains(coreS) {
 			return []hom.Pointed{{S: coreS, Dist: mapDist(tb.Dist, retract)}}, 1, nil
 		}
@@ -167,29 +203,52 @@ func approxFront(q *cq.Query, c Class, opt Options) ([]hom.Pointed, int, error) 
 	}
 	var front []hom.Pointed
 	inspected := 0
-	err := forEachCandidate(q, c, opt, func(p hom.Pointed) bool {
+	var searchErr error
+	err := forEachCandidate(ctx, q, c, opt, func(p hom.Pointed) bool {
 		inspected++
 		// Core first: smaller structures make the hom checks cheap and
 		// merge many equivalent candidates.
-		coreS, retract := hom.Core(p.S, p.Dist)
+		coreS, retract, err := hom.CoreCtx(ctx, p.S, p.Dist)
+		if err != nil {
+			searchErr = err
+			return false
+		}
 		cp := hom.Pointed{S: coreS, Dist: mapDist(p.Dist, retract)}
-		// Front maintenance over the ⥿ preorder.
+		// Front maintenance over the ⥿ preorder. The Maps searches poll
+		// ctx too: they are worst-case exponential, so cancellation must
+		// reach inside them, not just between candidates.
+		maps := func(a, b hom.Pointed) bool {
+			ok, err := hom.MapsCtx(ctx, a, b)
+			if err != nil && searchErr == nil {
+				searchErr = err
+			}
+			return ok
+		}
 		for _, y := range front {
-			if hom.Maps(y, cp) {
+			if maps(y, cp) {
 				// y ⊆-better or equivalent: discard cp either way (if
 				// equivalent it is a duplicate class).
 				return true
 			}
+			if searchErr != nil {
+				return false
+			}
 		}
 		kept := front[:0]
 		for _, y := range front {
-			if !(hom.Maps(cp, y) && !hom.Maps(y, cp)) {
+			if !(maps(cp, y) && !maps(y, cp)) {
 				kept = append(kept, y)
+			}
+			if searchErr != nil {
+				return false
 			}
 		}
 		front = append(kept, cp)
 		return true
 	})
+	if searchErr != nil {
+		return nil, 0, searchErr
+	}
 	if err != nil {
 		return nil, 0, err
 	}
@@ -234,12 +293,19 @@ func queryFromPointed(q *cq.Query, p hom.Pointed) *cq.Query {
 // MaxExtraAtoms extra atoms over the quotient's variables plus
 // FreshVars fresh variables per atom. Every candidate is contained in q
 // by construction (the quotient map is a homomorphism from T_Q).
-// fn returning false stops the enumeration.
-func forEachCandidate(q *cq.Query, c Class, opt Options, fn func(hom.Pointed) bool) error {
+// fn returning false stops the enumeration. A non-nil ctx is polled
+// once per partition; expiry stops the enumeration and surfaces a
+// cqerr.ErrCanceled-wrapped error.
+func forEachCandidate(ctx context.Context, q *cq.Query, c Class, opt Options, fn func(hom.Pointed) bool) error {
 	tb := q.Tableau()
 	dom := tb.S.Domain()
 	seen := map[string]bool{}
+	var canceled error
 	relstr.Partitions(dom, func(p relstr.Partition) bool {
+		if err := cqerr.Check(ctx); err != nil {
+			canceled = err
+			return false
+		}
 		img := tb.S.QuotientBy(p)
 		dist := make([]int, len(tb.Dist))
 		for i, d := range tb.Dist {
@@ -271,7 +337,7 @@ func forEachCandidate(q *cq.Query, c Class, opt Options, fn func(hom.Pointed) bo
 		}
 		return true
 	})
-	return nil
+	return canceled
 }
 
 // forEachExtension enumerates class members obtained from img by adding

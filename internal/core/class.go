@@ -27,7 +27,11 @@ import (
 // Class is a class of conjunctive queries defined through a property of
 // their tableaux. Implementations must be decidable membership tests.
 type Class interface {
-	// Name is a short identifier such as "TW(1)" or "AC".
+	// Name is a short identifier such as "TW(1)" or "AC". Within one
+	// concrete implementation type, Name must uniquely identify the
+	// class's semantics (any parameters affecting Contains must appear
+	// in it): the engine's prepared-query cache keys entries by
+	// concrete type plus Name.
 	Name() string
 	// Contains reports whether the CQ with the given tableau belongs to
 	// the class.

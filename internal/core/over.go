@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"cqapprox/internal/cq"
+	"cqapprox/internal/cqerr"
 	"cqapprox/internal/hom"
 	"cqapprox/internal/relstr"
 )
@@ -35,14 +36,14 @@ import (
 // graph-based classes). The head must be preserved: distinguished
 // variables survive in every candidate.
 func Overapproximations(q *cq.Query, c Class, opt Options) ([]*cq.Query, error) {
-	opt = opt.withDefaults()
+	opt = opt.WithDefaults()
 	if err := q.Validate(); err != nil {
 		return nil, err
 	}
 	tb := q.Tableau()
 	atoms := atomsOf(tb.S)
 	if len(atoms) > 20 {
-		return nil, fmt.Errorf("core: query has %d atoms; overapproximation search is bounded at 20", len(atoms))
+		return nil, fmt.Errorf("core: query has %d atoms; overapproximation search is bounded at 20: %w", len(atoms), cqerr.ErrBudgetExceeded)
 	}
 	var front []hom.Pointed
 	total := 1 << uint(len(atoms))
@@ -112,7 +113,7 @@ func Overapproximate(q *cq.Query, c Class, opt Options) (*cq.Query, error) {
 		return nil, err
 	}
 	if len(all) == 0 {
-		return nil, fmt.Errorf("core: no %s-overapproximation of %v in the candidate space", c.Name(), q)
+		return nil, fmt.Errorf("core: no %s-overapproximation of %v in the candidate space: %w", c.Name(), q, cqerr.ErrNotInClass)
 	}
 	return all[0], nil
 }

@@ -235,3 +235,25 @@ func (q *Query) SortAtoms() *Query {
 	})
 	return out
 }
+
+// CanonicalKey returns a deterministic string identifying q up to
+// variable renaming and atom reordering (alpha-equivalence): two
+// alpha-equivalent queries get equal keys, and equal keys imply
+// alpha-equivalence, so the key is sound and complete for caching
+// prepared plans at the syntactic level. It is NOT complete for
+// *semantic* equivalence — homomorphically equivalent but syntactically
+// different queries get different keys, which costs at most a cache
+// miss, never a wrong hit.
+//
+// The key is the canonical form of q's pointed tableau
+// (relstr.CanonicalKey): alpha-equivalent queries have isomorphic
+// tableaux and vice versa. The head predicate name is deliberately
+// excluded — Q(x) :- E(x,y) and P(x) :- E(x,y) are the same query —
+// and duplicate atoms collapse, as they do in the tableau. For queries
+// whose tableau symmetry exceeds the canonicalization budget the key
+// degrades to a deterministic heuristic labeling (still sound; see
+// relstr.CanonicalKey).
+func (q *Query) CanonicalKey() string {
+	tb := q.Tableau()
+	return relstr.CanonicalKey(tb.S, tb.Dist)
+}

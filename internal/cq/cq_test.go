@@ -168,3 +168,45 @@ func TestCloneIndependence(t *testing.T) {
 		t.Fatal("Clone shares slices with original")
 	}
 }
+
+func TestCanonicalKeyAlphaEquivalence(t *testing.T) {
+	// Pairs of alpha-equivalent queries (renamed variables, reordered
+	// atoms) must collide; the second pair is the multi-relation cycle
+	// where a naive rename/sort fixpoint diverges by starting order.
+	equal := [][2]string{
+		{"Q(x) :- E(x,y), E(y,z), E(z,x)", "P(a) :- E(c,a), E(a,b), E(b,c)"},
+		{
+			"Q() :- E(x,y), F(y,x), E(y,z), F(z,y), E(z,x)",
+			"Q() :- F(tC,tB), F(tB,tA), E(tC,tA), E(tB,tC), E(tA,tB)",
+		},
+		{"Q(u,u) :- E(u,v)", "Q(a,a) :- E(a,b)"},
+		// Fully symmetric tableau (directed 5-cycle): refinement alone
+		// cannot break the tie; individualization must.
+		{
+			"Q() :- E(a,b), E(b,c), E(c,d), E(d,e), E(e,a)",
+			"Q() :- E(v3,v4), E(v1,v2), E(v5,v1), E(v2,v3), E(v4,v5)",
+		},
+	}
+	for _, pair := range equal {
+		k1 := MustParse(pair[0]).CanonicalKey()
+		k2 := MustParse(pair[1]).CanonicalKey()
+		if k1 != k2 {
+			t.Errorf("keys differ for alpha-equivalent queries:\n  %s -> %s\n  %s -> %s",
+				pair[0], k1, pair[1], k2)
+		}
+	}
+	distinct := [][2]string{
+		{"Q() :- E(x,y), E(y,z), E(z,x)", "Q() :- E(x,y), E(y,z), E(z,w), E(w,x)"},
+		// Same body, different head: tableaux differ in the
+		// distinguished tuple.
+		{"Q(x) :- E(x,y)", "Q(y) :- E(x,y)"},
+		{"Q(x) :- E(x,y)", "Q() :- E(x,y)"},
+	}
+	for _, pair := range distinct {
+		k1 := MustParse(pair[0]).CanonicalKey()
+		k2 := MustParse(pair[1]).CanonicalKey()
+		if k1 == k2 {
+			t.Errorf("keys collide for non-equivalent queries %s and %s: %s", pair[0], pair[1], k1)
+		}
+	}
+}

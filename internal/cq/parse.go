@@ -38,13 +38,36 @@ func MustParse(input string) *Query {
 	return q
 }
 
+// ParseError reports a syntax error with its position in the input:
+// Offset is the byte offset, Line and Col are 1-based and computed over
+// the raw input (tabs count as one column).
+type ParseError struct {
+	Offset int
+	Line   int
+	Col    int
+	Msg    string
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("cq: parse error at %d:%d (offset %d): %s", e.Line, e.Col, e.Offset, e.Msg)
+}
+
 type parser struct {
 	src string
 	pos int
 }
 
 func (p *parser) errf(format string, args ...interface{}) error {
-	return fmt.Errorf("cq: parse error at offset %d: %s", p.pos, fmt.Sprintf(format, args...))
+	line, col := 1, 1
+	for i := 0; i < p.pos && i < len(p.src); i++ {
+		if p.src[i] == '\n' {
+			line++
+			col = 1
+		} else {
+			col++
+		}
+	}
+	return &ParseError{Offset: p.pos, Line: line, Col: col, Msg: fmt.Sprintf(format, args...)}
 }
 
 func (p *parser) skipSpace() {

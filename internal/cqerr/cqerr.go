@@ -1,0 +1,48 @@
+// Package cqerr defines the typed error taxonomy shared by every layer
+// of the library. The sentinels here are re-exported by the public
+// facade; internal packages wrap them with context so callers can both
+// branch on errors.Is and read a meaningful message.
+package cqerr
+
+import (
+	"context"
+	"errors"
+	"fmt"
+)
+
+// ErrCanceled reports that a search or evaluation was interrupted by
+// context cancellation or deadline expiry before completing. The
+// messages carry no package prefix so CLIs can add their own without
+// stuttering.
+var ErrCanceled = errors.New("canceled")
+
+// ErrBudgetExceeded reports that an input exceeds a configured search
+// budget (e.g. Options.MaxVars): the operation was refused rather than
+// risking a super-exponential run.
+var ErrBudgetExceeded = errors.New("search budget exceeded")
+
+// ErrNotInClass reports that no query of the requested class satisfies
+// the required relationship to the input (e.g. no C-query is contained
+// in Q, which can only happen for incompatible head arities).
+var ErrNotInClass = errors.New("no query of the class qualifies")
+
+// Canceled wraps ErrCanceled with the context's own cause so that both
+// errors.Is(err, ErrCanceled) and errors.Is(err, context.Canceled) /
+// context.DeadlineExceeded hold.
+func Canceled(ctx context.Context) error {
+	cause := context.Cause(ctx)
+	if cause == nil {
+		cause = ctx.Err()
+	}
+	return fmt.Errorf("%w: %w", ErrCanceled, cause)
+}
+
+// Check polls ctx (nil means "never cancelled", the convention of the
+// internal search layers) and returns the wrapped cancellation error
+// once it has expired, nil otherwise.
+func Check(ctx context.Context) error {
+	if ctx != nil && ctx.Err() != nil {
+		return Canceled(ctx)
+	}
+	return nil
+}

@@ -14,10 +14,12 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
 	"cqapprox/internal/cq"
+	"cqapprox/internal/cqerr"
 	"cqapprox/internal/hom"
 	"cqapprox/internal/relstr"
 )
@@ -52,42 +54,92 @@ func sortAnswers(ts []relstr.Tuple) Answers {
 // Naive evaluates q on db by backtracking search over the query
 // variables (the generic NP engine).
 func Naive(q *cq.Query, db *relstr.Structure) Answers {
-	tb := q.Tableau()
+	ans, _ := NaiveCtx(nil, q, db)
+	return ans
+}
+
+// NaiveCtx is Naive under a context: cancellation aborts the
+// backtracking search with a cqerr.ErrCanceled-wrapped error.
+func NaiveCtx(ctx context.Context, q *cq.Query, db *relstr.Structure) (Answers, error) {
+	return naiveEval(ctx, q.Tableau(), db)
+}
+
+// naiveEval is the tableau-level backtracking engine shared by NaiveCtx
+// and Plan (which passes its precomputed tableau).
+func naiveEval(ctx context.Context, tb *cq.Tableau, db *relstr.Structure) (Answers, error) {
 	var out []relstr.Tuple
-	hom.Project(tb.S, db, nil, tb.Dist, func(vals []int) bool {
+	_, err := hom.ProjectCtx(ctx, tb.S, db, nil, tb.Dist, func(vals []int) bool {
 		out = append(out, relstr.Tuple(vals).Clone())
 		return true
 	})
-	return sortAnswers(out)
+	if err != nil {
+		return nil, err
+	}
+	return sortAnswers(out), nil
 }
 
 // NaiveBool evaluates a Boolean query (or reports whether q has any
 // answer).
 func NaiveBool(q *cq.Query, db *relstr.Structure) bool {
-	tb := q.Tableau()
+	ok, _ := NaiveBoolCtx(nil, q, db)
+	return ok
+}
+
+// NaiveBoolCtx is NaiveBool under a context.
+func NaiveBoolCtx(ctx context.Context, q *cq.Query, db *relstr.Structure) (bool, error) {
+	return naiveBool(ctx, q.Tableau(), db)
+}
+
+// naiveBool is the tableau-level answer-existence check shared by
+// NaiveBoolCtx and Plan. A found answer wins over a late cancellation:
+// the latch stops the search, not the result.
+func naiveBool(ctx context.Context, tb *cq.Tableau, db *relstr.Structure) (bool, error) {
 	found := false
-	hom.Project(tb.S, db, nil, tb.Dist, func([]int) bool {
+	_, err := hom.ProjectCtx(ctx, tb.S, db, nil, tb.Dist, func([]int) bool {
 		found = true
 		return false
 	})
-	return found
+	if err != nil && !found {
+		return false, err
+	}
+	return found, nil
 }
 
 // Eval evaluates q with the best applicable engine: Yannakakis when q
 // is acyclic, otherwise the naive engine.
 func Eval(q *cq.Query, db *relstr.Structure) Answers {
-	if ans, err := Yannakakis(q, db); err == nil {
-		return ans
+	ans, _ := EvalCtx(nil, q, db)
+	return ans
+}
+
+// EvalCtx is Eval under a context.
+func EvalCtx(ctx context.Context, q *cq.Query, db *relstr.Structure) (Answers, error) {
+	ans, err := YannakakisCtx(ctx, q, db)
+	if err == nil {
+		return ans, nil
 	}
-	return Naive(q, db)
+	if !IsNotAcyclic(err) {
+		return nil, err
+	}
+	return NaiveCtx(ctx, q, db)
 }
 
 // EvalBool is the Boolean variant of Eval.
 func EvalBool(q *cq.Query, db *relstr.Structure) bool {
-	if ok, err := YannakakisBool(q, db); err == nil {
-		return ok
+	ok, _ := EvalBoolCtx(nil, q, db)
+	return ok
+}
+
+// EvalBoolCtx is EvalBool under a context.
+func EvalBoolCtx(ctx context.Context, q *cq.Query, db *relstr.Structure) (bool, error) {
+	ok, err := YannakakisBoolCtx(ctx, q, db)
+	if err == nil {
+		return ok, nil
 	}
-	return NaiveBool(q, db)
+	if !IsNotAcyclic(err) {
+		return false, err
+	}
+	return NaiveBoolCtx(ctx, q, db)
 }
 
 // --- shared relation-tree machinery -----------------------------------
@@ -245,13 +297,15 @@ func join(l, r rel) rel {
 	return out
 }
 
-// solveTree runs the full Yannakakis pipeline over a relation forest:
-// semijoin reduction (leaves→roots, roots→leaves), then a bottom-up
-// join keeping only the variables needed above plus free variables,
-// then a cross product across components, finally projecting onto the
-// head. Answers are deduplicated and sorted. head lists element ids
-// (with possible repeats); free is the set of distinct head elements.
-func solveTree(nodes []node, head []int) Answers {
+// solveTreeCtx runs the full Yannakakis pipeline over a relation
+// forest: semijoin reduction (leaves→roots, roots→leaves), then a
+// bottom-up join keeping only the variables needed above plus free
+// variables, then a cross product across components, finally projecting
+// onto the head. Answers are deduplicated and sorted. head lists
+// element ids (with possible repeats); free is the set of distinct head
+// elements. ctx is polled between per-node relational operations (each
+// O(|D|) work, bounding cancellation latency by one semijoin/join).
+func solveTreeCtx(ctx context.Context, nodes []node, head []int) (Answers, error) {
 	freeSet := map[int]bool{}
 	for _, v := range head {
 		freeSet[v] = true
@@ -262,54 +316,33 @@ func solveTree(nodes []node, head []int) Answers {
 			roots = append(roots, i)
 		}
 	}
-	// Post-order traversal per root.
-	var postorder func(i int, out *[]int)
-	postorder = func(i int, out *[]int) {
-		for _, c := range nodes[i].children {
-			postorder(c, out)
-		}
-		*out = append(*out, i)
-	}
-	// (1) bottom-up semijoin.
-	for _, r := range roots {
-		var order []int
-		postorder(r, &order)
-		for _, u := range order {
-			for _, c := range nodes[u].children {
-				nodes[u].rel = semijoin(nodes[u].rel, nodes[c].rel)
-			}
-		}
-	}
-	// (2) top-down semijoin.
-	for _, r := range roots {
-		var pre []int
-		var preorder func(i int)
-		preorder = func(i int) {
-			pre = append(pre, i)
-			for _, c := range nodes[i].children {
-				preorder(c)
-			}
-		}
-		preorder(r)
-		for _, u := range pre {
-			for _, c := range nodes[u].children {
-				nodes[c].rel = semijoin(nodes[c].rel, nodes[u].rel)
-			}
-		}
+	// (1)+(2) bottom-up then top-down semijoin reduction.
+	if err := semijoinPasses(ctx, nodes); err != nil {
+		return nil, err
 	}
 	// Emptiness short-circuit.
 	for i := range nodes {
 		if len(nodes[i].rows) == 0 {
-			return Answers{}
+			return Answers{}, nil
 		}
 	}
 	// (3) bottom-up join with projection.
 	upRel := make([]rel, len(nodes))
+	var solveErr error
 	var solve func(i int) rel
 	solve = func(i int) rel {
+		if solveErr != nil {
+			return rel{}
+		}
+		if solveErr = cqerr.Check(ctx); solveErr != nil {
+			return rel{}
+		}
 		acc := nodes[i].rel
 		for _, c := range nodes[i].children {
 			acc = join(acc, solve(c))
+			if solveErr != nil {
+				return rel{}
+			}
 		}
 		// Keep: free variables of the subtree ∪ connector to parent.
 		keepSet := map[int]bool{}
@@ -336,8 +369,11 @@ func solveTree(nodes []node, head []int) Answers {
 	total := rel{vars: nil, rows: [][]int{{}}}
 	for _, r := range roots {
 		rr := solve(r)
+		if solveErr != nil {
+			return nil, solveErr
+		}
 		if len(rr.rows) == 0 {
-			return Answers{}
+			return Answers{}, nil
 		}
 		total = join(total, rr)
 	}
@@ -359,5 +395,5 @@ func solveTree(nodes []node, head []int) Answers {
 			out = append(out, vals)
 		}
 	}
-	return sortAnswers(out)
+	return sortAnswers(out), nil
 }

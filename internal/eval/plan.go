@@ -1,0 +1,219 @@
+package eval
+
+import (
+	"context"
+	"iter"
+
+	"cqapprox/internal/cq"
+	"cqapprox/internal/cqerr"
+	"cqapprox/internal/hom"
+	"cqapprox/internal/hypergraph"
+	"cqapprox/internal/relstr"
+)
+
+// PlanMode identifies the evaluation strategy a Plan selected.
+type PlanMode int
+
+const (
+	// PlanYannakakis: the query is acyclic; evaluation runs the
+	// semijoin pipeline over the precomputed join tree, O(|D|·|Q|)
+	// plus output cost.
+	PlanYannakakis PlanMode = iota
+	// PlanNaive: the query is cyclic; evaluation is backtracking
+	// search, |D|^O(|Q|) worst case.
+	PlanNaive
+)
+
+func (m PlanMode) String() string {
+	switch m {
+	case PlanYannakakis:
+		return "yannakakis"
+	case PlanNaive:
+		return "naive"
+	default:
+		return "unknown"
+	}
+}
+
+// Plan is a compiled evaluation strategy for one query, reusable across
+// databases and safe for concurrent use (all fields are immutable after
+// NewPlan). The static work — tableau construction, GYO join-tree
+// computation, acyclicity analysis — happens once in NewPlan; Eval and
+// Stream only do per-database work.
+type Plan struct {
+	q    *cq.Query
+	tb   *cq.Tableau
+	mode PlanMode
+	// Yannakakis mode only:
+	atoms []patom
+	jt    hypergraph.JoinTree
+}
+
+// NewPlan analyses q and fixes the best applicable engine: Yannakakis
+// over a GYO join tree when q is acyclic, naive backtracking otherwise.
+func NewPlan(q *cq.Query) *Plan {
+	p := &Plan{q: q, tb: q.Tableau(), mode: PlanNaive}
+	h := hypergraph.FromStructure(p.tb.S)
+	if jt, ok := h.GYO(); ok {
+		p.mode = PlanYannakakis
+		p.jt = jt
+		p.atoms = atomList(p.tb.S)
+	}
+	return p
+}
+
+// Query returns the query the plan evaluates.
+func (p *Plan) Query() *cq.Query { return p.q }
+
+// Mode returns the selected strategy.
+func (p *Plan) Mode() PlanMode { return p.mode }
+
+// Eval evaluates the plan's query on db, materialising the full
+// deduplicated, sorted answer set.
+func (p *Plan) Eval(ctx context.Context, db *relstr.Structure) (Answers, error) {
+	if p.mode == PlanYannakakis {
+		nodes := buildJoinForest(p.atoms, p.jt, db)
+		return solveTreeCtx(ctx, nodes, p.tb.Dist)
+	}
+	return naiveEval(ctx, p.tb, db)
+}
+
+// EvalBool reports whether the query has at least one answer on db
+// (Boolean evaluation / answer existence). For acyclic plans this is
+// the single leaves→root semijoin pass, O(|D|·|Q|).
+func (p *Plan) EvalBool(ctx context.Context, db *relstr.Structure) (bool, error) {
+	if p.mode == PlanYannakakis {
+		return solveBoolForest(ctx, buildJoinForest(p.atoms, p.jt, db))
+	}
+	return naiveBool(ctx, p.tb, db)
+}
+
+// Stream enumerates distinct answers one at a time without
+// materialising the full answer set, in discovery order (not sorted).
+// For acyclic plans the database is first reduced by the full
+// Yannakakis semijoin pass — O(|D|·|Q|) — so the subsequent
+// enumeration backtracks only over tuples that participate in at least
+// one locally consistent assignment; for naive plans the enumeration
+// runs directly against db.
+//
+// Iteration stops early when ctx is cancelled (or the consumer breaks);
+// use StreamErr to distinguish a truncated stream from an exhausted
+// one. Every delivered tuple is a correct answer regardless of where
+// iteration stopped.
+func (p *Plan) Stream(ctx context.Context, db *relstr.Structure) iter.Seq[relstr.Tuple] {
+	seq, _ := p.StreamErr(ctx, db)
+	return seq
+}
+
+// StreamErr is Stream plus a terminal-error accessor: after the
+// iteration ends (exhausted, broken, or cancelled), calling the
+// returned function reports nil for a complete enumeration and the
+// cancellation error if the search was cut short — an empty cancelled
+// stream is thereby distinguishable from a genuinely empty answer set.
+func (p *Plan) StreamErr(ctx context.Context, db *relstr.Structure) (iter.Seq[relstr.Tuple], func() error) {
+	var terminal error
+	seq := func(yield func(relstr.Tuple) bool) {
+		target := db
+		if p.mode == PlanYannakakis {
+			reduced, empty, err := p.reduce(ctx, db)
+			if err != nil {
+				terminal = err
+				return
+			}
+			if empty {
+				return
+			}
+			target = reduced
+		}
+		_, err := hom.ProjectCtx(ctx, p.tb.S, target, nil, p.tb.Dist, func(vals []int) bool {
+			return yield(relstr.Tuple(vals).Clone())
+		})
+		if err != nil {
+			terminal = err
+		}
+	}
+	return seq, func() error { return terminal }
+}
+
+// reduce runs both semijoin passes over the join forest and rebuilds a
+// database containing only the surviving tuples. Answers of the query
+// on the reduced database equal those on db: reduction only removes
+// tuples that cannot take part in a global assignment. empty reports
+// that some relation became empty, i.e. the answer set is empty.
+func (p *Plan) reduce(ctx context.Context, db *relstr.Structure) (_ *relstr.Structure, empty bool, _ error) {
+	nodes := buildJoinForest(p.atoms, p.jt, db)
+	if err := semijoinPasses(ctx, nodes); err != nil {
+		return nil, false, err
+	}
+	out := db.CloneSchema()
+	for i, a := range p.atoms {
+		if len(nodes[i].rows) == 0 {
+			return nil, true, nil
+		}
+		// Rebuild the db tuples backing each surviving assignment row:
+		// position j of the tuple holds the row value of the variable
+		// at position j (repeated variables repeat the value).
+		varIdx := make([]int, len(a.args))
+		for j, v := range a.args {
+			varIdx[j] = indexOf(nodes[i].vars, v)
+		}
+		for _, row := range nodes[i].rows {
+			t := make([]int, len(a.args))
+			for j, vi := range varIdx {
+				t[j] = row[vi]
+			}
+			out.Add(a.rel, t...)
+		}
+	}
+	return out, false, nil
+}
+
+// semijoinPasses runs the leaves→roots and roots→leaves semijoin
+// reductions in place over a join forest.
+func semijoinPasses(ctx context.Context, nodes []node) error {
+	var roots []int
+	for i := range nodes {
+		if nodes[i].parent == -1 {
+			roots = append(roots, i)
+		}
+	}
+	var post func(i int) error
+	post = func(i int) error {
+		for _, c := range nodes[i].children {
+			if err := post(c); err != nil {
+				return err
+			}
+		}
+		if err := cqerr.Check(ctx); err != nil {
+			return err
+		}
+		for _, c := range nodes[i].children {
+			nodes[i].rel = semijoin(nodes[i].rel, nodes[c].rel)
+		}
+		return nil
+	}
+	var pre func(i int) error
+	pre = func(i int) error {
+		if err := cqerr.Check(ctx); err != nil {
+			return err
+		}
+		for _, c := range nodes[i].children {
+			nodes[c].rel = semijoin(nodes[c].rel, nodes[i].rel)
+			if err := pre(c); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for _, r := range roots {
+		if err := post(r); err != nil {
+			return err
+		}
+	}
+	for _, r := range roots {
+		if err := pre(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 
 	"cqapprox/internal/cq"
@@ -17,6 +18,13 @@ import (
 // Yannakakis pipeline. Combined complexity O(|D|^{k+1}·|Q|) for a
 // width-k decomposition.
 func ByTreeDecomposition(q *cq.Query, db *relstr.Structure) (Answers, error) {
+	return ByTreeDecompositionCtx(nil, q, db)
+}
+
+// ByTreeDecompositionCtx is ByTreeDecomposition under a context: the
+// bag materialisations and the Yannakakis pipeline over the bag tree
+// both poll ctx.
+func ByTreeDecompositionCtx(ctx context.Context, q *cq.Query, db *relstr.Structure) (Answers, error) {
 	tb := q.Tableau()
 	g, id := tw.FromStructure(tb.S)
 	if g.N == 0 {
@@ -52,7 +60,11 @@ func ByTreeDecomposition(q *cq.Query, db *relstr.Structure) (Answers, error) {
 		for i, v := range bag {
 			elems[i] = back[v]
 		}
-		nodes[bi].rel = bagRelation(atoms, elems, db)
+		r, err := bagRelation(ctx, atoms, elems, db)
+		if err != nil {
+			return nil, err
+		}
+		nodes[bi].rel = r
 	}
 	// Root the decomposition tree at the last bag.
 	adj := make([][]int, len(dec.Bags))
@@ -82,7 +94,7 @@ func ByTreeDecomposition(q *cq.Query, db *relstr.Structure) (Answers, error) {
 			return nil, fmt.Errorf("eval: decomposition tree is disconnected at bag %d", i)
 		}
 	}
-	return solveTree(nodes, tb.Dist), nil
+	return solveTreeCtx(ctx, nodes, tb.Dist)
 }
 
 func bagContains(bag []int, args []int, id map[int]int) bool {
@@ -102,7 +114,7 @@ func bagContains(bag []int, args []int, id map[int]int) bool {
 // satisfy every atom of the tableau that fits inside the bag (a
 // superset of the assigned atoms, for stronger filtering). Variables
 // with no atom inside the bag range over the active domain of db.
-func bagRelation(atoms []patom, elems []int, db *relstr.Structure) rel {
+func bagRelation(ctx context.Context, atoms []patom, elems []int, db *relstr.Structure) (rel, error) {
 	inBag := map[int]bool{}
 	for _, e := range elems {
 		inBag[e] = true
@@ -125,9 +137,12 @@ func bagRelation(atoms []patom, elems []int, db *relstr.Structure) rel {
 		sub.AddElement(e)
 	}
 	out := rel{vars: append([]int{}, elems...)}
-	hom.Project(sub, db, nil, elems, func(vals []int) bool {
+	_, err := hom.ProjectCtx(ctx, sub, db, nil, elems, func(vals []int) bool {
 		out.rows = append(out.rows, append([]int{}, vals...))
 		return true
 	})
-	return out
+	if err != nil {
+		return rel{}, err
+	}
+	return out, nil
 }

@@ -1,15 +1,21 @@
 package eval
 
 import (
+	"context"
 	"errors"
 
 	"cqapprox/internal/cq"
+	"cqapprox/internal/cqerr"
 	"cqapprox/internal/hypergraph"
 	"cqapprox/internal/relstr"
 )
 
 // ErrNotAcyclic is returned by Yannakakis for cyclic queries.
 var ErrNotAcyclic = errors.New("eval: query is not acyclic")
+
+// IsNotAcyclic reports whether err is the acyclicity failure (as
+// opposed to cancellation or another evaluation error).
+func IsNotAcyclic(err error) bool { return errors.Is(err, ErrNotAcyclic) }
 
 // atomList extracts the atoms of a tableau in the deterministic order
 // used by hypergraph.FromStructure (relations sorted, tuples in
@@ -101,6 +107,11 @@ func buildJoinForest(atoms []patom, jt hypergraph.JoinTree, db *relstr.Structure
 // root→leaves semijoin pass, then a bottom-up join projected onto the
 // free variables. Returns ErrNotAcyclic for cyclic queries.
 func Yannakakis(q *cq.Query, db *relstr.Structure) (Answers, error) {
+	return YannakakisCtx(nil, q, db)
+}
+
+// YannakakisCtx is Yannakakis under a context.
+func YannakakisCtx(ctx context.Context, q *cq.Query, db *relstr.Structure) (Answers, error) {
 	tb := q.Tableau()
 	h := hypergraph.FromStructure(tb.S)
 	jt, ok := h.GYO()
@@ -109,7 +120,7 @@ func Yannakakis(q *cq.Query, db *relstr.Structure) (Answers, error) {
 	}
 	atoms := atomList(tb.S)
 	nodes := buildJoinForest(atoms, jt, db)
-	return solveTree(nodes, tb.Dist), nil
+	return solveTreeCtx(ctx, nodes, tb.Dist)
 }
 
 // YannakakisBool evaluates a Boolean acyclic CQ with only the
@@ -117,6 +128,11 @@ func Yannakakis(q *cq.Query, db *relstr.Structure) (Answers, error) {
 // introduction quotes. For non-Boolean q it reports whether q has at
 // least one answer.
 func YannakakisBool(q *cq.Query, db *relstr.Structure) (bool, error) {
+	return YannakakisBoolCtx(nil, q, db)
+}
+
+// YannakakisBoolCtx is YannakakisBool under a context.
+func YannakakisBoolCtx(ctx context.Context, q *cq.Query, db *relstr.Structure) (bool, error) {
 	tb := q.Tableau()
 	h := hypergraph.FromStructure(tb.S)
 	jt, ok := h.GYO()
@@ -124,7 +140,13 @@ func YannakakisBool(q *cq.Query, db *relstr.Structure) (bool, error) {
 		return false, ErrNotAcyclic
 	}
 	atoms := atomList(tb.S)
-	nodes := buildJoinForest(atoms, jt, db)
+	return solveBoolForest(ctx, buildJoinForest(atoms, jt, db))
+}
+
+// solveBoolForest runs the single leaves→roots semijoin pass over a
+// join forest, reporting whether every node keeps at least one row
+// (i.e. the query has an answer).
+func solveBoolForest(ctx context.Context, nodes []node) (bool, error) {
 	var postorder func(i int, out *[]int)
 	postorder = func(i int, out *[]int) {
 		for _, c := range nodes[i].children {
@@ -139,6 +161,9 @@ func YannakakisBool(q *cq.Query, db *relstr.Structure) (bool, error) {
 		var order []int
 		postorder(i, &order)
 		for _, u := range order {
+			if err := cqerr.Check(ctx); err != nil {
+				return false, err
+			}
 			for _, c := range nodes[u].children {
 				nodes[u].rel = semijoin(nodes[u].rel, nodes[c].rel)
 			}

@@ -1,6 +1,8 @@
 package hom
 
 import (
+	"context"
+
 	"cqapprox/internal/cq"
 	"cqapprox/internal/relstr"
 )
@@ -16,6 +18,13 @@ import (
 // that avoids at least one element, because a fact-losing endomorphism
 // of a finite structure cannot be injective on the active domain.
 func Core(s *relstr.Structure, dist []int) (*relstr.Structure, map[int]int) {
+	c, r, _ := CoreCtx(nil, s, dist)
+	return c, r
+}
+
+// CoreCtx is Core under a context: cancellation aborts the retraction
+// search and returns a cqerr-wrapped error.
+func CoreCtx(ctx context.Context, s *relstr.Structure, dist []int) (*relstr.Structure, map[int]int, error) {
 	cur := s.Clone()
 	// retract maps original elements to their current images.
 	retract := map[int]int{}
@@ -35,7 +44,10 @@ func Core(s *relstr.Structure, dist []int) (*relstr.Structure, map[int]int) {
 				continue
 			}
 			sub := cur.Without(v)
-			h, ok := Find(cur, sub, pre)
+			h, ok, err := FindCtx(ctx, cur, sub, pre)
+			if err != nil {
+				return nil, nil, err
+			}
 			if !ok {
 				continue
 			}
@@ -47,7 +59,7 @@ func Core(s *relstr.Structure, dist []int) (*relstr.Structure, map[int]int) {
 			break
 		}
 		if !improved {
-			return cur, retract
+			return cur, retract, nil
 		}
 	}
 }
@@ -76,8 +88,17 @@ func IsCore(s *relstr.Structure, dist []int) bool {
 // whose tableau is core(T_Q, x̄). Variable names from q are preserved
 // where the corresponding elements survive.
 func Minimize(q *cq.Query) *cq.Query {
+	m, _ := MinimizeCtx(nil, q)
+	return m
+}
+
+// MinimizeCtx is Minimize under a context.
+func MinimizeCtx(ctx context.Context, q *cq.Query) (*cq.Query, error) {
 	tb := q.Tableau()
-	core, retract := Core(tb.S, tb.Dist)
+	core, retract, err := CoreCtx(ctx, tb.S, tb.Dist)
+	if err != nil {
+		return nil, err
+	}
 	dist := make([]int, len(tb.Dist))
 	for i, d := range tb.Dist {
 		dist[i] = retract[d]
@@ -91,7 +112,7 @@ func Minimize(q *cq.Query) *cq.Query {
 	}
 	out := cq.FromTableau(core, dist, names)
 	out.Name = q.Name
-	return out
+	return out, nil
 }
 
 // IsMinimized reports whether q's tableau is a core (i.e., q equals its

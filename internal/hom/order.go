@@ -1,6 +1,8 @@
 package hom
 
 import (
+	"context"
+
 	"cqapprox/internal/cq"
 	"cqapprox/internal/relstr"
 )
@@ -16,17 +18,23 @@ type Pointed struct {
 // sending a.Dist pointwise to b.Dist. Both tuples must have the same
 // length.
 func Maps(a, b Pointed) bool {
+	ok, _ := MapsCtx(nil, a, b)
+	return ok
+}
+
+// MapsCtx is Maps under a context.
+func MapsCtx(ctx context.Context, a, b Pointed) (bool, error) {
 	if len(a.Dist) != len(b.Dist) {
-		return false
+		return false, nil
 	}
 	pre := map[int]int{}
 	for i, d := range a.Dist {
 		if w, ok := pre[d]; ok && w != b.Dist[i] {
-			return false
+			return false, nil
 		}
 		pre[d] = b.Dist[i]
 	}
-	return Exists(a.S, b.S, pre)
+	return ExistsCtx(ctx, a.S, b.S, pre)
 }
 
 // Equivalentp reports homomorphic equivalence of pointed structures:

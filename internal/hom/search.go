@@ -11,8 +11,10 @@
 package hom
 
 import (
+	"context"
 	"sort"
 
+	"cqapprox/internal/cqerr"
 	"cqapprox/internal/relstr"
 )
 
@@ -39,6 +41,45 @@ type problem struct {
 	posCand  map[int][]int // static candidate list per source element; nil = whole domain
 	aDom     []int
 	unsat    bool
+
+	// Cooperative cancellation: when ctx is non-nil the solver polls it
+	// every cancelEvery search nodes and abandons the search, leaving
+	// canceled set so callers can distinguish "exhausted" from
+	// "interrupted by the context".
+	ctx      context.Context
+	steps    uint
+	canceled bool
+}
+
+// cancelEvery is how many solver nodes pass between context polls: a
+// power of two so the check compiles to a mask, small enough that
+// cancellation is observed within microseconds on realistic instances.
+const cancelEvery = 256
+
+// cancelled polls the problem's context (if any) at a bounded rate and
+// latches the result.
+func (p *problem) cancelled() bool {
+	if p.canceled {
+		return true
+	}
+	if p.ctx == nil {
+		return false
+	}
+	// Poll on the first node (so an already-expired context is seen
+	// even on tiny instances) and every cancelEvery nodes after.
+	p.steps++
+	if p.steps%cancelEvery == 1 && p.ctx.Err() != nil {
+		p.canceled = true
+	}
+	return p.canceled
+}
+
+// cancelErr converts the latched cancellation flag into a typed error.
+func (p *problem) cancelErr() error {
+	if p.canceled {
+		return cqerr.Canceled(p.ctx)
+	}
+	return nil
 }
 
 func compile(a, b *relstr.Structure) *problem { return compileRestricted(a, b, nil) }
@@ -345,6 +386,9 @@ func (p *problem) selectVar(assign map[int]int, remaining []int, frontier map[in
 // false ("interrupted"); otherwise solve returns true after exhausting
 // the space.
 func (p *problem) solve(assign map[int]int, remaining []int, frontier map[int]int, fn func() bool) bool {
+	if p.cancelled() {
+		return false
+	}
 	if len(remaining) == 0 {
 		return fn()
 	}
@@ -434,12 +478,30 @@ func Exists(a, b *relstr.Structure, pre map[int]int) bool {
 	return ok
 }
 
+// ExistsCtx is Exists under a context: it returns cqerr-wrapped
+// cancellation when ctx expires mid-search.
+func ExistsCtx(ctx context.Context, a, b *relstr.Structure, pre map[int]int) (bool, error) {
+	_, ok, err := findCtx(ctx, a, b, pre)
+	return ok, err
+}
+
 // Find returns a homomorphism from a to b extending pre, if one exists.
 func Find(a, b *relstr.Structure, pre map[int]int) (map[int]int, bool) {
+	h, ok, _ := findCtx(nil, a, b, pre)
+	return h, ok
+}
+
+// FindCtx is Find under a context.
+func FindCtx(ctx context.Context, a, b *relstr.Structure, pre map[int]int) (map[int]int, bool, error) {
+	return findCtx(ctx, a, b, pre)
+}
+
+func findCtx(ctx context.Context, a, b *relstr.Structure, pre map[int]int) (map[int]int, bool, error) {
 	p := compile(a, b)
+	p.ctx = ctx
 	assign, remaining, ok := p.prepare(pre)
 	if !ok {
-		return nil, false
+		return nil, false, nil
 	}
 	var found map[int]int
 	p.solve(assign, remaining, p.initFrontier(assign), func() bool {
@@ -449,28 +511,43 @@ func Find(a, b *relstr.Structure, pre map[int]int) (map[int]int, bool) {
 		}
 		return false // stop at first solution
 	})
-	if found == nil {
-		return nil, false
+	if err := p.cancelErr(); err != nil {
+		return nil, false, err
 	}
-	return found, true
+	if found == nil {
+		return nil, false, nil
+	}
+	return found, true, nil
 }
 
 // ForEach enumerates every homomorphism from a to b extending pre,
 // invoking fn on each. If fn returns false the enumeration stops early
 // and ForEach returns false; otherwise it returns true.
 func ForEach(a, b *relstr.Structure, pre map[int]int, fn func(h map[int]int) bool) bool {
+	done, _ := ForEachCtx(nil, a, b, pre, fn)
+	return done
+}
+
+// ForEachCtx is ForEach under a context. It returns (false, non-nil)
+// when the context expired before the enumeration finished.
+func ForEachCtx(ctx context.Context, a, b *relstr.Structure, pre map[int]int, fn func(h map[int]int) bool) (bool, error) {
 	p := compile(a, b)
+	p.ctx = ctx
 	assign, remaining, ok := p.prepare(pre)
 	if !ok {
-		return true
+		return true, nil
 	}
-	return p.solve(assign, remaining, p.initFrontier(assign), func() bool {
+	done := p.solve(assign, remaining, p.initFrontier(assign), func() bool {
 		h := make(map[int]int, len(assign))
 		for k, v := range assign {
 			h[k] = v
 		}
 		return fn(h)
 	})
+	if err := p.cancelErr(); err != nil {
+		return false, err
+	}
+	return done, nil
 }
 
 // Count returns the number of homomorphisms from a to b extending pre.
@@ -487,10 +564,20 @@ func Count(a, b *relstr.Structure, pre map[int]int) int {
 // tableau, proj its distinguished tuple and b a database. If fn returns
 // false enumeration stops early (Project then returns false).
 func Project(a, b *relstr.Structure, pre map[int]int, proj []int, fn func(vals []int) bool) bool {
+	done, _ := ProjectCtx(nil, a, b, pre, proj, fn)
+	return done
+}
+
+// ProjectCtx is Project under a context. It returns (false, non-nil)
+// when the context expired before the enumeration finished; answers
+// already delivered to fn remain valid (they are sound regardless of
+// where the search stopped).
+func ProjectCtx(ctx context.Context, a, b *relstr.Structure, pre map[int]int, proj []int, fn func(vals []int) bool) (bool, error) {
 	p := compile(a, b)
+	p.ctx = ctx
 	assign, remaining, ok := p.prepare(pre)
 	if !ok {
-		return true
+		return true, nil
 	}
 	// Split remaining into projection elements (assigned first) and the
 	// rest (existence-checked).
@@ -509,6 +596,9 @@ func Project(a, b *relstr.Structure, pre map[int]int, proj []int, fn func(vals [
 	seen := map[string]bool{}
 	var assignProj func(rem []int) bool
 	assignProj = func(rem []int) bool {
+		if p.cancelled() {
+			return false
+		}
 		if len(rem) == 0 {
 			// All projection elements assigned; does a completion exist?
 			complete := false
@@ -558,5 +648,9 @@ func Project(a, b *relstr.Structure, pre map[int]int, proj []int, fn func(vals [
 		}
 		return true
 	}
-	return assignProj(projRemaining)
+	done := assignProj(projRemaining)
+	if err := p.cancelErr(); err != nil {
+		return false, err
+	}
+	return done, nil
 }

@@ -40,6 +40,18 @@ func refine(s *Structure, dist []int) map[int]string {
 	for _, e := range dom {
 		colors[e] = fmt.Sprintf("d%v", distPos[e])
 	}
+	return refineFrom(s, colors)
+}
+
+// refineFrom iterates color refinement to a fixpoint starting from the
+// given initial coloring. Refinement only ever splits classes, so any
+// distinction present in the initial colors is preserved.
+func refineFrom(s *Structure, initial map[int]string) map[int]string {
+	dom := s.Domain()
+	colors := make(map[int]string, len(dom))
+	for e, c := range initial {
+		colors[e] = c
+	}
 	rels := s.Relations()
 	for round := 0; round < len(dom); round++ {
 		next := make(map[int]string, len(dom))
@@ -98,6 +110,144 @@ func countClasses(colors map[int]string) int {
 		set[c] = true
 	}
 	return len(set)
+}
+
+// canonLeafCap bounds the number of complete labelings the canonical-
+// form search may render. The cap is compared against the total size of
+// the branch tree, which is an isomorphism invariant, so two isomorphic
+// structures either both complete the exact search or both fall back —
+// the key stays deterministic per isomorphism class either way.
+const canonLeafCap = 2048
+
+// CanonicalKey returns a string identifying the pointed structure
+// (s, dist) up to isomorphism: isomorphic inputs get equal keys, and
+// equal keys imply isomorphism (the key embeds a full rendering of the
+// facts under an explicit labeling). It is the cache key for prepared
+// queries: tableaux of alpha-equivalent queries are isomorphic, so they
+// collide exactly as they should.
+//
+// The search individualizes one element of the canonically chosen
+// non-singleton color class at a time, re-refines, and takes the
+// lexicographically least complete rendering. For inputs whose symmetry
+// exceeds canonLeafCap complete labelings, it falls back to a
+// deterministic heuristic labeling: keys remain sound (equal keys still
+// imply isomorphism) but isomorphic variants may then get distinct
+// keys, which costs at most a cache miss.
+func CanonicalKey(s *Structure, dist []int) string {
+	colors := refine(s, dist)
+	c := &canonSearch{s: s, dist: dist}
+	if c.dfs(colors) {
+		return "c|" + c.best
+	}
+	// Fallback: order by (refinement color, element id).
+	dom := s.Domain()
+	sort.SliceStable(dom, func(i, j int) bool {
+		if colors[dom[i]] != colors[dom[j]] {
+			return colors[dom[i]] < colors[dom[j]]
+		}
+		return dom[i] < dom[j]
+	})
+	rank := make(map[int]int, len(dom))
+	for i, e := range dom {
+		rank[e] = i
+	}
+	return "h|" + renderRanked(s, dist, rank)
+}
+
+type canonSearch struct {
+	s      *Structure
+	dist   []int
+	best   string
+	leaves int
+}
+
+// dfs explores the individualization tree under colors, keeping the
+// minimal rendering in c.best. It returns false once the leaf budget is
+// exhausted.
+func (c *canonSearch) dfs(colors map[int]string) bool {
+	// Group elements by color; pick the target class canonically: the
+	// smallest non-singleton class, ties broken by color string.
+	byColor := map[string][]int{}
+	for e, col := range colors {
+		byColor[col] = append(byColor[col], e)
+	}
+	targetColor := ""
+	for col, members := range byColor {
+		if len(members) < 2 {
+			continue
+		}
+		if targetColor == "" ||
+			len(members) < len(byColor[targetColor]) ||
+			len(members) == len(byColor[targetColor]) && col < targetColor {
+			targetColor = col
+		}
+	}
+	if targetColor == "" {
+		// Discrete coloring: the color order is the labeling.
+		c.leaves++
+		if c.leaves > canonLeafCap {
+			return false
+		}
+		type ec struct {
+			e   int
+			col string
+		}
+		elems := make([]ec, 0, len(colors))
+		for e, col := range colors {
+			elems = append(elems, ec{e, col})
+		}
+		sort.Slice(elems, func(i, j int) bool { return elems[i].col < elems[j].col })
+		rank := make(map[int]int, len(elems))
+		for i, x := range elems {
+			rank[x.e] = i
+		}
+		r := renderRanked(c.s, c.dist, rank)
+		if c.best == "" || r < c.best {
+			c.best = r
+		}
+		return true
+	}
+	for _, e := range byColor[targetColor] {
+		next := make(map[int]string, len(colors))
+		for k, v := range colors {
+			next[k] = v
+		}
+		next[e] = next[e] + "*"
+		if !c.dfs(refineFrom(c.s, next)) {
+			return false
+		}
+	}
+	return true
+}
+
+// renderRanked renders (s, dist) under the element→rank labeling:
+// domain size, the distinguished tuple, and every fact with elements
+// replaced by ranks, relations and tuples in sorted order. Equal
+// renderings imply isomorphism (the rendering reconstructs the
+// structure up to the labeling).
+func renderRanked(s *Structure, dist []int, rank map[int]int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "n%d;d", len(rank))
+	for _, d := range dist {
+		fmt.Fprintf(&b, "%d,", rank[d])
+	}
+	for _, name := range s.Relations() {
+		tuples := s.Tuples(name)
+		rows := make([]string, len(tuples))
+		for i, t := range tuples {
+			var r strings.Builder
+			for j, e := range t {
+				if j > 0 {
+					r.WriteByte(',')
+				}
+				fmt.Fprintf(&r, "%d", rank[e])
+			}
+			rows[i] = r.String()
+		}
+		sort.Strings(rows)
+		fmt.Fprintf(&b, ";%s(%d):%s", name, s.Arity(name), strings.Join(rows, "|"))
+	}
+	return b.String()
 }
 
 // Isomorphic reports whether (a, distA) and (b, distB) are isomorphic

@@ -1,0 +1,145 @@
+package cqapprox
+
+import (
+	"context"
+	"iter"
+
+	"cqapprox/internal/eval"
+)
+
+// PreparedQuery is the result of Engine.Prepare: a query whose static,
+// NP-hard work (minimization, approximation search, plan selection) is
+// already done. It is immutable and safe for concurrent use — a single
+// PreparedQuery can serve Eval calls from many goroutines over many
+// databases.
+type PreparedQuery struct {
+	src       *Query   // original query, as given
+	min       *Query   // its minimization (the original itself for over-budget exact prepares)
+	class     Class    // nil for PrepareExact
+	opt       Options  // search options used
+	approxes  []*Query // all minimized C-approximations; nil for exact
+	chosen    *Query   // the query the plan evaluates
+	plan      *eval.Plan
+	inspected int // candidates inspected by the search (0 for exact)
+}
+
+// Query returns a copy of the original query this PreparedQuery was
+// requested for. On cache hits the engine rebinds this to the caller's
+// own query (see forCaller), so it is always the query you passed in,
+// not another caller's alpha-variant.
+func (p *PreparedQuery) Query() *Query { return p.src.Clone() }
+
+// forCaller returns a shallow copy of p with the caller's own query
+// identity: src is rebound to q and the head predicate names of the
+// minimized query and the approximations are renamed after q, so cache
+// hits never leak the first preparer's query name. Variable names are
+// already canonical (build renames them), so beyond the head name
+// every caller sees identical renderings. The plan is shared untouched
+// and the inspected counter zeroed: this caller's Prepare ran no
+// search.
+func (p *PreparedQuery) forCaller(q *Query) *PreparedQuery {
+	cp := *p
+	cp.src = q.Clone()
+	cp.inspected = 0
+	if cp.min.Name != q.Name {
+		m := cp.min.Clone()
+		m.Name = q.Name
+		cp.min = m
+	}
+	if len(cp.approxes) > 0 {
+		name := q.Name + "_approx"
+		if cp.approxes[0].Name != name {
+			renamed := make([]*Query, len(cp.approxes))
+			for i, a := range cp.approxes {
+				r := a.Clone()
+				r.Name = name
+				renamed[i] = r
+			}
+			cp.approxes = renamed
+		}
+		cp.chosen = cp.approxes[0]
+	} else {
+		cp.chosen = cp.min
+	}
+	return &cp
+}
+
+// Minimized returns a copy of the minimized original query, with
+// canonically renamed variables. One exception: an over-budget
+// PrepareExact (more than Options.MaxVars variables) skips
+// minimization to avoid the exponential core computation, and
+// Minimized then returns the original unminimized (still canonically
+// renamed).
+func (p *PreparedQuery) Minimized() *Query { return p.min.Clone() }
+
+// Class returns the target class, or nil for PrepareExact.
+func (p *PreparedQuery) Class() Class { return p.class }
+
+// Approx returns a copy of the query the plan evaluates: the chosen
+// C-approximation, or the minimized original for PrepareExact.
+func (p *PreparedQuery) Approx() *Query { return p.chosen.Clone() }
+
+// Approximations returns copies of all minimized C-approximations the
+// search found (the paper's C-APPR_min(Q)), in deterministic order; the
+// first is the one Eval uses. Nil for PrepareExact.
+func (p *PreparedQuery) Approximations() []*Query {
+	if p.approxes == nil {
+		return nil
+	}
+	out := make([]*Query, len(p.approxes))
+	for i, a := range p.approxes {
+		out[i] = a.Clone()
+	}
+	return out
+}
+
+// CandidatesInspected reports how many in-class candidate tableaux the
+// approximation search examined (0 on PrepareExact and, by design, on
+// every cache hit — the point of preparing once).
+func (p *PreparedQuery) CandidatesInspected() int { return p.inspected }
+
+// PlanMode names the evaluation strategy the plan selected
+// ("yannakakis" or "naive").
+func (p *PreparedQuery) PlanMode() string { return p.plan.Mode().String() }
+
+// Eval evaluates the prepared (approximated) query on db, returning
+// the full deduplicated answer set in sorted order. Only per-database
+// work happens here: O(|D|·|Q'|) plus output cost for acyclic plans.
+func (p *PreparedQuery) Eval(ctx context.Context, db *Structure) (Answers, error) {
+	return p.plan.Eval(ctx, db)
+}
+
+// EvalBool reports whether the prepared query has at least one answer
+// on db. For acyclic plans this is a single semijoin pass, O(|D|·|Q'|).
+func (p *PreparedQuery) EvalBool(ctx context.Context, db *Structure) (bool, error) {
+	return p.plan.EvalBool(ctx, db)
+}
+
+// Answers streams the distinct answers of the prepared query on db one
+// at a time, in discovery order, without materialising the full result
+// set — suitable for very large outputs:
+//
+//	for t := range p.Answers(ctx, db) {
+//		process(t) // break any time
+//	}
+//
+// Acyclic plans first run the Yannakakis semijoin reduction (O(|D|·|Q'|))
+// so the enumeration only touches tuples that can participate in an
+// answer. Iteration ends early on ctx cancellation; every delivered
+// tuple is a correct answer regardless. To distinguish a cancelled
+// (truncated) stream from an exhausted one, use AnswersErr.
+func (p *PreparedQuery) Answers(ctx context.Context, db *Structure) iter.Seq[Tuple] {
+	return p.plan.Stream(ctx, db)
+}
+
+// AnswersErr is Answers plus a terminal-error accessor: call the
+// returned function after the loop — nil means the enumeration ran to
+// completion (or the consumer broke), a non-nil ErrCanceled-wrapped
+// error means cancellation truncated it:
+//
+//	seq, errf := p.AnswersErr(ctx, db)
+//	for t := range seq { process(t) }
+//	if err := errf(); err != nil { /* truncated */ }
+func (p *PreparedQuery) AnswersErr(ctx context.Context, db *Structure) (iter.Seq[Tuple], func() error) {
+	return p.plan.StreamErr(ctx, db)
+}
