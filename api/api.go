@@ -1,0 +1,269 @@
+// Package api defines the wire types of the cqapproxd HTTP/JSON API.
+// The server (internal/server), the typed client (client), and the
+// CLI's -json mode (cmd/cqapprox) all encode and decode exactly these
+// types, so the three surfaces can never drift apart.
+//
+// Queries travel as strings in the library's rule notation
+// ("Q(x) :- E(x,y)"); databases as a relation-name → tuple-list map;
+// answers as plain integer tuples. Prepared queries are addressed by an
+// opaque Key returned from /v1/prepare: the engine's canonical cache
+// key, base64-encoded, stable across alpha-equivalent queries.
+package api
+
+import (
+	"encoding/base64"
+	"fmt"
+	"strings"
+
+	"cqapprox"
+)
+
+// Options mirrors cqapprox.Options on the wire. Fields are pointers so
+// a request can override one knob while inheriting the server's
+// configured defaults for the rest (0 is a meaningful value for
+// MaxExtraAtoms/FreshVars, so absence must be distinguishable). A nil
+// *Options means "all defaults".
+type Options struct {
+	MaxVars       *int `json:"max_vars,omitempty"`
+	MaxExtraAtoms *int `json:"max_extra_atoms,omitempty"`
+	FreshVars     *int `json:"fresh_vars,omitempty"`
+}
+
+// Int is a literal-pointer helper for building Options values.
+func Int(n int) *int { return &n }
+
+// ToOptions resolves o against the default options def: every absent
+// field keeps def's value.
+func (o *Options) ToOptions(def cqapprox.Options) cqapprox.Options {
+	out := def
+	if o == nil {
+		return out
+	}
+	if o.MaxVars != nil {
+		out.MaxVars = *o.MaxVars
+	}
+	if o.MaxExtraAtoms != nil {
+		out.MaxExtraAtoms = *o.MaxExtraAtoms
+	}
+	if o.FreshVars != nil {
+		out.FreshVars = *o.FreshVars
+	}
+	return out
+}
+
+// Database is a relational database on the wire: relation name →
+// list of tuples. All tuples of one relation must have equal, nonzero
+// length (the relation's arity).
+type Database map[string][][]int
+
+// ToStructure validates d and converts it to a relational structure.
+func (d Database) ToStructure() (*cqapprox.Structure, error) {
+	db := cqapprox.NewStructure()
+	for rel, tuples := range d {
+		if rel == "" {
+			return nil, fmt.Errorf("database: empty relation name")
+		}
+		for i, t := range tuples {
+			if len(t) == 0 {
+				return nil, fmt.Errorf("database: relation %q tuple %d is empty", rel, i)
+			}
+			if len(t) != len(tuples[0]) {
+				return nil, fmt.Errorf("database: relation %q mixes arities %d and %d",
+					rel, len(tuples[0]), len(t))
+			}
+			db.Add(rel, t...)
+		}
+	}
+	return db, nil
+}
+
+// FromAnswers converts an answer set to its wire form (never nil, so
+// an empty set encodes as [] rather than null).
+func FromAnswers(a cqapprox.Answers) [][]int {
+	out := make([][]int, len(a))
+	for i, t := range a {
+		out[i] = []int(t)
+	}
+	return out
+}
+
+// PrepareRequest is the body of POST /v1/prepare. Exactly one of Class
+// (a class name, see ParseClass) or Exact must be set: Exact prepares
+// the query itself, without approximation. Options may accompany a
+// Class only — exact preparations always run under the server's
+// defaults (that is how the engine keys them), and the server rejects
+// the combination rather than silently ignoring the options.
+type PrepareRequest struct {
+	Query     string   `json:"query"`
+	Class     string   `json:"class,omitempty"`
+	Exact     bool     `json:"exact,omitempty"`
+	Options   *Options `json:"options,omitempty"`
+	TimeoutMS int64    `json:"timeout_ms,omitempty"`
+}
+
+// PrepareResponse summarizes a prepared query: the static plan the
+// engine cached, plus the Key that later Eval/Stream requests may pass
+// instead of re-sending the query.
+type PrepareResponse struct {
+	Key                 string   `json:"key"`
+	Query               string   `json:"query"`
+	Minimized           string   `json:"minimized"`
+	Class               string   `json:"class,omitempty"`
+	Approximation       string   `json:"approximation,omitempty"`
+	Approximations      []string `json:"approximations,omitempty"`
+	Plan                string   `json:"plan"`
+	CandidatesInspected int      `json:"candidates_inspected"`
+	CacheHit            bool     `json:"cache_hit"`
+}
+
+// NewPrepareResponse builds the wire summary of a prepared query. key
+// is the already-encoded wire key (see EncodeKey); the cache-hit flag
+// comes from the PreparedQuery itself, so it agrees with CacheStats
+// even under concurrent preparation.
+func NewPrepareResponse(p *cqapprox.PreparedQuery, key string) *PrepareResponse {
+	resp := &PrepareResponse{
+		Key:                 key,
+		Query:               p.Query().String(),
+		Minimized:           p.Minimized().String(),
+		Plan:                p.PlanMode(),
+		CandidatesInspected: p.CandidatesInspected(),
+		CacheHit:            p.CacheHit(),
+	}
+	if c := p.Class(); c != nil {
+		resp.Class = c.Name()
+		resp.Approximation = p.Approx().String()
+		for _, a := range p.Approximations() {
+			resp.Approximations = append(resp.Approximations, a.String())
+		}
+	}
+	return resp
+}
+
+// EvalRequest is the body of POST /v1/eval, /v1/eval/bool and
+// /v1/stream. The prepared query is named either by Key (from a prior
+// prepare) or inline by Query plus Class/Exact/Options as in
+// PrepareRequest; Key wins when both are present.
+type EvalRequest struct {
+	Key       string   `json:"key,omitempty"`
+	Query     string   `json:"query,omitempty"`
+	Class     string   `json:"class,omitempty"`
+	Exact     bool     `json:"exact,omitempty"`
+	Options   *Options `json:"options,omitempty"`
+	Database  Database `json:"database"`
+	TimeoutMS int64    `json:"timeout_ms,omitempty"`
+}
+
+// EvalResponse is the body of a successful POST /v1/eval.
+type EvalResponse struct {
+	Answers [][]int `json:"answers"`
+	Count   int     `json:"count"`
+}
+
+// EvalBoolResponse is the body of a successful POST /v1/eval/bool.
+type EvalBoolResponse struct {
+	Result bool `json:"result"`
+}
+
+// ClassifyResponse is the -json output of cqapprox classify (the
+// Theorem 5.1 trichotomy); the service may grow a matching endpoint.
+type ClassifyResponse struct {
+	Query      string       `json:"query"`
+	Kind       string       `json:"kind"`
+	LoopFreeTW map[int]bool `json:"loop_free_tw"`
+}
+
+// CacheStats mirrors cqapprox.CacheStats on the wire.
+type CacheStats struct {
+	Hits    uint64 `json:"hits"`
+	Misses  uint64 `json:"misses"`
+	Entries int    `json:"entries"`
+}
+
+// EndpointStats are the per-endpoint request counters of GET /v1/stats.
+type EndpointStats struct {
+	Requests       int64   `json:"requests"`
+	Errors         int64   `json:"errors"`
+	Rejected       int64   `json:"rejected"`
+	InFlight       int64   `json:"in_flight"`
+	LatencyTotalMS float64 `json:"latency_total_ms"`
+}
+
+// StatsResponse is the body of GET /v1/stats.
+type StatsResponse struct {
+	Cache     CacheStats               `json:"cache"`
+	Endpoints map[string]EndpointStats `json:"endpoints"`
+}
+
+// The stable error codes of ErrorInfo.Code. Each maps to a fixed HTTP
+// status; see DESIGN.md §Service layer.
+const (
+	CodeBadRequest     = "bad_request"     // 400: malformed JSON / missing or invalid fields
+	CodeParseError     = "parse_error"     // 400: query syntax error (Line/Col set)
+	CodeUnknownKey     = "unknown_key"     // 404: key not in the cache (evicted or foreign)
+	CodeNotInClass     = "not_in_class"    // 422: no query of the class is contained in Q
+	CodeBudgetExceeded = "budget_exceeded" // 422: query exceeds Options.MaxVars
+	CodeOverloaded     = "overloaded"      // 429: admission control rejected the request
+	CodeInternal       = "internal"        // 500: unexpected failure
+	CodeCanceled       = "canceled"        // 504: deadline expired mid-search/evaluation
+)
+
+// ErrorInfo is the error payload common to all endpoints.
+type ErrorInfo struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+	Line    int    `json:"line,omitempty"` // parse errors only
+	Col     int    `json:"col,omitempty"`  // parse errors only
+}
+
+// ErrorResponse wraps ErrorInfo as the body of every non-2xx response
+// (and, on /v1/stream, as a terminal NDJSON object line).
+type ErrorResponse struct {
+	Error *ErrorInfo `json:"error"`
+}
+
+// keyEncoding keeps wire keys URL- and JSON-safe: the engine's raw
+// cache keys contain NUL separators and arbitrary canonical-form bytes.
+var keyEncoding = base64.RawURLEncoding
+
+// EncodeKey converts an engine cache key to its opaque wire form.
+func EncodeKey(raw string) string { return keyEncoding.EncodeToString([]byte(raw)) }
+
+// DecodeKey reverses EncodeKey.
+func DecodeKey(key string) (string, error) {
+	raw, err := keyEncoding.DecodeString(key)
+	if err != nil {
+		return "", fmt.Errorf("malformed key: %w", err)
+	}
+	return string(raw), nil
+}
+
+// ClassNames lists the class names ParseClass accepts.
+func ClassNames() []string {
+	return []string{"TW1", "TW2", "TW3", "AC", "HTW1", "HTW2", "GHTW1", "GHTW2"}
+}
+
+// ParseClass resolves a wire class name (case-insensitive) to the
+// tractable class it denotes.
+func ParseClass(name string) (cqapprox.Class, error) {
+	switch strings.ToUpper(name) {
+	case "TW1":
+		return cqapprox.TW(1), nil
+	case "TW2":
+		return cqapprox.TW(2), nil
+	case "TW3":
+		return cqapprox.TW(3), nil
+	case "AC":
+		return cqapprox.AC(), nil
+	case "HTW1":
+		return cqapprox.HTW(1), nil
+	case "HTW2":
+		return cqapprox.HTW(2), nil
+	case "GHTW1":
+		return cqapprox.GHTW(1), nil
+	case "GHTW2":
+		return cqapprox.GHTW(2), nil
+	default:
+		return nil, fmt.Errorf("unknown class %q (want %s)",
+			name, strings.Join(ClassNames(), ", "))
+	}
+}

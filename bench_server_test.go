@@ -1,0 +1,54 @@
+package cqapprox_test
+
+// E18: service-layer throughput. BenchmarkServerThroughput pushes the
+// warm mixed prepare/eval/stream workload (default LoadGen mix, 1:8:1)
+// through the real HTTP stack — httptest server, JSON bodies, NDJSON
+// streams — and reports eval requests/sec plus the engine cache
+// hit-rate. The acceptance bar (DESIGN.md): ≥ 1000 eval req/s warm.
+// This file is an external test package: the client and api packages
+// import cqapprox, so an in-package test would be an import cycle.
+
+import (
+	"context"
+	"net/http/httptest"
+	"runtime"
+	"testing"
+
+	"cqapprox"
+	"cqapprox/client"
+	"cqapprox/internal/server"
+	"cqapprox/internal/workload"
+	"cqapprox/internal/workload/httpdrive"
+)
+
+func BenchmarkServerThroughput(b *testing.B) {
+	eng := cqapprox.NewEngine()
+	srv := server.New(eng, server.Config{MaxInflightPrepare: 16, MaxInflightEval: 256})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	c := client.New(ts.URL).WithHTTPClient(ts.Client())
+	exec := httpdrive.Executor(c)
+	ctx := context.Background()
+	gen := &workload.LoadGen{Seed: 7, Concurrency: runtime.GOMAXPROCS(0)}
+
+	// Warm the cache: every suite query's search is paid here, outside
+	// the timer, so the measured regime is the service's steady state.
+	if warm := gen.Run(ctx, 64, exec); len(warm.FirstErrs) > 0 {
+		b.Fatalf("warmup failed: %v", warm.FirstErrs[0])
+	}
+
+	b.ResetTimer()
+	rep := gen.Run(ctx, b.N, exec)
+	b.StopTimer()
+	if len(rep.FirstErrs) > 0 {
+		b.Fatalf("workload failed: %v", rep.FirstErrs[0])
+	}
+	stats := srv.Stats()
+	hitRate := 0.0
+	if total := stats.Cache.Hits + stats.Cache.Misses; total > 0 {
+		hitRate = float64(stats.Cache.Hits) / float64(total)
+	}
+	b.ReportMetric(rep.PerSecond(), "req/s")
+	b.ReportMetric(rep.KindPerSecond(workload.OpEval), "eval-req/s")
+	b.ReportMetric(hitRate, "cache-hit-rate")
+}

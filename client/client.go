@@ -1,0 +1,197 @@
+// Package client is the typed Go client for the cqapproxd HTTP API.
+// It speaks exactly the wire types of package api, so anything the
+// server can say, the client can decode — including the NDJSON answer
+// stream and the stable error codes.
+//
+//	c := client.New("http://localhost:8080")
+//	prep, err := c.Prepare(ctx, api.PrepareRequest{
+//		Query: "Q(x) :- E(x,y), E(y,z), E(z,x)", Class: "TW1",
+//	})
+//	res, err := c.Eval(ctx, api.EvalRequest{Key: prep.Key, Database: db})
+//
+// Server-side failures surface as *client.APIError carrying the HTTP
+// status and the decoded api.ErrorInfo.
+package client
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"iter"
+	"net/http"
+	"strings"
+
+	"cqapprox/api"
+)
+
+// APIError is a non-2xx response decoded into the wire error envelope.
+type APIError struct {
+	Status int
+	Info   api.ErrorInfo
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("cqapproxd: %s (%s, http %d)", e.Info.Message, e.Info.Code, e.Status)
+}
+
+// Client calls one cqapproxd server. The zero value is not usable;
+// construct with New.
+type Client struct {
+	baseURL string
+	http    *http.Client
+}
+
+// New returns a client for the server at baseURL (scheme://host[:port],
+// no trailing slash needed) using http.DefaultClient.
+func New(baseURL string) *Client {
+	return &Client{baseURL: strings.TrimRight(baseURL, "/"), http: http.DefaultClient}
+}
+
+// WithHTTPClient replaces the underlying *http.Client (timeouts,
+// transports, test doubles).
+func (c *Client) WithHTTPClient(h *http.Client) *Client {
+	c.http = h
+	return c
+}
+
+// do posts body to path and decodes a 200 response into out (or any
+// other status into an *APIError).
+func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
+	var rd io.Reader
+	if body != nil {
+		buf, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		rd = bytes.NewReader(buf)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.baseURL+path, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return decodeAPIError(resp)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+func decodeAPIError(resp *http.Response) error {
+	var envelope api.ErrorResponse
+	if err := json.NewDecoder(resp.Body).Decode(&envelope); err != nil || envelope.Error == nil {
+		return &APIError{Status: resp.StatusCode, Info: api.ErrorInfo{
+			Code: api.CodeInternal, Message: fmt.Sprintf("undecodable error body (http %d)", resp.StatusCode),
+		}}
+	}
+	return &APIError{Status: resp.StatusCode, Info: *envelope.Error}
+}
+
+// Prepare runs (or cache-hits) the static pipeline on the server and
+// returns the plan summary, including the Key for later evaluations.
+func (c *Client) Prepare(ctx context.Context, req api.PrepareRequest) (*api.PrepareResponse, error) {
+	var out api.PrepareResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/prepare", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Eval evaluates a prepared (by Key) or inline query on the request's
+// database and returns the materialized answer set.
+func (c *Client) Eval(ctx context.Context, req api.EvalRequest) (*api.EvalResponse, error) {
+	var out api.EvalResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/eval", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// EvalBool reports answer existence only.
+func (c *Client) EvalBool(ctx context.Context, req api.EvalRequest) (bool, error) {
+	var out api.EvalBoolResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/eval/bool", req, &out); err != nil {
+		return false, err
+	}
+	return out.Result, nil
+}
+
+// Stats fetches the server's cache and endpoint counters.
+func (c *Client) Stats(ctx context.Context) (*api.StatsResponse, error) {
+	var out api.StatsResponse
+	if err := c.do(ctx, http.MethodGet, "/v1/stats", nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Stream evaluates like Eval but consumes the server's NDJSON stream:
+// the returned sequence yields answers as the server produces them,
+// without waiting for — or materializing — the full set. Breaking out
+// of the loop (or cancelling ctx) closes the response body, which
+// cancels the server-side enumeration. Call the second return after
+// the loop: nil means the stream completed (or the consumer broke);
+// otherwise it is the transport failure or the server's terminal error
+// line (an *APIError, e.g. code "canceled" on a server-side deadline).
+func (c *Client) Stream(ctx context.Context, req api.EvalRequest) (iter.Seq[[]int], func() error) {
+	var terminal error
+	seq := func(yield func([]int) bool) {
+		buf, err := json.Marshal(req)
+		if err != nil {
+			terminal = err
+			return
+		}
+		hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.baseURL+"/v1/stream", bytes.NewReader(buf))
+		if err != nil {
+			terminal = err
+			return
+		}
+		hreq.Header.Set("Content-Type", "application/json")
+		resp, err := c.http.Do(hreq)
+		if err != nil {
+			terminal = err
+			return
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			terminal = decodeAPIError(resp)
+			return
+		}
+		sc := bufio.NewScanner(resp.Body)
+		sc.Buffer(make([]byte, 64*1024), 16<<20)
+		for sc.Scan() {
+			line := bytes.TrimSpace(sc.Bytes())
+			if len(line) == 0 {
+				continue
+			}
+			if line[0] == '{' { // terminal error object from the server
+				var envelope api.ErrorResponse
+				if err := json.Unmarshal(line, &envelope); err == nil && envelope.Error != nil {
+					terminal = &APIError{Status: http.StatusOK, Info: *envelope.Error}
+				} else {
+					terminal = fmt.Errorf("cqapproxd: undecodable stream trailer %q", line)
+				}
+				return
+			}
+			var tup []int
+			if err := json.Unmarshal(line, &tup); err != nil {
+				terminal = fmt.Errorf("cqapproxd: undecodable stream line %q: %w", line, err)
+				return
+			}
+			if !yield(tup) {
+				return // consumer broke: Body.Close cancels the server
+			}
+		}
+		terminal = sc.Err()
+	}
+	return seq, func() error { return terminal }
+}

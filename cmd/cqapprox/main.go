@@ -5,11 +5,11 @@
 // Usage:
 //
 //	cqapprox parse    -q "Q(x) :- E(x,y), E(y,z), E(z,x)"
-//	cqapprox classify -q "Q() :- E(x,y), E(y,z), E(z,x)"
-//	cqapprox approx   -q "..." -class TW1 [-all] [-timeout 30s]
+//	cqapprox classify -q "Q() :- E(x,y), E(y,z), E(z,x)" [-json]
+//	cqapprox approx   -q "..." -class TW1 [-all] [-timeout 30s] [-json]
 //	cqapprox check    -q "..." -cand "..." -class AC
 //	cqapprox eval     -q "..." -db graph.txt [-engine auto|naive|yannakakis|td]
-//	                  [-class TW1] [-stream] [-timeout 30s]
+//	                  [-class TW1] [-stream] [-timeout 30s] [-json]
 //
 // The approx and eval commands run on a cqapprox.Engine: queries are
 // prepared once (minimize → approximate → plan) and evaluated through
@@ -18,6 +18,12 @@
 // query itself; -stream prints answers as they are found instead of
 // materialising the sorted answer set.
 //
+// -json switches classify/approx/eval to machine-readable output in
+// exactly the wire shapes the cqapproxd server emits (package api):
+// approx prints an api.PrepareResponse (including the cache key a
+// server would return), eval an api.EvalResponse / api.EvalBoolResponse,
+// eval -stream NDJSON answer lines.
+//
 // Database files contain one fact per line: a relation name followed by
 // integer arguments, e.g. "E 1 2". Lines starting with '#' are ignored.
 package main
@@ -25,6 +31,7 @@ package main
 import (
 	"bufio"
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -33,6 +40,7 @@ import (
 	"time"
 
 	"cqapprox"
+	"cqapprox/api"
 )
 
 // engine is the process-wide prepared-query engine all commands share.
@@ -90,27 +98,16 @@ commands:
             [-class TW1] evaluates its approximation; [-stream] streams answers`)
 }
 
+// classFromName resolves a class name; the accepted names are the wire
+// names of the HTTP API (api.ParseClass), so CLI and server agree.
 func classFromName(name string) (cqapprox.Class, error) {
-	switch strings.ToUpper(name) {
-	case "TW1":
-		return cqapprox.TW(1), nil
-	case "TW2":
-		return cqapprox.TW(2), nil
-	case "TW3":
-		return cqapprox.TW(3), nil
-	case "AC":
-		return cqapprox.AC(), nil
-	case "HTW1":
-		return cqapprox.HTW(1), nil
-	case "HTW2":
-		return cqapprox.HTW(2), nil
-	case "GHTW1":
-		return cqapprox.GHTW(1), nil
-	case "GHTW2":
-		return cqapprox.GHTW(2), nil
-	default:
-		return nil, fmt.Errorf("unknown class %q (want TW1, TW2, TW3, AC, HTW1, HTW2, GHTW1, GHTW2)", name)
-	}
+	return api.ParseClass(name)
+}
+
+// emitJSON prints v compactly on stdout — the same encoding the server
+// puts on the wire.
+func emitJSON(v any) error {
+	return json.NewEncoder(os.Stdout).Encode(v)
 }
 
 func cmdParse(args []string) error {
@@ -136,6 +133,7 @@ func cmdParse(args []string) error {
 func cmdClassify(args []string) error {
 	fs := flag.NewFlagSet("classify", flag.ExitOnError)
 	src := fs.String("q", "", "query in rule notation")
+	jsonOut := fs.Bool("json", false, "machine-readable output (api.ClassifyResponse)")
 	fs.Parse(args)
 	q, err := cqapprox.Parse(*src)
 	if err != nil {
@@ -144,6 +142,17 @@ func cmdClassify(args []string) error {
 	kind, err := cqapprox.ClassifyGraphTableau(q)
 	if err != nil {
 		return err
+	}
+	if *jsonOut {
+		resp := api.ClassifyResponse{Query: q.String(), Kind: kind.String(), LoopFreeTW: map[int]bool{}}
+		for _, k := range []int{1, 2} {
+			ok, err := cqapprox.HasLoopFreeTWkApproximation(q, k)
+			if err != nil {
+				return err
+			}
+			resp.LoopFreeTW[k] = ok
+		}
+		return emitJSON(resp)
 	}
 	fmt.Println("tableau kind:", kind)
 	switch kind {
@@ -175,6 +184,7 @@ func cmdApprox(args []string) error {
 	fresh := fs.Int("fresh", 0, "fresh variables per extra atom")
 	timeout := fs.Duration("timeout", 0, "abort the search after this long (0 = no limit)")
 	verbose := fs.Bool("v", false, "report plan mode and search statistics")
+	jsonOut := fs.Bool("json", false, "machine-readable output (api.PrepareResponse, as the server emits)")
 	fs.Parse(args)
 	q, err := cqapprox.Parse(*src)
 	if err != nil {
@@ -186,6 +196,9 @@ func cmdApprox(args []string) error {
 	}
 	opt := cqapprox.Options{MaxVars: *maxVars, MaxExtraAtoms: *extras, FreshVars: *fresh}
 	if *over {
+		if *jsonOut {
+			return fmt.Errorf("-json does not support -over (no server wire shape for overapproximations yet)")
+		}
 		overs, err := cqapprox.Overapproximations(q, c, opt)
 		if err != nil {
 			return err
@@ -201,6 +214,13 @@ func cmdApprox(args []string) error {
 	p, err := engine.PrepareOpt(ctx, q, c, opt)
 	if err != nil {
 		return err
+	}
+	if *jsonOut {
+		key, err := engine.CacheKey(q, c, opt)
+		if err != nil {
+			return err
+		}
+		return emitJSON(api.NewPrepareResponse(p, api.EncodeKey(key)))
 	}
 	if *all {
 		apps := p.Approximations()
@@ -251,6 +271,7 @@ func cmdEval(args []string) error {
 	className := fs.String("class", "", "evaluate the query's C-approximation instead (e.g. TW1, AC)")
 	stream := fs.Bool("stream", false, "print answers as they are found (discovery order)")
 	timeout := fs.Duration("timeout", 0, "abort after this long (0 = no limit)")
+	jsonOut := fs.Bool("json", false, "machine-readable output (api.EvalResponse; with -stream, NDJSON answer lines)")
 	fs.Parse(args)
 	q, err := cqapprox.Parse(*src)
 	if err != nil {
@@ -282,11 +303,13 @@ func cmdEval(args []string) error {
 			return err
 		}
 		target = p.Approx()
-		how := "plan: " + p.PlanMode()
-		if *engineName != "auto" {
-			how = "engine: " + *engineName
+		if !*jsonOut { // the comment line would corrupt machine-readable output
+			how := "plan: " + p.PlanMode()
+			if *engineName != "auto" {
+				how = "engine: " + *engineName
+			}
+			fmt.Printf("# evaluating %s-approximation %v (%s)\n", c.Name(), target, how)
 		}
-		fmt.Printf("# evaluating %s-approximation %v (%s)\n", c.Name(), target, how)
 	}
 
 	// Explicitly chosen engines bypass the prepared plan but still
@@ -298,19 +321,19 @@ func cmdEval(args []string) error {
 		if err != nil {
 			return err
 		}
-		return printAnswers(target, ans)
+		return printAnswers(target, ans, *jsonOut)
 	case "yannakakis":
 		ans, err := cqapprox.YannakakisCtx(ctx, target, db)
 		if err != nil {
 			return err
 		}
-		return printAnswers(target, ans)
+		return printAnswers(target, ans, *jsonOut)
 	case "td":
 		ans, err := cqapprox.EvalByTreeDecompositionCtx(ctx, target, db)
 		if err != nil {
 			return err
 		}
-		return printAnswers(target, ans)
+		return printAnswers(target, ans, *jsonOut)
 	default:
 		return fmt.Errorf("unknown engine %q", *engineName)
 	}
@@ -324,19 +347,30 @@ func cmdEval(args []string) error {
 		seq, errf := p.AnswersErr(ctx, db)
 		n := 0
 		for t := range seq {
-			fmt.Println(t)
+			if *jsonOut {
+				if err := emitJSON([]int(t)); err != nil {
+					return err
+				}
+			} else {
+				fmt.Println(t)
+			}
 			n++
 		}
 		if err := errf(); err != nil {
 			return fmt.Errorf("stream interrupted after %d answers: %w", n, err)
 		}
-		fmt.Printf("(%d answers)\n", n)
+		if !*jsonOut {
+			fmt.Printf("(%d answers)\n", n)
+		}
 		return nil
 	}
 	if q.IsBoolean() {
 		ok, err := p.EvalBool(ctx, db)
 		if err != nil {
 			return err
+		}
+		if *jsonOut {
+			return emitJSON(api.EvalBoolResponse{Result: ok})
 		}
 		fmt.Println(ok)
 		return nil
@@ -345,15 +379,23 @@ func cmdEval(args []string) error {
 	if err != nil {
 		return err
 	}
-	return printAnswers(q, ans)
+	return printAnswers(q, ans, *jsonOut)
 }
 
 // printAnswers renders an answer set the way eval always has: one
 // tuple per line plus a count, or a bare boolean for Boolean queries.
-func printAnswers(q *cqapprox.Query, ans cqapprox.Answers) error {
+// jsonOut instead emits the server's wire shapes (api.EvalResponse /
+// api.EvalBoolResponse).
+func printAnswers(q *cqapprox.Query, ans cqapprox.Answers, jsonOut bool) error {
 	if q.IsBoolean() {
+		if jsonOut {
+			return emitJSON(api.EvalBoolResponse{Result: len(ans) > 0})
+		}
 		fmt.Println(len(ans) > 0)
 		return nil
+	}
+	if jsonOut {
+		return emitJSON(api.EvalResponse{Answers: api.FromAnswers(ans), Count: len(ans)})
 	}
 	for _, t := range ans {
 		fmt.Println(t)

@@ -1,10 +1,42 @@
 package main
 
 import (
+	"encoding/json"
+	"io"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
+
+	"cqapprox/api"
 )
+
+// captureStdout runs fn with os.Stdout redirected to a pipe and
+// returns what it printed. The pipe is drained concurrently so large
+// outputs cannot deadlock the writer.
+func captureStdout(t *testing.T, fn func() error) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	outc := make(chan string, 1)
+	go func() {
+		buf := new(strings.Builder)
+		io.Copy(buf, r)
+		outc <- buf.String()
+	}()
+	ferr := fn()
+	w.Close()
+	os.Stdout = old
+	out := <-outc
+	if ferr != nil {
+		t.Fatalf("%v (output %q)", ferr, out)
+	}
+	return out
+}
 
 func TestClassFromName(t *testing.T) {
 	for _, name := range []string{"TW1", "tw2", "TW3", "AC", "ac", "HTW1", "HTW2", "GHTW1", "GHTW2"} {
@@ -37,6 +69,74 @@ func TestLoadDB(t *testing.T) {
 	}
 	if db.NumFacts() != 3 {
 		t.Fatalf("NumFacts = %d", db.NumFacts())
+	}
+}
+
+// -json emits the server's wire shapes: approx an api.PrepareResponse,
+// eval an api.EvalResponse / api.EvalBoolResponse, eval -stream NDJSON
+// tuples — decodable with the same api types a client of cqapproxd
+// uses.
+func TestJSONOutput(t *testing.T) {
+	dir := t.TempDir()
+	dbPath := filepath.Join(dir, "graph.txt")
+	if err := os.WriteFile(dbPath, []byte("E 1 2\nE 2 3\nE 3 1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	out := captureStdout(t, func() error {
+		return cmdApprox([]string{"-q", "Q(x) :- E(x,y), E(y,z), E(z,x)", "-class", "TW1", "-json"})
+	})
+	var prep api.PrepareResponse
+	if err := json.Unmarshal([]byte(out), &prep); err != nil {
+		t.Fatalf("approx -json output undecodable: %v\n%s", err, out)
+	}
+	if prep.Key == "" || prep.Class != "TW(1)" || prep.Plan != "yannakakis" ||
+		prep.Approximation != "Q_approx(x0) :- E(x0,x1), E(x1,x0), E(x1,x1)" {
+		t.Fatalf("approx -json = %+v", prep)
+	}
+
+	out = captureStdout(t, func() error {
+		return cmdEval([]string{"-q", "Q(x,z) :- E(x,y), E(y,z)", "-db", dbPath, "-json"})
+	})
+	var ev api.EvalResponse
+	if err := json.Unmarshal([]byte(out), &ev); err != nil {
+		t.Fatalf("eval -json output undecodable: %v\n%s", err, out)
+	}
+	if ev.Count != 3 || len(ev.Answers) != 3 {
+		t.Fatalf("eval -json = %+v", ev)
+	}
+
+	out = captureStdout(t, func() error {
+		return cmdEval([]string{"-q", "Q() :- E(x,x)", "-db", dbPath, "-json"})
+	})
+	var bv api.EvalBoolResponse
+	if err := json.Unmarshal([]byte(out), &bv); err != nil || bv.Result {
+		t.Fatalf("boolean eval -json = %q (%v)", out, err)
+	}
+
+	out = captureStdout(t, func() error {
+		return cmdEval([]string{"-q", "Q(x,z) :- E(x,y), E(y,z)", "-db", dbPath, "-stream", "-json"})
+	})
+	lines := strings.Fields(out)
+	if len(lines) != 3 {
+		t.Fatalf("stream -json: want 3 NDJSON lines, got %q", out)
+	}
+	for _, line := range lines {
+		var tup []int
+		if err := json.Unmarshal([]byte(line), &tup); err != nil || len(tup) != 2 {
+			t.Fatalf("stream -json line %q: %v", line, err)
+		}
+	}
+
+	out = captureStdout(t, func() error {
+		return cmdClassify([]string{"-q", "Q() :- E(x,y), E(y,z), E(z,x)", "-json"})
+	})
+	var cl api.ClassifyResponse
+	if err := json.Unmarshal([]byte(out), &cl); err != nil {
+		t.Fatalf("classify -json output undecodable: %v\n%s", err, out)
+	}
+	if cl.Kind != "non-bipartite" || cl.LoopFreeTW[1] || !cl.LoopFreeTW[2] {
+		t.Fatalf("classify -json = %+v", cl)
 	}
 }
 

@@ -1,0 +1,113 @@
+// Command cqapproxd serves conjunctive-query approximation over HTTP:
+// a cqapprox.Engine behind the /v1 API of internal/server. The
+// NP-hard prepare work amortizes across all clients through the
+// engine's LRU cache; each request's evaluation side is polynomial
+// (O(|D|·|Q'|) for acyclic approximations), which is what makes
+// per-request evaluation safe to expose as a service.
+//
+//	cqapproxd -addr :8080 -cache-capacity 1024 \
+//	          -max-inflight-prepare 4 -max-inflight-eval 64 \
+//	          -default-timeout 30s -max-timeout 2m
+//
+// Endpoints: POST /v1/prepare, /v1/eval, /v1/eval/bool, /v1/stream
+// (NDJSON); GET /v1/stats and /debug/vars (expvar, including the same
+// counters under "cqapproxd"). SIGINT/SIGTERM drain in-flight requests
+// for up to -grace before exiting.
+package main
+
+import (
+	"context"
+	"errors"
+	"expvar"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"cqapprox"
+	"cqapprox/internal/server"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "cqapproxd:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		addr       = flag.String("addr", ":8080", "listen address")
+		cacheCap   = flag.Int("cache-capacity", cqapprox.DefaultCacheCapacity, "prepared-query cache capacity (<= 0 unbounded)")
+		maxPrepare = flag.Int("max-inflight-prepare", 0, "concurrent prepare bound (0 default, < 0 unbounded)")
+		maxEval    = flag.Int("max-inflight-eval", 0, "concurrent eval/stream bound (0 default, < 0 unbounded)")
+		defTimeout = flag.Duration("default-timeout", 0, "deadline for requests without timeout_ms (0 default, < 0 none)")
+		maxTimeout = flag.Duration("max-timeout", 0, "clamp on client timeout_ms (0 default, < 0 none)")
+		grace      = flag.Duration("grace", 10*time.Second, "shutdown drain period")
+		maxVars    = flag.Int("maxvars", 0, "default search variable budget (0 = library default)")
+		extraAtoms = flag.Int("extras", 1, "default extra atoms for hypergraph-based classes")
+		freshVars  = flag.Int("fresh", 0, "default fresh variables per extra atom")
+	)
+	flag.Parse()
+
+	eng := cqapprox.NewEngine(
+		cqapprox.WithCacheCapacity(*cacheCap),
+		cqapprox.WithOptions(cqapprox.Options{
+			MaxVars:       *maxVars,
+			MaxExtraAtoms: *extraAtoms,
+			FreshVars:     *freshVars,
+		}.WithDefaults()),
+	)
+	srv := server.New(eng, server.Config{
+		MaxInflightPrepare: *maxPrepare,
+		MaxInflightEval:    *maxEval,
+		DefaultTimeout:     *defTimeout,
+		MaxTimeout:         *maxTimeout,
+	})
+
+	// The /v1/stats payload and raw counters, via the standard expvar
+	// surface (alongside Go runtime vars at /debug/vars).
+	expvar.Publish("cqapproxd", srv.MetricsVars())
+	expvar.Publish("cqapproxd.stats", expvar.Func(func() any { return srv.Stats() }))
+
+	mux := http.NewServeMux()
+	mux.Handle("/v1/", srv.Handler())
+	mux.Handle("GET /debug/vars", expvar.Handler())
+
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           mux,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("cqapproxd listening on %s (cache capacity %d)", *addr, *cacheCap)
+		errc <- hs.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		return err // bind failure etc.
+	case <-ctx.Done():
+	}
+	log.Printf("cqapproxd draining (grace %v)", *grace)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *grace)
+	defer cancel()
+	if err := hs.Shutdown(shutdownCtx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	s := eng.CacheStats()
+	log.Printf("cqapproxd stopped (cache: %d hits, %d misses, %d entries)", s.Hits, s.Misses, s.Entries)
+	return nil
+}

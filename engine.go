@@ -1,6 +1,7 @@
 package cqapprox
 
 import (
+	"container/list"
 	"context"
 	"errors"
 	"fmt"
@@ -25,11 +26,11 @@ import (
 // The zero value is not usable; construct with NewEngine.
 type Engine struct {
 	opt        Options // search defaults used by Prepare
-	maxEntries int     // cache capacity; oldest entries evicted beyond it
+	maxEntries int     // cache capacity; least-recently-used evicted beyond it
 
 	mu      sync.Mutex
-	cache   map[string]*PreparedQuery
-	order   []string // insertion order for FIFO eviction
+	cache   map[string]*list.Element // key → element in lru (Value: *cacheEntry)
+	lru     *list.List               // front = most recently used
 	pending map[string]*inflight
 	hits    uint64
 	misses  uint64
@@ -38,9 +39,22 @@ type Engine struct {
 	// expensive canonical cache key, so repeated Prepares of a
 	// syntactically identical query (the free Eval wrapper's hot path)
 	// skip the canonical-form search. Pure accelerator: a memo miss
-	// just recomputes; entries stay valid across ResetCache.
-	keyMemo   map[string]string
-	memoOrder []string
+	// just recomputes; entries stay valid across ResetCache. Bounded
+	// like the cache, with its own LRU list.
+	keyMemo map[string]*list.Element // syn → element in memoLRU (Value: *memoEntry)
+	memoLRU *list.List
+}
+
+// cacheEntry is the value stored in the cache's LRU list.
+type cacheEntry struct {
+	key string
+	p   *PreparedQuery
+}
+
+// memoEntry is the value stored in the key memo's LRU list.
+type memoEntry struct {
+	syn string // syntactic normal form (memo key)
+	key string // canonical cache key
 }
 
 // inflight tracks one in-progress Prepare so concurrent callers of the
@@ -61,7 +75,8 @@ func WithOptions(opt Options) EngineOption {
 }
 
 // WithCacheCapacity bounds the number of cached prepared queries;
-// beyond it the oldest entry is evicted. n <= 0 means unbounded.
+// beyond it the least-recently-used entry is evicted. n <= 0 means
+// unbounded.
 func WithCacheCapacity(n int) EngineOption {
 	return func(e *Engine) { e.maxEntries = n }
 }
@@ -76,9 +91,11 @@ func NewEngine(opts ...EngineOption) *Engine {
 	e := &Engine{
 		opt:        DefaultOptions(),
 		maxEntries: DefaultCacheCapacity,
-		cache:      map[string]*PreparedQuery{},
+		cache:      map[string]*list.Element{},
+		lru:        list.New(),
 		pending:    map[string]*inflight{},
-		keyMemo:    map[string]string{},
+		keyMemo:    map[string]*list.Element{},
+		memoLRU:    list.New(),
 	}
 	for _, o := range opts {
 		o(e)
@@ -93,6 +110,10 @@ var defaultEngine = NewEngine()
 // Approximate/Eval free functions. Services should prefer their own
 // NewEngine so cache capacity and options are under their control.
 func Default() *Engine { return defaultEngine }
+
+// Options returns the engine's configured search defaults (the options
+// Prepare and PrepareExact use when none are given explicitly).
+func (e *Engine) Options() Options { return e.opt }
 
 // CacheStats is a snapshot of an engine's cache counters.
 type CacheStats struct {
@@ -113,9 +134,59 @@ func (e *Engine) CacheStats() CacheStats {
 func (e *Engine) ResetCache() {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	e.cache = map[string]*PreparedQuery{}
-	e.order = nil
+	e.cache = map[string]*list.Element{}
+	e.lru = list.New()
 	e.hits, e.misses = 0, 0
+}
+
+// CacheKey returns the cache key Prepare uses for (q, c, opt): a stable
+// identifier for the prepared query, equal across alpha-equivalent
+// inputs. A nil c keys the exact (unapproximated) preparation, matching
+// PrepareExact called with the engine's default options (see Options).
+// The key is an opaque byte string — transport layers should encode it
+// (e.g. base64) before putting it on a wire.
+//
+// Over-budget class inputs are refused with ErrBudgetExceeded exactly
+// as Prepare refuses them — before any canonical-form work is spent on
+// a query the search would reject anyway.
+func (e *Engine) CacheKey(q *Query, c Class, opt Options) (string, error) {
+	if err := q.Validate(); err != nil {
+		return "", err
+	}
+	if err := budgetCheck(q, c, opt); err != nil {
+		return "", err
+	}
+	return e.memoizedKey(q, c, opt), nil
+}
+
+// budgetCheck is the shared up-front MaxVars refusal for class
+// preparations: the Bell-number search (and even keying work) must not
+// start on inputs it would refuse. Exact preparations pass — they have
+// no search to protect and deliberately stay usable over budget.
+func budgetCheck(q *Query, c Class, opt Options) error {
+	if c == nil {
+		return nil
+	}
+	if n, max := q.NumVars(), opt.WithDefaults().MaxVars; n > max {
+		return core.BudgetError(n, max)
+	}
+	return nil
+}
+
+// Cached returns the prepared query stored under key (as returned by
+// CacheKey), if any. A found entry counts as a use for LRU eviction but
+// not as a cache hit in CacheStats — only Prepare records hits. Note
+// the returned PreparedQuery carries the first preparer's query
+// identity; use Prepare when the caller's own query text matters.
+func (e *Engine) Cached(key string) (*PreparedQuery, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	el, ok := e.cache[key]
+	if !ok {
+		return nil, false
+	}
+	e.lru.MoveToFront(el)
+	return el.Value.(*cacheEntry).p, true
 }
 
 // Prepare runs the full static pipeline for q once — validate,
@@ -159,7 +230,7 @@ func (e *Engine) PrepareExact(ctx context.Context, q *Query) (*PreparedQuery, er
 // memoizedKey returns the canonical cache key for (q, c, opt), going
 // through the syntactic-key memo: only the first Prepare of each
 // syntactic form pays the canonical-form search. The memo is bounded at
-// four times the cache capacity with FIFO eviction.
+// four times the cache capacity with LRU eviction.
 func (e *Engine) memoizedKey(q *Query, c Class, opt Options) string {
 	class := "exact"
 	if c != nil {
@@ -169,7 +240,9 @@ func (e *Engine) memoizedKey(q *Query, c Class, opt Options) string {
 	syn := fmt.Sprintf("%s\x00%s\x00%d/%d/%d",
 		synNormalForm(q), class, opt.MaxVars, opt.MaxExtraAtoms, opt.FreshVars)
 	e.mu.Lock()
-	if k, ok := e.keyMemo[syn]; ok {
+	if el, ok := e.keyMemo[syn]; ok {
+		e.memoLRU.MoveToFront(el)
+		k := el.Value.(*memoEntry).key
 		e.mu.Unlock()
 		return k
 	}
@@ -178,12 +251,11 @@ func (e *Engine) memoizedKey(q *Query, c Class, opt Options) string {
 		q.CanonicalKey(), class, opt.MaxVars, opt.MaxExtraAtoms, opt.FreshVars)
 	e.mu.Lock()
 	if _, ok := e.keyMemo[syn]; !ok {
-		e.keyMemo[syn] = key
-		e.memoOrder = append(e.memoOrder, syn)
+		e.keyMemo[syn] = e.memoLRU.PushFront(&memoEntry{syn: syn, key: key})
 		for limit := 4 * e.maxEntries; e.maxEntries > 0 && len(e.keyMemo) > limit; {
-			evict := e.memoOrder[0]
-			e.memoOrder = e.memoOrder[1:]
-			delete(e.keyMemo, evict)
+			back := e.memoLRU.Back()
+			e.memoLRU.Remove(back)
+			delete(e.keyMemo, back.Value.(*memoEntry).syn)
 		}
 	}
 	e.mu.Unlock()
@@ -210,11 +282,18 @@ func (e *Engine) prepare(ctx context.Context, q *Query, c Class, opt Options) (*
 	if err := q.Validate(); err != nil {
 		return nil, err
 	}
+	// Refuse over-budget class inputs before the canonical-key work:
+	// the search would refuse them anyway, and keying is not free.
+	if err := budgetCheck(q, c, opt); err != nil {
+		return nil, err
+	}
 	key := e.memoizedKey(q, c, opt)
 	for {
 		e.mu.Lock()
-		if p, ok := e.cache[key]; ok {
+		if el, ok := e.cache[key]; ok {
+			e.lru.MoveToFront(el)
 			e.hits++
+			p := el.Value.(*cacheEntry).p
 			e.mu.Unlock()
 			return p.forCaller(q), nil
 		}
@@ -267,17 +346,19 @@ func (e *Engine) prepare(ctx context.Context, q *Query, c Class, opt Options) (*
 	}
 }
 
-// insertLocked adds a cache entry, evicting the oldest beyond capacity.
-// Callers hold e.mu.
+// insertLocked adds a cache entry as most-recently-used, evicting the
+// least-recently-used beyond capacity. Callers hold e.mu.
 func (e *Engine) insertLocked(key string, p *PreparedQuery) {
-	if _, ok := e.cache[key]; !ok {
-		e.order = append(e.order, key)
+	if el, ok := e.cache[key]; ok {
+		el.Value.(*cacheEntry).p = p
+		e.lru.MoveToFront(el)
+		return
 	}
-	e.cache[key] = p
+	e.cache[key] = e.lru.PushFront(&cacheEntry{key: key, p: p})
 	for e.maxEntries > 0 && len(e.cache) > e.maxEntries {
-		evict := e.order[0]
-		e.order = e.order[1:]
-		delete(e.cache, evict)
+		back := e.lru.Back()
+		e.lru.Remove(back)
+		delete(e.cache, back.Value.(*cacheEntry).key)
 	}
 }
 

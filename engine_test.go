@@ -323,6 +323,71 @@ func TestEngineCacheEviction(t *testing.T) {
 	}
 }
 
+// Eviction is LRU, not FIFO: a recently-hit entry must survive an
+// insertion that exceeds capacity, at the expense of the least recently
+// used one.
+func TestEngineCacheLRU(t *testing.T) {
+	e := NewEngine(WithCacheCapacity(2))
+	ctx := context.Background()
+	qA, qB, qC := workload.CycleQuery(2), workload.CycleQuery(3), workload.CycleQuery(4)
+	for _, q := range []*Query{qA, qB} {
+		if _, err := e.Prepare(ctx, q, TW(1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Touch A: it becomes most recently used, so B is now the LRU
+	// entry. Under FIFO, A (the oldest insertion) would be evicted
+	// next regardless of this hit.
+	if _, err := e.Prepare(ctx, qA, TW(1)); err != nil {
+		t.Fatal(err)
+	}
+	if s := e.CacheStats(); s.Hits != 1 || s.Misses != 2 {
+		t.Fatalf("after touching A: %+v", s)
+	}
+	// Insert C: capacity 2 forces one eviction — B, not A.
+	if _, err := e.Prepare(ctx, qC, TW(1)); err != nil {
+		t.Fatal(err)
+	}
+	if s := e.CacheStats(); s.Entries != 2 || s.Misses != 3 {
+		t.Fatalf("after inserting C: %+v", s)
+	}
+	if _, err := e.Prepare(ctx, qA, TW(1)); err != nil {
+		t.Fatal(err)
+	}
+	if s := e.CacheStats(); s.Hits != 2 {
+		t.Fatalf("recently-hit A must survive the eviction (FIFO would drop it): %+v", s)
+	}
+	if _, err := e.Prepare(ctx, qB, TW(1)); err != nil {
+		t.Fatal(err)
+	}
+	if s := e.CacheStats(); s.Misses != 4 {
+		t.Fatalf("least-recently-used B must have been evicted: %+v", s)
+	}
+
+	// Cached (the by-key lookup the server's eval-by-key path uses)
+	// counts as a use too, and CacheKey agrees with Prepare's keying.
+	key, err := e.CacheKey(qA, TW(1), e.Options())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := e.Cached(key); !ok {
+		t.Fatal("Cached must find the entry Prepare stored")
+	}
+	if _, err := e.Prepare(ctx, workload.CycleQuery(5), TW(1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := e.Cached(key); !ok {
+		t.Fatal("Cached lookup must protect A from the next eviction")
+	}
+	hitsBefore := e.CacheStats().Hits
+	if _, ok := e.Cached(key); !ok {
+		t.Fatal("entry vanished")
+	}
+	if got := e.CacheStats().Hits; got != hitsBefore {
+		t.Fatalf("Cached must not count as a Prepare hit: %d -> %d", hitsBefore, got)
+	}
+}
+
 func TestTypedErrors(t *testing.T) {
 	e := NewEngine()
 	ctx := context.Background()

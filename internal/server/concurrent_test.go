@@ -1,0 +1,47 @@
+package server
+
+import (
+	"context"
+	"testing"
+
+	"cqapprox/client"
+	"cqapprox/internal/workload"
+	"cqapprox/internal/workload/httpdrive"
+)
+
+// Mixed prepare/eval/stream traffic from concurrent clients against a
+// live server — the workload the service exists for, and the test the
+// CI -race run leans on. Every request must succeed, the per-endpoint
+// counters must add up, and the shared cache must have absorbed the
+// repeat prepares.
+func TestServerConcurrentMixedTraffic(t *testing.T) {
+	s, ts := newTestServer(t, Config{MaxInflightPrepare: 16, MaxInflightEval: 64})
+	c := client.New(ts.URL).WithHTTPClient(ts.Client())
+
+	gen := &workload.LoadGen{Seed: 42, Concurrency: 8}
+	const n = 300
+	rep := gen.Run(context.Background(), n, httpdrive.Executor(c))
+
+	for _, err := range rep.FirstErrs {
+		t.Errorf("workload error: %v", err)
+	}
+	if rep.Total() != n {
+		t.Fatalf("completed %d ops, want %d", rep.Total(), n)
+	}
+	stats := s.Stats()
+	var requests int64
+	for _, ep := range stats.Endpoints {
+		requests += ep.Requests
+	}
+	if requests != n {
+		t.Fatalf("endpoint counters sum to %d, want %d", requests, n)
+	}
+	if got := stats.Endpoints["/v1/eval"].Requests; got != rep.Ops[workload.OpEval] {
+		t.Fatalf("eval counter %d != generator count %d", got, rep.Ops[workload.OpEval])
+	}
+	// The suite has 8 distinct queries; everything after their first
+	// preparations must be cache hits.
+	if stats.Cache.Hits == 0 || stats.Cache.Misses > 16 {
+		t.Fatalf("cache did not absorb repeat traffic: %+v", stats.Cache)
+	}
+}

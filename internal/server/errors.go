@@ -1,0 +1,82 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+
+	"cqapprox"
+	"cqapprox/api"
+)
+
+// apiError pairs a stable wire error with its HTTP status. The mapping
+// is part of the API contract (DESIGN.md §Service layer): clients
+// branch on ErrorInfo.Code, proxies on the status.
+type apiError struct {
+	status int
+	info   api.ErrorInfo
+}
+
+func errBadRequest(msg string) *apiError {
+	return &apiError{http.StatusBadRequest, api.ErrorInfo{Code: api.CodeBadRequest, Message: msg}}
+}
+
+func errUnknownKey() *apiError {
+	return &apiError{http.StatusNotFound, api.ErrorInfo{
+		Code:    api.CodeUnknownKey,
+		Message: "no prepared query under this key (evicted or never prepared here); re-prepare",
+	}}
+}
+
+func errOverloaded() *apiError {
+	return &apiError{http.StatusTooManyRequests, api.ErrorInfo{
+		Code:    api.CodeOverloaded,
+		Message: "server at capacity for this endpoint; retry shortly",
+	}}
+}
+
+// mapError translates the library's typed errors into the wire
+// taxonomy. Order matters: ParseError first (it is the most specific),
+// the sentinel wrappers next, everything else is internal.
+func mapError(err error) *apiError {
+	var perr *cqapprox.ParseError
+	switch {
+	case errors.As(err, &perr):
+		return &apiError{http.StatusBadRequest, api.ErrorInfo{
+			Code: api.CodeParseError, Message: perr.Error(), Line: perr.Line, Col: perr.Col,
+		}}
+	case errors.Is(err, cqapprox.ErrBudgetExceeded):
+		return &apiError{http.StatusUnprocessableEntity, api.ErrorInfo{
+			Code: api.CodeBudgetExceeded, Message: err.Error(),
+		}}
+	case errors.Is(err, cqapprox.ErrNotInClass):
+		return &apiError{http.StatusUnprocessableEntity, api.ErrorInfo{
+			Code: api.CodeNotInClass, Message: err.Error(),
+		}}
+	case errors.Is(err, cqapprox.ErrCanceled):
+		return &apiError{http.StatusGatewayTimeout, api.ErrorInfo{
+			Code: api.CodeCanceled, Message: err.Error(),
+		}}
+	default:
+		return &apiError{http.StatusInternalServerError, api.ErrorInfo{
+			Code: api.CodeInternal, Message: err.Error(),
+		}}
+	}
+}
+
+// writeJSON writes v as the complete JSON response body.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// writeError writes e as the standard error envelope; 429s advertise a
+// Retry-After so well-behaved clients back off.
+func writeError(w http.ResponseWriter, e *apiError) {
+	if e.status == http.StatusTooManyRequests {
+		w.Header().Set("Retry-After", "1")
+	}
+	info := e.info
+	writeJSON(w, e.status, api.ErrorResponse{Error: &info})
+}

@@ -1,0 +1,226 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"cqapprox"
+	"cqapprox/api"
+)
+
+// decodeJSON reads the request body into dst, writing a bad_request
+// error and returning false on malformed input. Handlers decode (i.e.
+// finish the body transfer) before acquiring an admission slot, so
+// slow uploads cannot squat on the bounded pools.
+func (s *Server) decodeJSON(w http.ResponseWriter, r *http.Request, dst any) bool {
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	if err := json.NewDecoder(body).Decode(dst); err != nil {
+		writeError(w, errBadRequest(fmt.Sprintf("decoding request body: %v", err)))
+		return false
+	}
+	return true
+}
+
+// target resolves the inline-query half of a request — parse the query,
+// resolve the class name. Exact preparations always use the engine's
+// default options (that is how the engine keys them), so options on an
+// exact request are rejected rather than silently ignored.
+func (s *Server) target(query, class string, exact, hasOptions bool) (*cqapprox.Query, cqapprox.Class, *apiError) {
+	if query == "" {
+		return nil, nil, errBadRequest("query required (or pass a key from /v1/prepare)")
+	}
+	q, err := cqapprox.Parse(query)
+	if err != nil {
+		return nil, nil, mapError(err)
+	}
+	switch {
+	case exact && class != "":
+		return nil, nil, errBadRequest("class and exact are mutually exclusive")
+	case exact && hasOptions:
+		return nil, nil, errBadRequest("options apply to class preparations only; exact uses the server defaults")
+	case !exact && class == "":
+		return nil, nil, errBadRequest("class required (or set exact for the unapproximated query)")
+	case exact:
+		return q, nil, nil
+	}
+	c, err := api.ParseClass(class)
+	if err != nil {
+		return nil, nil, errBadRequest(err.Error())
+	}
+	return q, c, nil
+}
+
+// preparedFor runs (or cache-hits) the engine pipeline for a resolved
+// inline query. An uncached preparation — whatever endpoint it arrives
+// on — must hold a prepare admission slot: that is the bound protecting
+// the NP-hard search, and an inline /v1/eval query would otherwise
+// sidestep it. The cache probe only gates admission (hits bypass the
+// slot); the preparation itself always goes through Engine.Prepare*,
+// which keeps hit accounting and caller-identity rebinding intact.
+// The probe is racy against eviction/insertion, but the race is
+// benign: at worst one search runs slotless or one hit holds a slot
+// briefly.
+func (s *Server) preparedFor(ctx context.Context, q *cqapprox.Query, c cqapprox.Class, opt cqapprox.Options) (*cqapprox.PreparedQuery, string, *apiError) {
+	key, err := s.eng.CacheKey(q, c, opt)
+	if err != nil {
+		return nil, "", mapError(err)
+	}
+	if _, cached := s.eng.Cached(key); !cached {
+		if !tryAcquire(s.prepareSem) {
+			return nil, "", errOverloaded()
+		}
+		defer release(s.prepareSem)
+	}
+	var p *cqapprox.PreparedQuery
+	if c == nil {
+		p, err = s.eng.PrepareExact(ctx, q)
+	} else {
+		p, err = s.eng.PrepareOpt(ctx, q, c, opt)
+	}
+	if err != nil {
+		return nil, "", mapError(err)
+	}
+	return p, key, nil
+}
+
+func (s *Server) handlePrepare(w http.ResponseWriter, r *http.Request) {
+	var req api.PrepareRequest
+	if !s.decodeJSON(w, r, &req) {
+		return
+	}
+	q, c, apiErr := s.target(req.Query, req.Class, req.Exact, req.Options != nil)
+	if apiErr != nil {
+		writeError(w, apiErr)
+		return
+	}
+	opt := req.Options.ToOptions(s.eng.Options())
+	ctx, cancel := s.requestContext(r, req.TimeoutMS)
+	defer cancel()
+	p, key, apiErr := s.preparedFor(ctx, q, c, opt)
+	if apiErr != nil {
+		writeError(w, apiErr)
+		return
+	}
+	writeJSON(w, http.StatusOK, api.NewPrepareResponse(p, api.EncodeKey(key)))
+}
+
+// resolve turns an EvalRequest into the prepared query to evaluate:
+// by cache key when given, via preparedFor for an inline query.
+func (s *Server) resolve(ctx context.Context, req api.EvalRequest) (*cqapprox.PreparedQuery, *apiError) {
+	if req.Key != "" {
+		raw, err := api.DecodeKey(req.Key)
+		if err != nil {
+			return nil, errBadRequest(err.Error())
+		}
+		p, ok := s.eng.Cached(raw)
+		if !ok {
+			return nil, errUnknownKey()
+		}
+		return p, nil
+	}
+	q, c, apiErr := s.target(req.Query, req.Class, req.Exact, req.Options != nil)
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	p, _, apiErr := s.preparedFor(ctx, q, c, req.Options.ToOptions(s.eng.Options()))
+	return p, apiErr
+}
+
+// evalCommon factors the shared shape of the three evaluation
+// endpoints: decode and validate the whole request, then take an eval
+// admission slot, then resolve the prepared query under the request
+// deadline, and hand off to the endpoint's terminal action. run owns
+// the response on success.
+func (s *Server) evalCommon(w http.ResponseWriter, r *http.Request, run func(ctx context.Context, p *cqapprox.PreparedQuery, db *cqapprox.Structure)) {
+	var req api.EvalRequest
+	if !s.decodeJSON(w, r, &req) {
+		return
+	}
+	db, err := req.Database.ToStructure()
+	if err != nil {
+		writeError(w, errBadRequest(err.Error()))
+		return
+	}
+	if !s.acquire(s.evalSem, w) {
+		return
+	}
+	defer release(s.evalSem)
+	ctx, cancel := s.requestContext(r, req.TimeoutMS)
+	defer cancel()
+	p, apiErr := s.resolve(ctx, req)
+	if apiErr != nil {
+		writeError(w, apiErr)
+		return
+	}
+	run(ctx, p, db)
+}
+
+func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) {
+	s.evalCommon(w, r, func(ctx context.Context, p *cqapprox.PreparedQuery, db *cqapprox.Structure) {
+		ans, err := p.Eval(ctx, db)
+		if err != nil {
+			writeError(w, mapError(err))
+			return
+		}
+		writeJSON(w, http.StatusOK, api.EvalResponse{Answers: api.FromAnswers(ans), Count: len(ans)})
+	})
+}
+
+func (s *Server) handleEvalBool(w http.ResponseWriter, r *http.Request) {
+	s.evalCommon(w, r, func(ctx context.Context, p *cqapprox.PreparedQuery, db *cqapprox.Structure) {
+		res, err := p.EvalBool(ctx, db)
+		if err != nil {
+			writeError(w, mapError(err))
+			return
+		}
+		writeJSON(w, http.StatusOK, api.EvalBoolResponse{Result: res})
+	})
+}
+
+// handleStream writes answers as NDJSON — one JSON array per line,
+// flushed as produced, so the first answer reaches the client before
+// the rest are even enumerated (the plan streams via iter.Seq; nothing
+// is materialized). A terminal JSON *object* line carries the error if
+// the enumeration was truncated (deadline or disconnect); clients
+// distinguish the two shapes by the first byte. Closing the connection
+// cancels the enumeration promptly through the request context.
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	s.evalCommon(w, r, func(ctx context.Context, p *cqapprox.PreparedQuery, db *cqapprox.Structure) {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		w.WriteHeader(http.StatusOK)
+		flusher, _ := w.(http.Flusher)
+		flush := func() {
+			if flusher != nil {
+				flusher.Flush()
+			}
+		}
+		enc := json.NewEncoder(w) // Encode appends \n: exactly one answer per line
+		seq, errf := p.AnswersErr(ctx, db)
+		n := 0
+		for t := range seq {
+			if err := enc.Encode([]int(t)); err != nil {
+				return // client gone; ctx cancellation is already unwinding seq
+			}
+			flush()
+			n++
+			if s.onStreamAnswer != nil {
+				s.onStreamAnswer(n)
+			}
+		}
+		if err := errf(); err != nil {
+			// The status is committed at 200, so instrument cannot see
+			// this failure — count it here or the stream endpoint would
+			// never report errors.
+			s.metrics.byName[epStream].errors.Add(1)
+			info := mapError(err).info
+			_ = enc.Encode(api.ErrorResponse{Error: &info})
+			flush()
+		}
+	})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
+}

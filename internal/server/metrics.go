@@ -1,0 +1,119 @@
+package server
+
+import (
+	"expvar"
+	"net/http"
+	"time"
+
+	"cqapprox/api"
+)
+
+// endpointMetrics counts one endpoint's traffic. The counters are
+// expvar vars (atomic, individually exportable); Vars assembles them
+// into an expvar.Map so cqapproxd can publish the whole set under one
+// name without the tests' many Server instances colliding in the
+// process-global expvar registry.
+type endpointMetrics struct {
+	requests  expvar.Int
+	errors    expvar.Int // responses with status >= 400
+	rejected  expvar.Int // 429s from admission control (also counted in errors)
+	inflight  expvar.Int
+	latencyNS expvar.Int // cumulative handler latency
+}
+
+func (em *endpointMetrics) snapshot() api.EndpointStats {
+	return api.EndpointStats{
+		Requests:       em.requests.Value(),
+		Errors:         em.errors.Value(),
+		Rejected:       em.rejected.Value(),
+		InFlight:       em.inflight.Value(),
+		LatencyTotalMS: float64(em.latencyNS.Value()) / 1e6,
+	}
+}
+
+type metrics struct {
+	byName map[string]*endpointMetrics
+}
+
+func newMetrics(names ...string) *metrics {
+	m := &metrics{byName: make(map[string]*endpointMetrics, len(names))}
+	for _, n := range names {
+		m.byName[n] = &endpointMetrics{}
+	}
+	return m
+}
+
+func (m *metrics) snapshot() map[string]api.EndpointStats {
+	out := make(map[string]api.EndpointStats, len(m.byName))
+	for name, em := range m.byName {
+		out[name] = em.snapshot()
+	}
+	return out
+}
+
+// Vars returns the counters as an unpublished expvar.Map tree
+// (endpoint → counter → value) for cmd/cqapproxd to expvar.Publish.
+func (m *metrics) Vars() *expvar.Map {
+	root := new(expvar.Map).Init()
+	for name, em := range m.byName {
+		sub := new(expvar.Map).Init()
+		sub.Set("requests", &em.requests)
+		sub.Set("errors", &em.errors)
+		sub.Set("rejected", &em.rejected)
+		sub.Set("in_flight", &em.inflight)
+		sub.Set("latency_ns", &em.latencyNS)
+		root.Set(name, sub)
+	}
+	return root
+}
+
+// MetricsVars exposes the server's counters for expvar publication.
+func (s *Server) MetricsVars() *expvar.Map { return s.metrics.Vars() }
+
+// statusRecorder captures the response status for metrics while
+// passing Flush through, so instrumented streaming still streams.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (sr *statusRecorder) WriteHeader(code int) {
+	if sr.status == 0 {
+		sr.status = code
+	}
+	sr.ResponseWriter.WriteHeader(code)
+}
+
+func (sr *statusRecorder) Write(b []byte) (int, error) {
+	if sr.status == 0 {
+		sr.status = http.StatusOK
+	}
+	return sr.ResponseWriter.Write(b)
+}
+
+func (sr *statusRecorder) Flush() {
+	if f, ok := sr.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// instrument wraps a handler with the endpoint's request, error,
+// rejection, in-flight and latency counters.
+func (s *Server) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
+	em := s.metrics.byName[name]
+	return func(w http.ResponseWriter, r *http.Request) {
+		em.requests.Add(1)
+		em.inflight.Add(1)
+		start := time.Now()
+		sr := &statusRecorder{ResponseWriter: w}
+		h(sr, r)
+		em.latencyNS.Add(time.Since(start).Nanoseconds())
+		em.inflight.Add(-1)
+		if sr.status >= 400 {
+			em.errors.Add(1)
+		}
+		if sr.status == http.StatusTooManyRequests {
+			em.rejected.Add(1)
+		}
+	}
+}

@@ -1,0 +1,207 @@
+// Package server implements cqapproxd's HTTP service layer over a
+// cqapprox.Engine: request decoding, admission control, per-request
+// deadlines, NDJSON answer streaming, and metrics. The wire contract
+// lives in package api; cmd/cqapproxd wires a Server to a listener and
+// a lifecycle.
+//
+// The endpoints:
+//
+//	POST /v1/prepare    run (or hit the cache for) the static pipeline
+//	POST /v1/eval       evaluate a prepared or inline query on a database
+//	POST /v1/eval/bool  answer existence only
+//	POST /v1/stream     NDJSON answers, first answer flushed immediately
+//	GET  /v1/stats      engine cache stats + per-endpoint counters
+//
+// Admission control bounds the number of concurrently running prepares
+// (NP-hard searches) and evaluations (polynomial, but data-sized)
+// separately; a saturated endpoint fails fast with 429 and Retry-After
+// rather than queueing unboundedly.
+package server
+
+import (
+	"context"
+	"net/http"
+	"time"
+
+	"cqapprox"
+	"cqapprox/api"
+)
+
+// Config tunes a Server. The zero value selects the documented
+// defaults.
+type Config struct {
+	// MaxInflightPrepare bounds concurrently running preparations —
+	// each one a potentially exponential search. The bound applies
+	// wherever an uncached preparation runs, including inline queries
+	// on the eval endpoints; cache hits bypass it. Default 4; negative
+	// means unbounded.
+	MaxInflightPrepare int
+
+	// MaxInflightEval bounds concurrently running evaluations and
+	// streams (a stream holds its slot until the last answer is
+	// written). Default 64; negative means unbounded.
+	MaxInflightEval int
+
+	// DefaultTimeout applies to requests that carry no timeout_ms.
+	// Default 30s; negative means no deadline.
+	DefaultTimeout time.Duration
+
+	// MaxTimeout clamps client-supplied timeout_ms. Default 2m;
+	// negative means no clamp.
+	MaxTimeout time.Duration
+
+	// MaxBodyBytes bounds request bodies (databases travel inline).
+	// Default 64 MiB.
+	MaxBodyBytes int64
+}
+
+const (
+	defaultMaxInflightPrepare = 4
+	defaultMaxInflightEval    = 64
+	defaultTimeout            = 30 * time.Second
+	defaultMaxTimeout         = 2 * time.Minute
+	defaultMaxBodyBytes       = 64 << 20
+)
+
+// withDefaults resolves the zero/negative conventions of Config.
+func (c Config) withDefaults() Config {
+	switch {
+	case c.MaxInflightPrepare == 0:
+		c.MaxInflightPrepare = defaultMaxInflightPrepare
+	case c.MaxInflightPrepare < 0:
+		c.MaxInflightPrepare = 0 // 0 semaphore = unbounded below
+	}
+	switch {
+	case c.MaxInflightEval == 0:
+		c.MaxInflightEval = defaultMaxInflightEval
+	case c.MaxInflightEval < 0:
+		c.MaxInflightEval = 0
+	}
+	switch {
+	case c.DefaultTimeout == 0:
+		c.DefaultTimeout = defaultTimeout
+	case c.DefaultTimeout < 0:
+		c.DefaultTimeout = 0
+	}
+	switch {
+	case c.MaxTimeout == 0:
+		c.MaxTimeout = defaultMaxTimeout
+	case c.MaxTimeout < 0:
+		c.MaxTimeout = 0
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = defaultMaxBodyBytes
+	}
+	return c
+}
+
+// The metric names double as the endpoint keys of /v1/stats.
+const (
+	epPrepare  = "/v1/prepare"
+	epEval     = "/v1/eval"
+	epEvalBool = "/v1/eval/bool"
+	epStream   = "/v1/stream"
+	epStats    = "/v1/stats"
+)
+
+// Server handles the /v1 API over one engine. Construct with New; a
+// Server is safe for concurrent use and is normally wrapped in an
+// http.Server by cmd/cqapproxd or an httptest.Server in tests.
+type Server struct {
+	eng        *cqapprox.Engine
+	cfg        Config
+	prepareSem chan struct{} // nil = unbounded
+	evalSem    chan struct{}
+	metrics    *metrics
+	mux        *http.ServeMux
+
+	// onStreamAnswer, when non-nil, is called after answer n (1-based)
+	// of a stream response has been written and flushed. Test seam for
+	// asserting streaming order; never set in production.
+	onStreamAnswer func(n int)
+}
+
+// New returns a Server over eng. Requests without explicit options use
+// the engine's configured search defaults.
+func New(eng *cqapprox.Engine, cfg Config) *Server {
+	s := &Server{
+		eng:     eng,
+		cfg:     cfg.withDefaults(),
+		metrics: newMetrics(epPrepare, epEval, epEvalBool, epStream, epStats),
+	}
+	if n := s.cfg.MaxInflightPrepare; n > 0 {
+		s.prepareSem = make(chan struct{}, n)
+	}
+	if n := s.cfg.MaxInflightEval; n > 0 {
+		s.evalSem = make(chan struct{}, n)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST "+epPrepare, s.instrument(epPrepare, s.handlePrepare))
+	mux.HandleFunc("POST "+epEval, s.instrument(epEval, s.handleEval))
+	mux.HandleFunc("POST "+epEvalBool, s.instrument(epEvalBool, s.handleEvalBool))
+	mux.HandleFunc("POST "+epStream, s.instrument(epStream, s.handleStream))
+	mux.HandleFunc("GET "+epStats, s.instrument(epStats, s.handleStats))
+	s.mux = mux
+	return s
+}
+
+// Handler returns the root handler serving the /v1 API.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Stats snapshots the engine cache counters and the per-endpoint
+// request metrics (the body of GET /v1/stats, also published to expvar
+// by cmd/cqapproxd).
+func (s *Server) Stats() api.StatsResponse {
+	cs := s.eng.CacheStats()
+	return api.StatsResponse{
+		Cache:     api.CacheStats{Hits: cs.Hits, Misses: cs.Misses, Entries: cs.Entries},
+		Endpoints: s.metrics.snapshot(),
+	}
+}
+
+// tryAcquire claims a slot of sem without blocking: admission control
+// fails fast instead of queueing work the server cannot start. A nil
+// sem is unbounded.
+func tryAcquire(sem chan struct{}) bool {
+	if sem == nil {
+		return true
+	}
+	select {
+	case sem <- struct{}{}:
+		return true
+	default:
+		return false
+	}
+}
+
+// acquire is tryAcquire plus the 429 + Retry-After response on refusal.
+func (s *Server) acquire(sem chan struct{}, w http.ResponseWriter) bool {
+	if tryAcquire(sem) {
+		return true
+	}
+	writeError(w, errOverloaded())
+	return false
+}
+
+func release(sem chan struct{}) {
+	if sem != nil {
+		<-sem
+	}
+}
+
+// requestContext derives the request's evaluation context: the client's
+// timeout_ms (clamped to MaxTimeout) or DefaultTimeout, on top of the
+// connection context — so a client disconnect cancels the work too.
+func (s *Server) requestContext(r *http.Request, timeoutMS int64) (context.Context, context.CancelFunc) {
+	d := s.cfg.DefaultTimeout
+	if timeoutMS > 0 {
+		d = time.Duration(timeoutMS) * time.Millisecond
+	}
+	if max := s.cfg.MaxTimeout; max > 0 && (d <= 0 || d > max) {
+		d = max
+	}
+	if d <= 0 {
+		return context.WithCancel(r.Context())
+	}
+	return context.WithTimeout(r.Context(), d)
+}

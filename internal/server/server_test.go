@@ -1,0 +1,345 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"cqapprox"
+	"cqapprox/api"
+)
+
+// newTestServer spins an httptest server over a fresh engine and
+// returns both plus the Server for white-box access (hooks, Stats).
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New(cqapprox.NewEngine(), cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func post(t *testing.T, ts *httptest.Server, path, body string) (int, http.Header, string) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+path, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, resp.Header, strings.TrimRight(string(b), "\n")
+}
+
+// The key /v1/prepare returns for the TW(1) triangle below: the
+// engine's canonical cache key (stable across alpha-equivalent
+// queries), base64-encoded.
+const triangleTW1Key = "Y3xuMztkMCw7RSgyKTowLDJ8MSwwfDIsMQBjb3JlLnR3Q2xhc3M6VFcoMSkAMTAvMS8w"
+
+// Golden-JSON coverage of every endpoint and every reachable error
+// code. Bodies are compared byte-for-byte: responses are part of the
+// wire contract, and all of them are deterministic (canonical variable
+// renaming at prepare time, sorted answer sets, fixed error strings).
+func TestEndpointGolden(t *testing.T) {
+	c11 := "Q() :- E(x0,x1), E(x1,x2), E(x2,x3), E(x3,x4), E(x4,x5), E(x5,x6), E(x6,x7), E(x7,x8), E(x8,x9), E(x9,x10), E(x10,x0)"
+	c9 := "Q() :- E(x0,x1), E(x1,x2), E(x2,x3), E(x3,x4), E(x4,x5), E(x5,x6), E(x6,x7), E(x7,x8), E(x8,x0)"
+	steps := []struct {
+		name       string
+		path, body string
+		wantStatus int
+		wantBody   string
+	}{
+		{
+			name:       "prepare miss",
+			path:       "/v1/prepare",
+			body:       `{"query":"Q(x) :- E(x,y), E(y,z), E(z,x)","class":"TW1"}`,
+			wantStatus: 200,
+			wantBody:   `{"key":"` + triangleTW1Key + `","query":"Q(x) :- E(x,y), E(y,z), E(z,x)","minimized":"Q(v0) :- E(v0,v1), E(v1,v2), E(v2,v0)","class":"TW(1)","approximation":"Q_approx(x0) :- E(x0,x1), E(x1,x0), E(x1,x1)","approximations":["Q_approx(x0) :- E(x0,x1), E(x1,x0), E(x1,x1)"],"plan":"yannakakis","candidates_inspected":4,"cache_hit":false}`,
+		},
+		{
+			name:       "prepare hit of an alpha-variant",
+			path:       "/v1/prepare",
+			body:       `{"query":"P(a) :- E(c,a), E(a,b), E(b,c)","class":"TW1"}`,
+			wantStatus: 200,
+			wantBody:   `{"key":"` + triangleTW1Key + `","query":"P(a) :- E(c,a), E(a,b), E(b,c)","minimized":"P(v0) :- E(v0,v1), E(v1,v2), E(v2,v0)","class":"TW(1)","approximation":"P_approx(x0) :- E(x0,x1), E(x1,x0), E(x1,x1)","approximations":["P_approx(x0) :- E(x0,x1), E(x1,x0), E(x1,x1)"],"plan":"yannakakis","candidates_inspected":0,"cache_hit":true}`,
+		},
+		{
+			name:       "prepare exact",
+			path:       "/v1/prepare",
+			body:       `{"query":"Q(x,z) :- E(x,y), E(y,z)","exact":true}`,
+			wantStatus: 200,
+			wantBody:   `{"key":"Y3xuMztkMCwxLDtFKDIpOjAsMnwyLDEAZXhhY3QAMTAvMS8w","query":"Q(x,z) :- E(x,y), E(y,z)","minimized":"Q(v0,v1) :- E(v0,v2), E(v2,v1)","plan":"yannakakis","candidates_inspected":0,"cache_hit":false}`,
+		},
+		{
+			name:       "eval inline",
+			path:       "/v1/eval",
+			body:       `{"query":"Q(x,z) :- E(x,y), E(y,z)","exact":true,"database":{"E":[[1,2],[2,3],[3,4]]}}`,
+			wantStatus: 200,
+			wantBody:   `{"answers":[[1,3],[2,4]],"count":2}`,
+		},
+		{
+			name:       "eval by key",
+			path:       "/v1/eval",
+			body:       `{"key":"` + triangleTW1Key + `","database":{"E":[[1,2],[2,1],[2,2]]}}`,
+			wantStatus: 200,
+			wantBody:   `{"answers":[[1],[2]],"count":2}`,
+		},
+		{
+			name:       "eval empty answers",
+			path:       "/v1/eval",
+			body:       `{"query":"Q(x,z) :- E(x,y), E(y,z)","exact":true,"database":{}}`,
+			wantStatus: 200,
+			wantBody:   `{"answers":[],"count":0}`,
+		},
+		{
+			name:       "eval/bool",
+			path:       "/v1/eval/bool",
+			body:       `{"query":"Q() :- E(x,x)","exact":true,"database":{"E":[[1,2],[2,2]]}}`,
+			wantStatus: 200,
+			wantBody:   `{"result":true}`,
+		},
+		{
+			name:       "stream NDJSON",
+			path:       "/v1/stream",
+			body:       `{"query":"Q(x,z) :- E(x,y), E(y,z)","exact":true,"database":{"E":[[1,2],[2,3],[3,4]]}}`,
+			wantStatus: 200,
+			wantBody:   "[1,3]\n[2,4]",
+		},
+		{
+			name:       "unknown key: 404 unknown_key",
+			path:       "/v1/eval",
+			body:       `{"key":"bm90LWEta2V5","database":{}}`,
+			wantStatus: 404,
+			wantBody:   `{"error":{"code":"unknown_key","message":"no prepared query under this key (evicted or never prepared here); re-prepare"}}`,
+		},
+		{
+			name:       "malformed key: 400 bad_request",
+			path:       "/v1/eval",
+			body:       `{"key":"%%%","database":{}}`,
+			wantStatus: 400,
+			wantBody:   `{"error":{"code":"bad_request","message":"malformed key: illegal base64 data at input byte 0"}}`,
+		},
+		{
+			name:       "syntax error: 400 parse_error with position",
+			path:       "/v1/prepare",
+			body:       `{"query":"Q(x) :- E(x,","class":"TW1"}`,
+			wantStatus: 400,
+			wantBody:   `{"error":{"code":"parse_error","message":"cq: parse error at 1:13 (offset 12): expected identifier","line":1,"col":13}}`,
+		},
+		{
+			name:       "unknown class: 400 bad_request",
+			path:       "/v1/prepare",
+			body:       `{"query":"Q(x) :- E(x,y)","class":"TW9"}`,
+			wantStatus: 400,
+			wantBody:   `{"error":{"code":"bad_request","message":"unknown class \"TW9\" (want TW1, TW2, TW3, AC, HTW1, HTW2, GHTW1, GHTW2)"}}`,
+		},
+		{
+			name:       "missing class: 400 bad_request",
+			path:       "/v1/prepare",
+			body:       `{"query":"Q(x) :- E(x,y)"}`,
+			wantStatus: 400,
+			wantBody:   `{"error":{"code":"bad_request","message":"class required (or set exact for the unapproximated query)"}}`,
+		},
+		{
+			name:       "class plus exact: 400 bad_request",
+			path:       "/v1/prepare",
+			body:       `{"query":"Q(x) :- E(x,y)","class":"TW1","exact":true}`,
+			wantStatus: 400,
+			wantBody:   `{"error":{"code":"bad_request","message":"class and exact are mutually exclusive"}}`,
+		},
+		{
+			name:       "options with exact: 400 bad_request",
+			path:       "/v1/prepare",
+			body:       `{"query":"Q(x) :- E(x,y)","exact":true,"options":{"max_vars":20}}`,
+			wantStatus: 400,
+			wantBody:   `{"error":{"code":"bad_request","message":"options apply to class preparations only; exact uses the server defaults"}}`,
+		},
+		{
+			name:       "partial options inherit defaults for the rest",
+			path:       "/v1/prepare",
+			body:       `{"query":"Q() :- E(x,y)","class":"AC","options":{"max_vars":12}}`,
+			wantStatus: 200,
+			wantBody:   `{"key":"Y3xuMjtkO0UoMik6MCwxAGNvcmUuYWNDbGFzczpBQwAxMi8xLzA","query":"Q() :- E(x,y)","minimized":"Q() :- E(v0,v1)","class":"AC","approximation":"Q_approx() :- E(x0,x1)","approximations":["Q_approx() :- E(x0,x1)"],"plan":"yannakakis","candidates_inspected":1,"cache_hit":false}`,
+		},
+		{
+			name:       "malformed JSON: 400 bad_request",
+			path:       "/v1/prepare",
+			body:       `not json`,
+			wantStatus: 400,
+			wantBody:   `{"error":{"code":"bad_request","message":"decoding request body: invalid character 'o' in literal null (expecting 'u')"}}`,
+		},
+		{
+			name:       "ragged database: 400 bad_request",
+			path:       "/v1/eval",
+			body:       `{"query":"Q(x) :- E(x,x)","exact":true,"database":{"E":[[1,2],[1,2,3]]}}`,
+			wantStatus: 400,
+			wantBody:   `{"error":{"code":"bad_request","message":"database: relation \"E\" mixes arities 2 and 3"}}`,
+		},
+		{
+			name:       "over budget: 422 budget_exceeded",
+			path:       "/v1/prepare",
+			body:       `{"query":"` + c11 + `","class":"TW1"}`,
+			wantStatus: 422,
+			wantBody:   `{"error":{"code":"budget_exceeded","message":"core: query has 11 variables; limit is 10 (raise Options.MaxVars): search budget exceeded"}}`,
+		},
+		{
+			name:       "deadline mid-search: 504 canceled",
+			path:       "/v1/prepare",
+			body:       `{"query":"` + c9 + `","class":"TW1","timeout_ms":30}`,
+			wantStatus: 504,
+			wantBody:   `{"error":{"code":"canceled","message":"canceled: context deadline exceeded"}}`,
+		},
+	}
+	_, ts := newTestServer(t, Config{})
+	for _, step := range steps {
+		t.Run(step.name, func(t *testing.T) {
+			status, _, body := post(t, ts, step.path, step.body)
+			if status != step.wantStatus {
+				t.Fatalf("status = %d, want %d (body %s)", status, step.wantStatus, body)
+			}
+			if body != step.wantBody {
+				t.Fatalf("body:\n got %s\nwant %s", body, step.wantBody)
+			}
+		})
+	}
+}
+
+// not_in_class cannot be provoked through well-formed HTTP input (it
+// needs an incompatible head arity the parser already rejects), so its
+// mapping is pinned directly, along with the internal fallback.
+func TestErrorMapping(t *testing.T) {
+	e := mapError(fmt.Errorf("wrapped: %w", cqapprox.ErrNotInClass))
+	if e.status != http.StatusUnprocessableEntity || e.info.Code != api.CodeNotInClass {
+		t.Fatalf("ErrNotInClass mapped to %d/%s", e.status, e.info.Code)
+	}
+	e = mapError(errors.New("boom"))
+	if e.status != http.StatusInternalServerError || e.info.Code != api.CodeInternal {
+		t.Fatalf("unknown error mapped to %d/%s", e.status, e.info.Code)
+	}
+}
+
+// /v1/stats aggregates the engine cache counters and the per-endpoint
+// metrics the instrumented handlers maintain.
+func TestStats(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	post(t, ts, "/v1/prepare", `{"query":"Q(x) :- E(x,y), E(y,z), E(z,x)","class":"TW1"}`)
+	post(t, ts, "/v1/prepare", `{"query":"Q(x) :- E(x,y), E(y,z), E(z,x)","class":"TW1"}`)
+	post(t, ts, "/v1/eval", `{"query":"Q(x) :- E(x,y), E(y,z), E(z,x)","class":"TW1","database":{"E":[[1,2],[2,1]]}}`)
+	post(t, ts, "/v1/eval", `not json`)
+
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var stats api.StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Cache.Misses != 1 || stats.Cache.Hits != 2 || stats.Cache.Entries != 1 {
+		t.Fatalf("cache stats = %+v", stats.Cache)
+	}
+	ep := stats.Endpoints["/v1/prepare"]
+	if ep.Requests != 2 || ep.Errors != 0 {
+		t.Fatalf("/v1/prepare stats = %+v", ep)
+	}
+	ep = stats.Endpoints["/v1/eval"]
+	if ep.Requests != 2 || ep.Errors != 1 || ep.LatencyTotalMS <= 0 {
+		t.Fatalf("/v1/eval stats = %+v", ep)
+	}
+	// The HTTP payload and the white-box snapshot agree.
+	if got := s.Stats().Endpoints["/v1/eval"].Requests; got != 2 {
+		t.Fatalf("Stats() disagrees with /v1/stats: %d", got)
+	}
+}
+
+// Admission control: the prepare and eval pools are separate, saturate
+// independently, and reject with 429 + Retry-After instead of queueing.
+func TestAdmissionControl(t *testing.T) {
+	c9 := "Q() :- E(x0,x1), E(x1,x2), E(x2,x3), E(x3,x4), E(x4,x5), E(x5,x6), E(x6,x7), E(x7,x8), E(x8,x0)"
+	s, ts := newTestServer(t, Config{MaxInflightPrepare: 1, MaxInflightEval: 1})
+
+	// Warm the loop query into the cache: cached evaluations must keep
+	// flowing even when the prepare pool is saturated below.
+	if status, _, body := post(t, ts, "/v1/prepare",
+		`{"query":"Q(x) :- E(x,x)","exact":true}`); status != 200 {
+		t.Fatalf("warmup prepare: status %d, body %s", status, body)
+	}
+
+	// Occupy the only prepare slot with a Bell(9)-sized search, started
+	// on a cancellable request so the test can reel it back in.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		req, _ := http.NewRequestWithContext(ctx, http.MethodPost, ts.URL+"/v1/prepare",
+			strings.NewReader(`{"query":"`+c9+`","class":"TW1","timeout_ms":60000}`))
+		resp, err := http.DefaultClient.Do(req)
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+	}()
+	waitFor(t, 5*time.Second, func() bool {
+		return s.Stats().Endpoints["/v1/prepare"].InFlight == 1
+	})
+
+	status, hdr, body := post(t, ts, "/v1/prepare", `{"query":"Q(x) :- E(x,y)","class":"TW1"}`)
+	if status != http.StatusTooManyRequests {
+		t.Fatalf("saturated prepare: status %d, body %s", status, body)
+	}
+	if hdr.Get("Retry-After") != "1" {
+		t.Fatalf("429 must carry Retry-After: %v", hdr)
+	}
+	want := `{"error":{"code":"overloaded","message":"server at capacity for this endpoint; retry shortly"}}`
+	if body != want {
+		t.Fatalf("429 body:\n got %s\nwant %s", body, want)
+	}
+
+	// The eval pool is independent: a *cached* inline query still flows.
+	if status, _, body := post(t, ts, "/v1/eval",
+		`{"query":"Q(x) :- E(x,x)","exact":true,"database":{"E":[[3,3]]}}`); status != 200 {
+		t.Fatalf("cached eval while prepare saturated: status %d, body %s", status, body)
+	}
+	// But an *uncached* inline query needs a prepare slot even on the
+	// eval path — the NP-hard search must not sneak past its bound.
+	if status, _, body := post(t, ts, "/v1/eval",
+		`{"query":"Q(x,z) :- E(x,y), E(y,z)","exact":true,"database":{"E":[[3,3]]}}`); status != http.StatusTooManyRequests {
+		t.Fatalf("uncached inline eval during prepare saturation: status %d, body %s", status, body)
+	}
+
+	cancel() // disconnect aborts the big search through its context
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("saturating prepare did not abort on disconnect")
+	}
+	waitFor(t, 10*time.Second, func() bool {
+		return s.Stats().Endpoints["/v1/prepare"].InFlight == 0
+	})
+	if rej := s.Stats().Endpoints["/v1/prepare"].Rejected; rej != 1 {
+		t.Fatalf("rejected counter = %d, want 1", rej)
+	}
+}
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, d time.Duration, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached in time")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

@@ -1,0 +1,55 @@
+// Package httpdrive adapts workload.LoadGen operations to cqapproxd
+// HTTP requests through the typed client. It is the one executor the
+// server's concurrency tests and the E18 throughput benchmark share —
+// it lives beside workload rather than in it because the root
+// package's in-package tests import workload, and workload itself
+// pulling in client/api (which import cqapprox) would be a test
+// import cycle.
+package httpdrive
+
+import (
+	"context"
+
+	"cqapprox/api"
+	"cqapprox/client"
+	"cqapprox/internal/relstr"
+	"cqapprox/internal/workload"
+)
+
+// WireDB converts a structure to its wire form.
+func WireDB(s *relstr.Structure) api.Database {
+	db := api.Database{}
+	for _, rel := range s.Relations() {
+		tuples := s.Tuples(rel)
+		out := make([][]int, len(tuples))
+		for i, t := range tuples {
+			out[i] = []int(t)
+		}
+		db[rel] = out
+	}
+	return db
+}
+
+// Executor returns a LoadGen executor that performs each op as the
+// corresponding HTTP request via c, draining streams completely.
+func Executor(c *client.Client) func(ctx context.Context, op workload.Op) error {
+	return func(ctx context.Context, op workload.Op) error {
+		switch op.Kind {
+		case workload.OpPrepare:
+			_, err := c.Prepare(ctx, api.PrepareRequest{Query: op.Query.String(), Class: op.Class})
+			return err
+		case workload.OpEval:
+			_, err := c.Eval(ctx, api.EvalRequest{
+				Query: op.Query.String(), Class: op.Class, Database: WireDB(op.DB),
+			})
+			return err
+		default: // OpStream
+			seq, errf := c.Stream(ctx, api.EvalRequest{
+				Query: op.Query.String(), Class: op.Class, Database: WireDB(op.DB),
+			})
+			for range seq {
+			}
+			return errf()
+		}
+	}
+}

@@ -1,0 +1,245 @@
+package workload
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cqapprox/internal/cq"
+	"cqapprox/internal/relstr"
+)
+
+// OpKind is the request type of one generated operation.
+type OpKind int
+
+const (
+	OpPrepare OpKind = iota
+	OpEval
+	OpStream
+	numOpKinds
+)
+
+func (k OpKind) String() string {
+	switch k {
+	case OpPrepare:
+		return "prepare"
+	case OpEval:
+		return "eval"
+	case OpStream:
+		return "stream"
+	default:
+		return fmt.Sprintf("OpKind(%d)", int(k))
+	}
+}
+
+// Op is one operation of a mixed workload: a query (with its target
+// class) and, for evaluations, a database.
+type Op struct {
+	Kind  OpKind
+	Query *cq.Query
+	Class string // class name, e.g. "TW1" (empty = exact)
+	DB    *relstr.Structure
+}
+
+// LoadGen generates mixed prepare/eval/stream traffic over a fixed
+// query suite and database pool. It is transport-agnostic: Run feeds
+// the generated ops to a caller-supplied executor, which the server
+// benchmarks wire to the HTTP client — so the same generator can also
+// drive an Engine directly. The executed op multiset is a pure
+// function of (Seed, n); only the interleaving across workers is
+// scheduling-dependent.
+type LoadGen struct {
+	// Seed fixes the op sequence. The zero seed is a valid fixed seed.
+	Seed int64
+
+	// PrepareWeight : EvalWeight : StreamWeight is the traffic mix.
+	// All zero means 1:8:1 — a warm-cache, evaluation-heavy service.
+	PrepareWeight, EvalWeight, StreamWeight int
+
+	// Queries is the query pool; empty means QuerySuite(). Classes
+	// assigns each query's class name, cycling if shorter; empty means
+	// all "TW1".
+	Queries []*cq.Query
+	Classes []string
+
+	// Databases is the database pool; empty means three small random
+	// digraphs (request-sized, the regime the service targets).
+	Databases []*relstr.Structure
+
+	// Concurrency is the number of worker goroutines Run uses
+	// (default 8).
+	Concurrency int
+}
+
+// Report aggregates one Run: per-kind op counts and latency, failures,
+// and wall-clock.
+type Report struct {
+	Ops       [numOpKinds]int64         // completed ops per kind
+	Failures  [numOpKinds]int64         // ops whose executor returned an error
+	Latency   [numOpKinds]time.Duration // cumulative executor latency per kind
+	Elapsed   time.Duration             // wall-clock of the whole Run
+	FirstErrs []error                   // one representative error per kind (nil-free)
+}
+
+// Total returns the number of completed ops of all kinds.
+func (r *Report) Total() int64 {
+	var n int64
+	for _, c := range r.Ops {
+		n += c
+	}
+	return n
+}
+
+// PerSecond returns the overall completed-op throughput.
+func (r *Report) PerSecond() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Total()) / r.Elapsed.Seconds()
+}
+
+// KindPerSecond returns the completed-op throughput of one kind.
+func (r *Report) KindPerSecond(k OpKind) float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Ops[k]) / r.Elapsed.Seconds()
+}
+
+func (g *LoadGen) withDefaults() LoadGen {
+	c := *g
+	if c.PrepareWeight == 0 && c.EvalWeight == 0 && c.StreamWeight == 0 {
+		c.PrepareWeight, c.EvalWeight, c.StreamWeight = 1, 8, 1
+	}
+	if len(c.Queries) == 0 {
+		c.Queries = QuerySuite()
+	}
+	// Ops travel as rule-notation strings (Query.String must re-parse),
+	// so display-only names like "C4(x)" are reduced to identifiers.
+	// Fresh slice: the caller's queries are never mutated.
+	queries := make([]*cq.Query, len(c.Queries))
+	for i, q := range c.Queries {
+		if clean := identifier(q.Name); clean != q.Name {
+			q = q.Clone()
+			q.Name = clean
+		}
+		queries[i] = q
+	}
+	c.Queries = queries
+	if len(c.Classes) == 0 {
+		c.Classes = []string{"TW1"}
+	}
+	if len(c.Databases) == 0 {
+		rng := rand.New(rand.NewSource(c.Seed + 1))
+		c.Databases = []*relstr.Structure{
+			RandomDigraph(rng, 20, 60),
+			RandomSocial(rng, 30, 3, 0.3),
+			LayeredDAG(rng, 4, 5, 2),
+		}
+	}
+	if c.Concurrency <= 0 {
+		c.Concurrency = 8
+	}
+	return c
+}
+
+// identifier strips everything but letters, digits and underscores;
+// an empty result falls back to "Q".
+func identifier(name string) string {
+	var b []byte
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		if c == '_' || '0' <= c && c <= '9' || 'a' <= c && c <= 'z' || 'A' <= c && c <= 'Z' {
+			b = append(b, c)
+		}
+	}
+	if len(b) == 0 {
+		return "Q"
+	}
+	return string(b)
+}
+
+// op deterministically generates the i-th operation from rng.
+func (g *LoadGen) op(rng *rand.Rand) Op {
+	total := g.PrepareWeight + g.EvalWeight + g.StreamWeight
+	roll := rng.Intn(total)
+	var kind OpKind
+	switch {
+	case roll < g.PrepareWeight:
+		kind = OpPrepare
+	case roll < g.PrepareWeight+g.EvalWeight:
+		kind = OpEval
+	default:
+		kind = OpStream
+	}
+	qi := rng.Intn(len(g.Queries))
+	op := Op{
+		Kind:  kind,
+		Query: g.Queries[qi],
+		Class: g.Classes[qi%len(g.Classes)],
+	}
+	if kind != OpPrepare {
+		op.DB = g.Databases[rng.Intn(len(g.Databases))]
+	}
+	return op
+}
+
+// Run executes n mixed operations across the configured worker count,
+// calling do for each one, and aggregates the outcome. The n ops are
+// generated up front from one seeded rng, so the executed multiset is
+// identical across runs; workers only race for the next index. Run
+// returns early (with the partial report) when ctx is cancelled. do
+// must be safe for concurrent use.
+func (g *LoadGen) Run(ctx context.Context, n int, do func(ctx context.Context, op Op) error) *Report {
+	cfg := g.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	plan := make([]Op, n)
+	for i := range plan {
+		plan[i] = cfg.op(rng)
+	}
+	var (
+		rep      Report
+		ops      [numOpKinds]atomic.Int64
+		fails    [numOpKinds]atomic.Int64
+		latency  [numOpKinds]atomic.Int64
+		firstErr [numOpKinds]atomic.Pointer[error]
+		next     atomic.Int64
+		wg       sync.WaitGroup
+	)
+	start := time.Now()
+	for w := 0; w < cfg.Concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := next.Add(1) - 1
+				if i >= int64(n) || ctx.Err() != nil {
+					return
+				}
+				op := plan[i]
+				t0 := time.Now()
+				err := do(ctx, op)
+				latency[op.Kind].Add(int64(time.Since(t0)))
+				ops[op.Kind].Add(1)
+				if err != nil {
+					fails[op.Kind].Add(1)
+					firstErr[op.Kind].CompareAndSwap(nil, &err)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	rep.Elapsed = time.Since(start)
+	for k := range rep.Ops {
+		rep.Ops[k] = ops[k].Load()
+		rep.Failures[k] = fails[k].Load()
+		rep.Latency[k] = time.Duration(latency[k].Load())
+		if p := firstErr[k].Load(); p != nil {
+			rep.FirstErrs = append(rep.FirstErrs, fmt.Errorf("%v: %w", OpKind(k), *p))
+		}
+	}
+	return &rep
+}

@@ -20,7 +20,8 @@ type PreparedQuery struct {
 	approxes  []*Query // all minimized C-approximations; nil for exact
 	chosen    *Query   // the query the plan evaluates
 	plan      *eval.Plan
-	inspected int // candidates inspected by the search (0 for exact)
+	inspected int  // candidates inspected by the search (0 for exact)
+	fromCache bool // true when Prepare served this from the cache (see CacheHit)
 }
 
 // Query returns a copy of the original query this PreparedQuery was
@@ -41,6 +42,7 @@ func (p *PreparedQuery) forCaller(q *Query) *PreparedQuery {
 	cp := *p
 	cp.src = q.Clone()
 	cp.inspected = 0
+	cp.fromCache = true
 	if cp.min.Name != q.Name {
 		m := cp.min.Clone()
 		m.Name = q.Name
@@ -97,6 +99,13 @@ func (p *PreparedQuery) Approximations() []*Query {
 // approximation search examined (0 on PrepareExact and, by design, on
 // every cache hit — the point of preparing once).
 func (p *PreparedQuery) CandidatesInspected() int { return p.inspected }
+
+// CacheHit reports whether the Prepare that returned this value was
+// served from the engine's cache (including being handed an in-flight
+// leader's result) instead of running the pipeline itself. It mirrors
+// exactly the hit CacheStats recorded for that Prepare, even under
+// concurrent preparation of the same key.
+func (p *PreparedQuery) CacheHit() bool { return p.fromCache }
 
 // PlanMode names the evaluation strategy the plan selected
 // ("yannakakis" or "naive").
