@@ -172,11 +172,17 @@ type ClassifyResponse struct {
 	LoopFreeTW map[int]bool `json:"loop_free_tw"`
 }
 
-// CacheStats mirrors cqapprox.CacheStats on the wire.
+// CacheStats mirrors cqapprox.CacheStats on the wire. The index
+// counters sum the indexed join runtime's activity over every cached
+// plan (hash indexes built per evaluation, rows driven through index
+// probes, evaluations run).
 type CacheStats struct {
-	Hits    uint64 `json:"hits"`
-	Misses  uint64 `json:"misses"`
-	Entries int    `json:"entries"`
+	Hits         uint64 `json:"hits"`
+	Misses       uint64 `json:"misses"`
+	Entries      int    `json:"entries"`
+	IndexBuilds  uint64 `json:"index_builds"`
+	IndexProbes  uint64 `json:"index_probes"`
+	IndexedEvals uint64 `json:"indexed_evals"`
 }
 
 // EndpointStats are the per-endpoint request counters of GET /v1/stats.

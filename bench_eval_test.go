@@ -1,0 +1,78 @@
+package cqapprox
+
+// E19: the indexed join runtime. BenchmarkIndexedJoin measures warm
+// PreparedQuery.Eval over the chain/star/cycle workloads at several
+// database sizes — the numbers the committed BENCH_eval.json baseline
+// tracks and CI's benchcheck gate compares against (>25% ns/op
+// regression fails the build). cmd/experiments -run indexedjoin
+// reports the same workloads against the pre-PR string-key baseline
+// and regenerates BENCH_eval.json.
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"cqapprox/internal/workload"
+)
+
+// preparedBenchCase prepares one E19 workload on a warm engine.
+func preparedBenchCase(b *testing.B, engine *Engine, c workload.EvalBenchCase) *PreparedQuery {
+	b.Helper()
+	ctx := context.Background()
+	var (
+		p   *PreparedQuery
+		err error
+	)
+	if c.Exact {
+		p, err = engine.PrepareExact(ctx, c.Query)
+	} else {
+		p, err = engine.Prepare(ctx, c.Query, TW(1))
+	}
+	if err != nil {
+		b.Fatal(err)
+	}
+	return p
+}
+
+func BenchmarkIndexedJoin(b *testing.B) {
+	ctx := context.Background()
+	engine := NewEngine()
+	for _, c := range workload.EvalBenchSuite() {
+		p := preparedBenchCase(b, engine, c)
+		for _, n := range c.Sizes {
+			db := workload.EvalBenchDB(n)
+			b.Run(fmt.Sprintf("%s/N%d", c.Name, n), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					ans, err := p.Eval(ctx, db)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if len(ans) == 0 {
+						b.Fatal("no answers")
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkIndexedJoinBool tracks the Boolean fast path (single
+// semijoin pass) on the largest chain workload.
+func BenchmarkIndexedJoinBool(b *testing.B) {
+	ctx := context.Background()
+	engine := NewEngine()
+	suite := workload.EvalBenchSuite()
+	p := preparedBenchCase(b, engine, suite[0])
+	db := workload.EvalBenchDB(3000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ok, err := p.EvalBool(ctx, db)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !ok {
+			b.Fatal("expected answers")
+		}
+	}
+}

@@ -1,0 +1,123 @@
+// Command benchcheck is the benchmark-regression gate: it compares
+// `go test -bench` output against a committed BENCH_*.json baseline
+// and fails (exit 1) when any benchmark regressed beyond the allowed
+// percentage in ns/op. With -update it (re)writes the baseline from
+// the measured numbers instead.
+//
+// Usage:
+//
+//	go test -bench='PreparedReuse|ServerThroughput|IndexedJoin' \
+//	    -benchtime=500ms -count=5 . | tee bench.txt
+//	go run ./cmd/benchcheck -baseline BENCH_eval.json bench.txt
+//	go run ./cmd/benchcheck -baseline BENCH_eval.json -update bench.txt
+//
+// The input is a file argument or stdin ("-"). Under -count=N the
+// minimum of the samples is compared — the fastest run is the least
+// noise-disturbed one. Benchmarks present in the output but missing
+// from the baseline are reported (and added by -update); baseline
+// entries that did not run are skipped.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"cqapprox/internal/benchfmt"
+)
+
+func main() {
+	baselinePath := flag.String("baseline", "BENCH_eval.json", "baseline JSON file to compare against (or write with -update)")
+	maxRegress := flag.Float64("max-regress", 25, "maximum allowed ns/op regression in percent")
+	update := flag.Bool("update", false, "write the measured numbers to the baseline instead of comparing")
+	note := flag.String("note", "", "with -update: note recorded in the baseline file")
+	flag.Parse()
+
+	in := io.Reader(os.Stdin)
+	if arg := flag.Arg(0); arg != "" && arg != "-" {
+		f, err := os.Open(arg)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		in = f
+	}
+	samples, err := benchfmt.ParseGoBench(in)
+	if err != nil {
+		fatal(err)
+	}
+	if len(samples) == 0 {
+		fatal(fmt.Errorf("no benchmark results in input"))
+	}
+
+	if *update {
+		rep, err := benchfmt.Load(*baselinePath)
+		if os.IsNotExist(err) {
+			rep = &benchfmt.Report{Benchmarks: map[string]benchfmt.Entry{}}
+			err = nil
+		}
+		if err != nil {
+			fatal(err)
+		}
+		if *note != "" {
+			rep.Note = *note
+		}
+		for name, s := range samples {
+			rep.Benchmarks[name] = benchfmt.Entry{NsPerOp: benchfmt.Best(s)}
+		}
+		if err := rep.Save(*baselinePath); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("benchcheck: wrote %d benchmarks to %s\n", len(samples), *baselinePath)
+		return
+	}
+
+	rep, err := benchfmt.Load(*baselinePath)
+	if err != nil {
+		fatal(err)
+	}
+	regressions := 0
+	compared := 0
+	for _, name := range rep.Names() {
+		s, ran := samples[name]
+		if !ran {
+			continue
+		}
+		compared++
+		base := rep.Benchmarks[name].NsPerOp
+		best := benchfmt.Best(s)
+		delta := 100 * (best - base) / base
+		switch {
+		case delta > *maxRegress:
+			regressions++
+			fmt.Printf("REGRESSION %-52s %12.0f ns/op vs baseline %12.0f (%+.1f%% > %.0f%%)\n",
+				name, best, base, delta, *maxRegress)
+		case delta < -*maxRegress:
+			fmt.Printf("improved   %-52s %12.0f ns/op vs baseline %12.0f (%+.1f%%; consider -update)\n",
+				name, best, base, delta)
+		default:
+			fmt.Printf("ok         %-52s %12.0f ns/op vs baseline %12.0f (%+.1f%%)\n",
+				name, best, base, delta)
+		}
+	}
+	for name, s := range samples {
+		if _, known := rep.Benchmarks[name]; !known {
+			fmt.Printf("new        %-52s %12.0f ns/op (not in baseline; add with -update)\n",
+				name, benchfmt.Best(s))
+		}
+	}
+	if compared == 0 {
+		fatal(fmt.Errorf("no benchmark in the input matches the baseline %s", *baselinePath))
+	}
+	if regressions > 0 {
+		fmt.Fprintf(os.Stderr, "benchcheck: %d benchmark(s) regressed more than %.0f%%\n", regressions, *maxRegress)
+		os.Exit(1)
+	}
+	fmt.Printf("benchcheck: %d benchmark(s) within %.0f%% of %s\n", compared, *maxRegress, *baselinePath)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchcheck:", err)
+	os.Exit(1)
+}

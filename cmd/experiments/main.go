@@ -1,7 +1,8 @@
 // Command experiments regenerates every experiment in DESIGN.md's
-// experiment index (E1–E16): the Figure 1 summary table and the
+// experiment index (E1–E19): the Figure 1 summary table, the
 // quantitative content of the paper's propositions, theorems and
-// examples. Each experiment prints a table comparing the paper's
+// examples, and the repo's own engineering experiments (E19: the
+// indexed join runtime). Each experiment prints a table comparing the
 // expected outcome against the measured one.
 //
 // Usage:
@@ -9,6 +10,8 @@
 //	experiments              # run everything
 //	experiments -run prop44  # run experiments whose name contains "prop44"
 //	experiments -fast        # skip the slowest experiments
+//	experiments -run indexedjoin -bench-out BENCH_eval.json
+//	                         # refresh the E19 benchmark baselines
 package main
 
 import (
@@ -28,6 +31,7 @@ type experiment struct {
 func main() {
 	runPat := flag.String("run", "", "substring filter on experiment names")
 	fast := flag.Bool("fast", false, "skip slow experiments")
+	flag.StringVar(&benchOut, "bench-out", "", "merge E19 measurements into this BENCH_*.json baseline")
 	flag.Parse()
 
 	experiments := []experiment{
@@ -47,6 +51,7 @@ func main() {
 		{"cor43", "Cor 4.3: single-exponential compute cost", true, expCor43},
 		{"higherarity", "Props 5.13–5.15: beyond graphs", false, expHigherArity},
 		{"cor65", "Cor 6.3/6.5: hypergraph-based sizes", false, expCor65},
+		{"indexedjoin", "E19: indexed join runtime speedup", true, expIndexedJoin},
 	}
 
 	ran := 0

@@ -83,6 +83,11 @@ type Tuple = relstr.Tuple
 // Answers is a deduplicated, sorted answer set.
 type Answers = eval.Answers
 
+// IndexStats snapshots the indexed join runtime's counters for one
+// prepared query (see PreparedQuery.IndexStats) or, summed across the
+// cache, for a whole engine (see CacheStats.Indexes).
+type IndexStats = eval.IndexStats
+
 // Class is a tractable class of CQs (TW(k), AC, HTW(k), GHTW(k)).
 type Class = core.Class
 

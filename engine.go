@@ -120,13 +120,27 @@ type CacheStats struct {
 	Hits    uint64 // Prepares answered without re-running the search
 	Misses  uint64 // Prepares that ran the full pipeline
 	Entries int    // prepared queries currently cached
+
+	// Indexes sums the indexed join runtime's counters over every
+	// currently cached plan: hash indexes built over databases, rows
+	// driven through index probes, and evaluations run. Counters of
+	// evicted entries leave the sum with them — like Entries, this is
+	// a view of the live cache, not an eternal total.
+	Indexes IndexStats
 }
 
 // CacheStats returns a snapshot of the cache counters.
 func (e *Engine) CacheStats() CacheStats {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	return CacheStats{Hits: e.hits, Misses: e.misses, Entries: len(e.cache)}
+	s := CacheStats{Hits: e.hits, Misses: e.misses, Entries: len(e.cache)}
+	for el := e.lru.Front(); el != nil; el = el.Next() {
+		is := el.Value.(*cacheEntry).p.IndexStats()
+		s.Indexes.IndexBuilds += is.IndexBuilds
+		s.Indexes.IndexProbes += is.IndexProbes
+		s.Indexes.Evals += is.Evals
+	}
+	return s
 }
 
 // ResetCache drops every cached prepared query and zeroes the counters.

@@ -455,3 +455,49 @@ func TestFreeFunctionsUseDefaultEngine(t *testing.T) {
 		t.Fatalf("second Approximate should hit the default cache: before %+v after %+v", before, after)
 	}
 }
+
+// Index stats flow from the indexed runtime through the shared plan to
+// PreparedQuery.IndexStats and, summed over the cache, to CacheStats.
+func TestIndexStats(t *testing.T) {
+	e := NewEngine()
+	ctx := context.Background()
+	q := MustParse("Q(x) :- E(x,y), E(y,z), E(z,x)")
+
+	p, err := e.Prepare(ctx, q, TW(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := p.IndexStats(); s.Evals != 0 {
+		t.Fatalf("stats before any Eval: %+v", s)
+	}
+	db := testDB()
+	if _, err := p.Eval(ctx, db); err != nil {
+		t.Fatal(err)
+	}
+	s1 := p.IndexStats()
+	if s1.Evals != 1 || s1.IndexBuilds == 0 || s1.IndexProbes == 0 {
+		t.Fatalf("stats after Eval: %+v", s1)
+	}
+	if _, err := p.EvalBool(ctx, db); err != nil {
+		t.Fatal(err)
+	}
+	if s2 := p.IndexStats(); s2.Evals != 2 || s2.IndexBuilds <= s1.IndexBuilds {
+		t.Fatalf("stats after EvalBool: %+v", s2)
+	}
+
+	// A cache hit shares the plan, so its evaluations accumulate on the
+	// same counters; the engine's CacheStats sums the live cache.
+	p2, err := e.Prepare(ctx, q, TW(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p2.Eval(ctx, db); err != nil {
+		t.Fatal(err)
+	}
+	if s := p.IndexStats(); s.Evals != 3 {
+		t.Fatalf("shared plan should aggregate callers: %+v", s)
+	}
+	if cs := e.CacheStats(); cs.Indexes.Evals != 3 || cs.Indexes.IndexBuilds != p.IndexStats().IndexBuilds {
+		t.Fatalf("engine cache stats: %+v", cs.Indexes)
+	}
+}

@@ -1,0 +1,112 @@
+// Package benchfmt is the tiny shared substrate of the repo's
+// benchmark-regression tooling: the BENCH_*.json baseline format and a
+// parser for `go test -bench` output. cmd/benchcheck compares fresh
+// bench output against a committed baseline (the CI perf gate);
+// cmd/experiments regenerates the E19 entries of BENCH_eval.json.
+package benchfmt
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+)
+
+// Entry is one benchmark's baseline record.
+type Entry struct {
+	NsPerOp float64 `json:"ns_per_op"`
+}
+
+// Report is the on-disk shape of a BENCH_*.json file.
+type Report struct {
+	// Note documents how the numbers were produced (command line,
+	// machine class) — advisory, not compared.
+	Note string `json:"note,omitempty"`
+	// Benchmarks maps a benchmark name (GOMAXPROCS suffix stripped,
+	// e.g. "BenchmarkIndexedJoin/chain6/N3000") to its baseline.
+	Benchmarks map[string]Entry `json:"benchmarks"`
+}
+
+// Load reads a report from path.
+func Load(path string) (*Report, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Report
+	if err := json.Unmarshal(b, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if r.Benchmarks == nil {
+		r.Benchmarks = map[string]Entry{}
+	}
+	return &r, nil
+}
+
+// Save writes the report to path with stable formatting (sorted keys,
+// indented) so committed baselines diff cleanly.
+func (r *Report) Save(path string) error {
+	if r.Benchmarks == nil {
+		r.Benchmarks = map[string]Entry{}
+	}
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// benchLine matches one result line of `go test -bench` output:
+//
+//	BenchmarkIndexedJoin/chain6/N300-8   237   1443496 ns/op
+//
+// The trailing -<procs> is stripped from the name; extra metrics after
+// ns/op (B/op, custom units) are ignored.
+var benchLine = regexp.MustCompile(`^(Benchmark\S*?)(?:-\d+)?\s+\d+\s+([0-9.]+(?:e[+-]?\d+)?) ns/op`)
+
+// ParseGoBench collects the ns/op samples per benchmark name from
+// `go test -bench` output (multiple samples under -count=N).
+func ParseGoBench(r io.Reader) (map[string][]float64, error) {
+	out := map[string][]float64{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		v, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("parsing %q: %w", sc.Text(), err)
+		}
+		out[m[1]] = append(out[m[1]], v)
+	}
+	return out, sc.Err()
+}
+
+// Best reduces a sample set to its minimum — the standard
+// noise-robust statistic for regression gating (the fastest run is the
+// least disturbed one).
+func Best(samples []float64) float64 {
+	best := samples[0]
+	for _, s := range samples[1:] {
+		if s < best {
+			best = s
+		}
+	}
+	return best
+}
+
+// Names returns the report's benchmark names in sorted order.
+func (r *Report) Names() []string {
+	names := make([]string, 0, len(r.Benchmarks))
+	for n := range r.Benchmarks {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

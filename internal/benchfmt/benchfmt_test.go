@@ -1,0 +1,61 @@
+package benchfmt
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: cqapprox
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkIndexedJoin/chain6/N300-8         	     237	   1443496 ns/op
+BenchmarkIndexedJoin/chain6/N300-8         	     240	   1401210 ns/op
+BenchmarkIndexedJoin/star5/N1000-8         	     230	   1580214 ns/op
+BenchmarkPreparedReuse_Warm/OLTP-8         	  150000	      7521 ns/op	 1024 B/op	      12 allocs/op
+BenchmarkServerThroughput-8                	    5000	    211000 ns/op	     4821 evals/s
+PASS
+ok  	cqapprox	5.078s
+`
+
+func TestParseGoBench(t *testing.T) {
+	got, err := ParseGoBench(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 4 {
+		t.Fatalf("parsed %d benchmarks: %v", len(got), got)
+	}
+	chain := got["BenchmarkIndexedJoin/chain6/N300"]
+	if len(chain) != 2 || Best(chain) != 1401210 {
+		t.Fatalf("chain samples = %v", chain)
+	}
+	if v := got["BenchmarkPreparedReuse_Warm/OLTP"]; len(v) != 1 || v[0] != 7521 {
+		t.Fatalf("warm sample = %v (B/op suffix must not confuse the parser)", v)
+	}
+	if v := got["BenchmarkServerThroughput"]; len(v) != 1 || v[0] != 211000 {
+		t.Fatalf("throughput sample = %v (custom metrics must not confuse the parser)", v)
+	}
+}
+
+func TestReportRoundtrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_test.json")
+	r := &Report{Note: "test", Benchmarks: map[string]Entry{
+		"BenchmarkA": {NsPerOp: 123},
+		"BenchmarkB": {NsPerOp: 4.5e6},
+	}}
+	if err := r.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Note != "test" || len(got.Benchmarks) != 2 || got.Benchmarks["BenchmarkB"].NsPerOp != 4.5e6 {
+		t.Fatalf("roundtrip = %+v", got)
+	}
+	if names := got.Names(); names[0] != "BenchmarkA" || names[1] != "BenchmarkB" {
+		t.Fatalf("names = %v", names)
+	}
+}

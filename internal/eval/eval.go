@@ -11,15 +11,26 @@
 //
 // All engines return the same answer sets; the test suite
 // cross-validates them on random instances.
+//
+// The relational operators at the heart of the Yannakakis and
+// tree-decomposition pipelines (semijoin, join, project) run on an
+// indexed, allocation-light runtime: relations are probed through
+// per-relation hash indexes keyed on integer column prefixes
+// (relstr.HashCols — no string keys anywhere on the hot path), index
+// tables and row storage come from a scratch arena reused across tree
+// nodes, and all column mappings are precomputed in a schedule (see
+// schedule.go) that Plans build once at prepare time. The string-keyed
+// operators this runtime replaced survive in ref.go as differential
+// oracles and as the benchmark baseline.
 package eval
 
 import (
 	"context"
 	"fmt"
-	"sort"
+	"slices"
+	"sync"
 
 	"cqapprox/internal/cq"
-	"cqapprox/internal/cqerr"
 	"cqapprox/internal/hom"
 	"cqapprox/internal/relstr"
 )
@@ -28,26 +39,15 @@ import (
 // (lexicographic) order.
 type Answers []relstr.Tuple
 
-// Contains reports whether a includes t.
+// Contains reports whether a includes t. Answers are sorted, so this
+// is a binary search on the shared integer tuple order.
 func (a Answers) Contains(t relstr.Tuple) bool {
-	for _, x := range a {
-		if x.Equal(t) {
-			return true
-		}
-	}
-	return false
+	_, ok := slices.BinarySearchFunc(a, t, relstr.Compare)
+	return ok
 }
 
 func sortAnswers(ts []relstr.Tuple) Answers {
-	sort.Slice(ts, func(i, j int) bool {
-		a, b := ts[i], ts[j]
-		for k := 0; k < len(a) && k < len(b); k++ {
-			if a[k] != b[k] {
-				return a[k] < b[k]
-			}
-		}
-		return len(a) < len(b)
-	})
+	slices.SortFunc(ts, relstr.Compare)
 	return ts
 }
 
@@ -158,31 +158,6 @@ type node struct {
 	children []int
 }
 
-func key(vals []int) string { return relstr.Tuple(vals).Key() }
-
-// project returns r projected onto the variables in want (in want
-// order), deduplicated. Variables in want must occur in r.vars.
-func (r rel) project(want []int) rel {
-	idx := make([]int, len(want))
-	for i, v := range want {
-		idx[i] = indexOf(r.vars, v)
-	}
-	seen := map[string]bool{}
-	out := rel{vars: append([]int{}, want...)}
-	for _, row := range r.rows {
-		vals := make([]int, len(want))
-		for i, j := range idx {
-			vals[i] = row[j]
-		}
-		k := key(vals)
-		if !seen[k] {
-			seen[k] = true
-			out.rows = append(out.rows, vals)
-		}
-	}
-	return out
-}
-
 func indexOf(vars []int, v int) int {
 	for i, x := range vars {
 		if x == v {
@@ -194,105 +169,236 @@ func indexOf(vars []int, v int) int {
 
 // sharedVars returns the variables common to a and b, in a's order.
 func sharedVars(a, b []int) []int {
-	inB := map[int]bool{}
-	for _, v := range b {
-		inB[v] = true
-	}
 	var out []int
 	for _, v := range a {
-		if inB[v] {
+		if indexOfOrNeg(b, v) != -1 {
 			out = append(out, v)
 		}
 	}
 	return out
 }
 
-// semijoin keeps the rows of l that agree with some row of r on the
-// shared variables.
-func semijoin(l, r rel) rel {
-	shared := sharedVars(l.vars, r.vars)
-	if len(shared) == 0 {
-		if len(r.rows) == 0 {
-			return rel{vars: l.vars}
+// --- the indexed runtime ----------------------------------------------
+
+// opStats are the per-call index counters a scratch accumulates; Plans
+// fold them into their atomic totals when the call finishes.
+type opStats struct {
+	builds uint64 // hash indexes built over data
+	probes uint64 // rows driven through an index probe
+}
+
+// scratch is the reusable per-evaluation state of the indexed runtime:
+// one bucket table and chain array serving every index built during
+// the call (at most one index is live at a time), and an integer arena
+// the join outputs allocate rows from. Nothing allocated from a
+// scratch escapes the evaluation (answers and reduced databases are
+// copied out), so scratches are pooled across calls.
+type scratch struct {
+	head  []int32
+	next  []int32
+	buf   []int
+	stats opStats
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(scratch) }}
+
+func getScratch() *scratch {
+	sc := scratchPool.Get().(*scratch)
+	sc.stats = opStats{}
+	return sc
+}
+
+func putScratch(sc *scratch) {
+	sc.buf = sc.buf[:0]
+	scratchPool.Put(sc)
+}
+
+// alloc returns a fresh n-int row from the arena.
+func (sc *scratch) alloc(n int) []int {
+	if n == 0 {
+		return nil
+	}
+	if cap(sc.buf)-len(sc.buf) < n {
+		c := 8192
+		if c < n {
+			c = n
 		}
-		return l
+		sc.buf = make([]int, 0, c)
 	}
-	rIdx := make([]int, len(shared))
-	lIdx := make([]int, len(shared))
-	for i, v := range shared {
-		rIdx[i] = indexOf(r.vars, v)
-		lIdx[i] = indexOf(l.vars, v)
+	off := len(sc.buf)
+	sc.buf = sc.buf[:off+n]
+	return sc.buf[off : off+n : off+n]
+}
+
+// hashIndex is a bucket-chained hash index over the rows of one
+// relation, keyed on the values at cols. Buckets hold row ids; probes
+// walk the chain comparing key columns as integers.
+type hashIndex struct {
+	rows [][]int
+	cols []int
+	head []int32 // bucket → first row id +1 (0 = empty)
+	next []int32 // row id → next row id +1 in the same bucket
+	mask uint64
+}
+
+// buildIndex indexes rows on cols using the scratch's tables. The
+// index is valid until the scratch builds the next one.
+func (sc *scratch) buildIndex(rows [][]int, cols []int) hashIndex {
+	n := 8
+	for n < 2*len(rows) {
+		n <<= 1
 	}
-	present := map[string]bool{}
-	buf := make([]int, len(shared))
-	for _, row := range r.rows {
-		for i, j := range rIdx {
-			buf[i] = row[j]
+	if cap(sc.head) < n {
+		sc.head = make([]int32, n)
+	}
+	head := sc.head[:n]
+	for i := range head {
+		head[i] = 0
+	}
+	if cap(sc.next) < len(rows) {
+		sc.next = make([]int32, len(rows))
+	}
+	next := sc.next[:len(rows)]
+	mask := uint64(n - 1)
+	for i, row := range rows {
+		b := relstr.HashCols(row, cols) & mask
+		next[i] = head[b]
+		head[b] = int32(i + 1)
+	}
+	sc.stats.builds++
+	return hashIndex{rows: rows, cols: cols, head: head, next: next, mask: mask}
+}
+
+// match reports whether row id of the index agrees with probe on the
+// aligned key columns.
+func (ix *hashIndex) match(id int32, probe []int, probeCols []int) bool {
+	r := ix.rows[id]
+	for k, c := range ix.cols {
+		if r[c] != probe[probeCols[k]] {
+			return false
 		}
-		present[key(buf)] = true
 	}
-	out := rel{vars: l.vars}
+	return true
+}
+
+// lookup returns the first indexed row id matching probe at probeCols,
+// or -1.
+func (ix *hashIndex) lookup(probe []int, probeCols []int) int32 {
+	for id := ix.head[relstr.HashCols(probe, probeCols)&ix.mask]; id != 0; id = ix.next[id-1] {
+		if ix.match(id-1, probe, probeCols) {
+			return id - 1
+		}
+	}
+	return -1
+}
+
+// nextMatch continues a lookup from row id.
+func (ix *hashIndex) nextMatch(id int32, probe []int, probeCols []int) int32 {
+	for nid := ix.next[id]; nid != 0; nid = ix.next[nid-1] {
+		if ix.match(nid-1, probe, probeCols) {
+			return nid - 1
+		}
+	}
+	return -1
+}
+
+// semijoin filters l's rows in place, keeping those that agree with
+// some row of r on the aligned column pairs (lCols[k] ↔ rCols[k]).
+// Empty column lists mean no shared variables: l survives unchanged
+// iff r is non-empty.
+func (sc *scratch) semijoin(l, r *rel, lCols, rCols []int) {
+	if len(r.rows) == 0 {
+		l.rows = l.rows[:0]
+		return
+	}
+	if len(lCols) == 0 {
+		return
+	}
+	ix := sc.buildIndex(r.rows, rCols)
+	sc.stats.probes += uint64(len(l.rows))
+	out := l.rows[:0]
 	for _, row := range l.rows {
-		for i, j := range lIdx {
-			buf[i] = row[j]
+		if ix.lookup(row, lCols) >= 0 {
+			out = append(out, row)
 		}
-		if present[key(buf)] {
-			out.rows = append(out.rows, row)
+	}
+	l.rows = out
+}
+
+// join computes the natural join of l and r under the precomputed step
+// mapping: r is indexed on st.rCols, every l row probes with st.lCols,
+// and matches append r's st.rExtra columns to the l row. Join inputs
+// are duplicate-free sets over their variables, so the output is too —
+// no dedup pass needed.
+func (sc *scratch) join(l, r rel, st jStep) rel {
+	out := rel{vars: st.outVars}
+	if len(l.rows) == 0 || len(r.rows) == 0 {
+		return out
+	}
+	ix := sc.buildIndex(r.rows, st.rCols)
+	sc.stats.probes += uint64(len(l.rows))
+	w := len(l.vars) + len(st.rExtra)
+	for _, lrow := range l.rows {
+		for id := ix.lookup(lrow, st.lCols); id >= 0; id = ix.nextMatch(id, lrow, st.lCols) {
+			rrow := ix.rows[id]
+			vals := sc.alloc(w)
+			copy(vals, lrow)
+			for k, c := range st.rExtra {
+				vals[len(lrow)+k] = rrow[c]
+			}
+			out.rows = append(out.rows, vals)
 		}
 	}
 	return out
 }
 
-// join computes the natural join of l and r.
-func join(l, r rel) rel {
-	shared := sharedVars(l.vars, r.vars)
-	lIdx := make([]int, len(shared))
-	rIdx := make([]int, len(shared))
-	for i, v := range shared {
-		lIdx[i] = indexOf(l.vars, v)
-		rIdx[i] = indexOf(r.vars, v)
+// project returns r restricted to cols (in cols order) with outVars as
+// the variable list, deduplicated through an incremental hash table —
+// the projection loses columns, so duplicates do arise here.
+func (sc *scratch) project(r rel, cols []int, outVars []int) rel {
+	out := rel{vars: outVars}
+	n := 8
+	for n < 2*len(r.rows) {
+		n <<= 1
 	}
-	// r-only variables appended to l's.
-	var rOnly []int
-	var rOnlyIdx []int
-	inL := map[int]bool{}
-	for _, v := range l.vars {
-		inL[v] = true
+	if cap(sc.head) < n {
+		sc.head = make([]int32, n)
 	}
-	for j, v := range r.vars {
-		if !inL[v] {
-			rOnly = append(rOnly, v)
-			rOnlyIdx = append(rOnlyIdx, j)
-		}
+	head := sc.head[:n]
+	for i := range head {
+		head[i] = 0
 	}
-	// Hash r by shared key.
-	buckets := map[string][][]int{}
-	buf := make([]int, len(shared))
+	if cap(sc.next) < len(r.rows) {
+		sc.next = make([]int32, len(r.rows))
+	}
+	next := sc.next[:len(r.rows)]
+	mask := uint64(n - 1)
+	sc.stats.builds++
+	sc.stats.probes += uint64(len(r.rows))
+rows:
 	for _, row := range r.rows {
-		for i, j := range rIdx {
-			buf[i] = row[j]
-		}
-		k := key(buf)
-		buckets[k] = append(buckets[k], row)
-	}
-	out := rel{vars: append(append([]int{}, l.vars...), rOnly...)}
-	seen := map[string]bool{}
-	for _, lrow := range l.rows {
-		for i, j := range lIdx {
-			buf[i] = lrow[j]
-		}
-		for _, rrow := range buckets[key(buf)] {
-			vals := make([]int, 0, len(out.vars))
-			vals = append(vals, lrow...)
-			for _, j := range rOnlyIdx {
-				vals = append(vals, rrow[j])
+		b := relstr.HashCols(row, cols) & mask
+		for id := head[b]; id != 0; id = next[id-1] {
+			prev := out.rows[id-1]
+			dup := true
+			for k, c := range cols {
+				if prev[k] != row[c] {
+					dup = false
+					break
+				}
 			}
-			k := key(vals)
-			if !seen[k] {
-				seen[k] = true
-				out.rows = append(out.rows, vals)
+			if dup {
+				continue rows
 			}
 		}
+		vals := sc.alloc(len(cols))
+		for k, c := range cols {
+			vals[k] = row[c]
+		}
+		out.rows = append(out.rows, vals)
+		id := int32(len(out.rows))
+		next[id-1] = head[b]
+		head[b] = id
 	}
 	return out
 }
@@ -302,98 +408,35 @@ func join(l, r rel) rel {
 // bottom-up join keeping only the variables needed above plus free
 // variables, then a cross product across components, finally projecting
 // onto the head. Answers are deduplicated and sorted. head lists
-// element ids (with possible repeats); free is the set of distinct head
-// elements. ctx is polled between per-node relational operations (each
-// O(|D|) work, bounding cancellation latency by one semijoin/join).
+// element ids (with possible repeats). The schedule is derived from
+// the forest; Plan-based callers use their prepare-time schedule via
+// solveScheduled instead. ctx is polled between per-node relational
+// operations (each O(|D|) work, bounding cancellation latency by one
+// semijoin/join).
 func solveTreeCtx(ctx context.Context, nodes []node, head []int) (Answers, error) {
-	freeSet := map[int]bool{}
-	for _, v := range head {
-		freeSet[v] = true
-	}
-	roots := []int{}
-	for i := range nodes {
-		if nodes[i].parent == -1 {
-			roots = append(roots, i)
-		}
-	}
-	// (1)+(2) bottom-up then top-down semijoin reduction.
-	if err := semijoinPasses(ctx, nodes); err != nil {
+	sc := getScratch()
+	defer putScratch(sc)
+	return solveScheduled(ctx, newScheduleFromNodes(nodes, head), nodes, sc)
+}
+
+// solveScheduled executes a precomputed schedule over a freshly built
+// forest: both semijoin passes, the emptiness short-circuit, then the
+// scheduled join/projection solve.
+func solveScheduled(ctx context.Context, sched *schedule, nodes []node, sc *scratch) (Answers, error) {
+	if err := runSemijoinPasses(ctx, sched, nodes, sc); err != nil {
 		return nil, err
 	}
-	// Emptiness short-circuit.
 	for i := range nodes {
 		if len(nodes[i].rows) == 0 {
 			return Answers{}, nil
 		}
 	}
-	// (3) bottom-up join with projection.
-	upRel := make([]rel, len(nodes))
-	var solveErr error
-	var solve func(i int) rel
-	solve = func(i int) rel {
-		if solveErr != nil {
-			return rel{}
-		}
-		if solveErr = cqerr.Check(ctx); solveErr != nil {
-			return rel{}
-		}
-		acc := nodes[i].rel
-		for _, c := range nodes[i].children {
-			acc = join(acc, solve(c))
-			if solveErr != nil {
-				return rel{}
-			}
-		}
-		// Keep: free variables of the subtree ∪ connector to parent.
-		keepSet := map[int]bool{}
-		for _, v := range acc.vars {
-			if freeSet[v] {
-				keepSet[v] = true
-			}
-		}
-		if p := nodes[i].parent; p != -1 {
-			for _, v := range sharedVars(acc.vars, nodes[p].vars) {
-				keepSet[v] = true
-			}
-		}
-		var keep []int
-		for _, v := range acc.vars {
-			if keepSet[v] {
-				keep = append(keep, v)
-			}
-		}
-		upRel[i] = acc.project(keep)
-		return upRel[i]
+	ans, empty, err := runSolve(ctx, sched, nodes, sc)
+	if err != nil {
+		return nil, err
 	}
-	// (4) cross product across roots (disconnected queries).
-	total := rel{vars: nil, rows: [][]int{{}}}
-	for _, r := range roots {
-		rr := solve(r)
-		if solveErr != nil {
-			return nil, solveErr
-		}
-		if len(rr.rows) == 0 {
-			return Answers{}, nil
-		}
-		total = join(total, rr)
+	if empty {
+		return Answers{}, nil
 	}
-	// (5) head projection (head may repeat variables).
-	idx := make([]int, len(head))
-	for i, v := range head {
-		idx[i] = indexOf(total.vars, v)
-	}
-	seen := map[string]bool{}
-	var out []relstr.Tuple
-	for _, row := range total.rows {
-		vals := make(relstr.Tuple, len(head))
-		for i, j := range idx {
-			vals[i] = row[j]
-		}
-		k := vals.Key()
-		if !seen[k] {
-			seen[k] = true
-			out = append(out, vals)
-		}
-	}
-	return sortAnswers(out), nil
+	return ans, nil
 }

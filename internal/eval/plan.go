@@ -3,9 +3,9 @@ package eval
 import (
 	"context"
 	"iter"
+	"sync/atomic"
 
 	"cqapprox/internal/cq"
-	"cqapprox/internal/cqerr"
 	"cqapprox/internal/hom"
 	"cqapprox/internal/hypergraph"
 	"cqapprox/internal/relstr"
@@ -47,10 +47,54 @@ type Plan struct {
 	// Yannakakis mode only:
 	atoms []patom
 	jt    hypergraph.JoinTree
+	sched *schedule // prepare-time index/probe program, reused per Eval
+
+	stats planStats
+}
+
+// planStats are the plan's cumulative indexed-runtime counters,
+// updated once per evaluation (not per probe) and shared across every
+// caller of a cached PreparedQuery.
+type planStats struct {
+	builds atomic.Uint64
+	probes atomic.Uint64
+	evals  atomic.Uint64
+}
+
+// IndexStats is a snapshot of the indexed runtime's counters for one
+// plan: how many per-relation hash indexes its evaluations built, how
+// many rows were driven through index probes, and how many evaluations
+// (Eval/EvalBool/stream reductions) ran.
+type IndexStats struct {
+	IndexBuilds uint64
+	IndexProbes uint64
+	Evals       uint64
+}
+
+// IndexStats returns the plan's cumulative indexed-runtime counters.
+func (p *Plan) IndexStats() IndexStats {
+	return IndexStats{
+		IndexBuilds: p.stats.builds.Load(),
+		IndexProbes: p.stats.probes.Load(),
+		Evals:       p.stats.evals.Load(),
+	}
+}
+
+// flush folds a finished evaluation's scratch counters into the plan
+// totals and returns the scratch to the pool.
+func (p *Plan) flush(sc *scratch) {
+	p.stats.builds.Add(sc.stats.builds)
+	p.stats.probes.Add(sc.stats.probes)
+	p.stats.evals.Add(1)
+	putScratch(sc)
 }
 
 // NewPlan analyses q and fixes the best applicable engine: Yannakakis
 // over a GYO join tree when q is acyclic, naive backtracking otherwise.
+// For acyclic queries the full index/probe schedule — every column
+// mapping of the semijoin passes, the bottom-up joins and the head
+// projection — is computed here, once, and replayed by every
+// Eval/EvalBool/Stream call.
 func NewPlan(q *cq.Query) *Plan {
 	p := &Plan{q: q, tb: q.Tableau(), mode: PlanNaive}
 	h := hypergraph.FromStructure(p.tb.S)
@@ -58,6 +102,17 @@ func NewPlan(q *cq.Query) *Plan {
 		p.mode = PlanYannakakis
 		p.jt = jt
 		p.atoms = atomList(p.tb.S)
+		vars := make([][]int, len(p.atoms))
+		for i, a := range p.atoms {
+			vars[i] = a.distinctVars()
+		}
+		children := make([][]int, len(p.atoms))
+		for i, par := range jt.Parent {
+			if par >= 0 {
+				children[par] = append(children[par], i)
+			}
+		}
+		p.sched = newSchedule(vars, jt.Parent, children, p.tb.Dist)
 	}
 	return p
 }
@@ -73,7 +128,9 @@ func (p *Plan) Mode() PlanMode { return p.mode }
 func (p *Plan) Eval(ctx context.Context, db *relstr.Structure) (Answers, error) {
 	if p.mode == PlanYannakakis {
 		nodes := buildJoinForest(p.atoms, p.jt, db)
-		return solveTreeCtx(ctx, nodes, p.tb.Dist)
+		sc := getScratch()
+		defer p.flush(sc)
+		return solveScheduled(ctx, p.sched, nodes, sc)
 	}
 	return naiveEval(ctx, p.tb, db)
 }
@@ -83,7 +140,10 @@ func (p *Plan) Eval(ctx context.Context, db *relstr.Structure) (Answers, error) 
 // the single leaves→root semijoin pass, O(|D|·|Q|).
 func (p *Plan) EvalBool(ctx context.Context, db *relstr.Structure) (bool, error) {
 	if p.mode == PlanYannakakis {
-		return solveBoolForest(ctx, buildJoinForest(p.atoms, p.jt, db))
+		nodes := buildJoinForest(p.atoms, p.jt, db)
+		sc := getScratch()
+		defer p.flush(sc)
+		return runSolveBool(ctx, p.sched, nodes, sc)
 	}
 	return naiveBool(ctx, p.tb, db)
 }
@@ -142,7 +202,9 @@ func (p *Plan) StreamErr(ctx context.Context, db *relstr.Structure) (iter.Seq[re
 // that some relation became empty, i.e. the answer set is empty.
 func (p *Plan) reduce(ctx context.Context, db *relstr.Structure) (_ *relstr.Structure, empty bool, _ error) {
 	nodes := buildJoinForest(p.atoms, p.jt, db)
-	if err := semijoinPasses(ctx, nodes); err != nil {
+	sc := getScratch()
+	defer p.flush(sc)
+	if err := runSemijoinPasses(ctx, p.sched, nodes, sc); err != nil {
 		return nil, false, err
 	}
 	out := db.CloneSchema()
@@ -166,54 +228,4 @@ func (p *Plan) reduce(ctx context.Context, db *relstr.Structure) (_ *relstr.Stru
 		}
 	}
 	return out, false, nil
-}
-
-// semijoinPasses runs the leaves→roots and roots→leaves semijoin
-// reductions in place over a join forest.
-func semijoinPasses(ctx context.Context, nodes []node) error {
-	var roots []int
-	for i := range nodes {
-		if nodes[i].parent == -1 {
-			roots = append(roots, i)
-		}
-	}
-	var post func(i int) error
-	post = func(i int) error {
-		for _, c := range nodes[i].children {
-			if err := post(c); err != nil {
-				return err
-			}
-		}
-		if err := cqerr.Check(ctx); err != nil {
-			return err
-		}
-		for _, c := range nodes[i].children {
-			nodes[i].rel = semijoin(nodes[i].rel, nodes[c].rel)
-		}
-		return nil
-	}
-	var pre func(i int) error
-	pre = func(i int) error {
-		if err := cqerr.Check(ctx); err != nil {
-			return err
-		}
-		for _, c := range nodes[i].children {
-			nodes[c].rel = semijoin(nodes[c].rel, nodes[i].rel)
-			if err := pre(c); err != nil {
-				return err
-			}
-		}
-		return nil
-	}
-	for _, r := range roots {
-		if err := post(r); err != nil {
-			return err
-		}
-	}
-	for _, r := range roots {
-		if err := pre(r); err != nil {
-			return err
-		}
-	}
-	return nil
 }

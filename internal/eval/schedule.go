@@ -1,0 +1,289 @@
+package eval
+
+import (
+	"context"
+
+	"cqapprox/internal/cqerr"
+	"cqapprox/internal/relstr"
+)
+
+// The schedule is the static half of the indexed join runtime: every
+// column mapping the Yannakakis pipeline needs — which columns key
+// each semijoin probe, which columns a join copies, what each node
+// projects onto — depends only on the join tree and the atoms'
+// variable lists, never on the data. A Plan therefore computes its
+// schedule once at prepare time (NewPlan) and every Eval/Stream call
+// replays it against per-database indexes; ad-hoc callers
+// (ByTreeDecomposition, the free Yannakakis functions) derive a
+// schedule from their freshly built forest, which costs O(|Q|²) ints —
+// nothing against the data-sized work that follows.
+
+// sjStep is one semijoin reduction step: filter target's rows to those
+// matching source on the aligned column pairs (tCols[k] in the target
+// row pairs with sCols[k] in the source row).
+type sjStep struct {
+	target, source int
+	tCols, sCols   []int
+}
+
+// jStep is one join step of the bottom-up solve: probe the child's
+// relation keyed on rCols with the accumulator's lCols, appending the
+// child's rExtra columns to each matching accumulator row.
+type jStep struct {
+	child                int
+	lCols, rCols, rExtra []int
+	outVars              []int
+}
+
+// nodeSched is the solve-phase program of one node: join every child,
+// then project onto projCols (nil = identity, the projection would
+// keep every column).
+type nodeSched struct {
+	joins    []jStep
+	projCols []int
+	vars     []int // the node's upward relation variables
+}
+
+// schedule is a full static program for one join forest.
+type schedule struct {
+	postorder []int
+	preorder  []int
+	downOf    [][]sjStep // bottom-up steps, applied visiting postorder
+	upOf      [][]sjStep // top-down steps, applied visiting preorder
+	nodes     []nodeSched
+	roots     []int
+	rootJoins []jStep // cross product across components onto total
+	totalVars []int
+	head      []int
+	headCols  []int // head positions in totalVars
+}
+
+// sharedCols returns the aligned column pairs of the variables common
+// to a and b, in a's order (the order sharedVars uses).
+func sharedCols(a, b []int) (aCols, bCols []int) {
+	for i, v := range a {
+		for j, w := range b {
+			if v == w {
+				aCols = append(aCols, i)
+				bCols = append(bCols, j)
+				break
+			}
+		}
+	}
+	return aCols, bCols
+}
+
+// newSchedule builds the static program for a forest with the given
+// per-node variable lists, parent/children links, and head.
+func newSchedule(vars [][]int, parent []int, children [][]int, head []int) *schedule {
+	sc := &schedule{
+		downOf: make([][]sjStep, len(vars)),
+		upOf:   make([][]sjStep, len(vars)),
+		nodes:  make([]nodeSched, len(vars)),
+		head:   append([]int{}, head...),
+	}
+	freeSet := map[int]bool{}
+	for _, v := range head {
+		freeSet[v] = true
+	}
+	for i := range vars {
+		if parent[i] == -1 {
+			sc.roots = append(sc.roots, i)
+		}
+	}
+	// Orders and semijoin steps.
+	var post func(i int)
+	post = func(i int) {
+		for _, c := range children[i] {
+			post(c)
+		}
+		for _, c := range children[i] {
+			tc, scols := sharedCols(vars[i], vars[c])
+			sc.downOf[i] = append(sc.downOf[i], sjStep{target: i, source: c, tCols: tc, sCols: scols})
+		}
+		sc.postorder = append(sc.postorder, i)
+	}
+	var pre func(i int)
+	pre = func(i int) {
+		sc.preorder = append(sc.preorder, i)
+		for _, c := range children[i] {
+			tc, scols := sharedCols(vars[c], vars[i])
+			sc.upOf[i] = append(sc.upOf[i], sjStep{target: c, source: i, tCols: tc, sCols: scols})
+		}
+		for _, c := range children[i] {
+			pre(c)
+		}
+	}
+	for _, r := range sc.roots {
+		post(r)
+	}
+	for _, r := range sc.roots {
+		pre(r)
+	}
+	// Solve phase: simulate the join/projection variable flow.
+	var solve func(i int) []int
+	solve = func(i int) []int {
+		acc := vars[i]
+		ns := &sc.nodes[i]
+		for _, c := range children[i] {
+			cv := solve(c)
+			lCols, rCols := sharedCols(acc, cv)
+			var rExtra []int
+			outVars := append([]int{}, acc...)
+			for j, v := range cv {
+				if indexOfOrNeg(acc, v) == -1 {
+					rExtra = append(rExtra, j)
+					outVars = append(outVars, v)
+				}
+			}
+			ns.joins = append(ns.joins, jStep{child: c, lCols: lCols, rCols: rCols, rExtra: rExtra, outVars: outVars})
+			acc = outVars
+		}
+		// Keep: free variables of the subtree ∪ connector to parent.
+		var keep, keepCols []int
+		for j, v := range acc {
+			kept := freeSet[v]
+			if p := parent[i]; !kept && p != -1 {
+				kept = indexOfOrNeg(vars[p], v) != -1
+			}
+			if kept {
+				keep = append(keep, v)
+				keepCols = append(keepCols, j)
+			}
+		}
+		if len(keep) == len(acc) {
+			ns.projCols = nil // identity: the join output is already deduplicated
+			ns.vars = acc
+		} else {
+			ns.projCols = keepCols
+			ns.vars = keep
+		}
+		return ns.vars
+	}
+	total := []int{}
+	for _, r := range sc.roots {
+		rv := solve(r)
+		lCols, rCols := sharedCols(total, rv)
+		var rExtra []int
+		outVars := append([]int{}, total...)
+		for j, v := range rv {
+			if indexOfOrNeg(total, v) == -1 {
+				rExtra = append(rExtra, j)
+				outVars = append(outVars, v)
+			}
+		}
+		sc.rootJoins = append(sc.rootJoins, jStep{child: r, lCols: lCols, rCols: rCols, rExtra: rExtra, outVars: outVars})
+		total = outVars
+	}
+	sc.totalVars = total
+	sc.headCols = make([]int, len(head))
+	for i, v := range head {
+		sc.headCols[i] = indexOf(total, v)
+	}
+	return sc
+}
+
+// newScheduleFromNodes derives a schedule from an already-built forest
+// (the path taken by callers without a Plan).
+func newScheduleFromNodes(nodes []node, head []int) *schedule {
+	vars := make([][]int, len(nodes))
+	parent := make([]int, len(nodes))
+	children := make([][]int, len(nodes))
+	for i := range nodes {
+		vars[i] = nodes[i].vars
+		parent[i] = nodes[i].parent
+		children[i] = nodes[i].children
+	}
+	return newSchedule(vars, parent, children, head)
+}
+
+// indexOfOrNeg is indexOf without the panic: -1 when v is absent.
+func indexOfOrNeg(vars []int, v int) int {
+	for i, x := range vars {
+		if x == v {
+			return i
+		}
+	}
+	return -1
+}
+
+// runSemijoinPasses executes the schedule's two reduction passes in
+// place over the forest, probing per-node hash indexes built in sc.
+func runSemijoinPasses(ctx context.Context, sched *schedule, nodes []node, sc *scratch) error {
+	for _, i := range sched.postorder {
+		if err := cqerr.Check(ctx); err != nil {
+			return err
+		}
+		for _, st := range sched.downOf[i] {
+			sc.semijoin(&nodes[st.target].rel, &nodes[st.source].rel, st.tCols, st.sCols)
+		}
+	}
+	for _, i := range sched.preorder {
+		if err := cqerr.Check(ctx); err != nil {
+			return err
+		}
+		for _, st := range sched.upOf[i] {
+			sc.semijoin(&nodes[st.target].rel, &nodes[st.source].rel, st.tCols, st.sCols)
+		}
+	}
+	return nil
+}
+
+// runSolve executes the scheduled bottom-up join, cross product and
+// head projection over a forest that already went through
+// runSemijoinPasses. empty reports an empty answer set discovered
+// mid-way.
+func runSolve(ctx context.Context, sched *schedule, nodes []node, sc *scratch) (_ Answers, empty bool, _ error) {
+	upRel := make([]rel, len(nodes))
+	for _, i := range sched.postorder {
+		if err := cqerr.Check(ctx); err != nil {
+			return nil, false, err
+		}
+		acc := nodes[i].rel
+		for _, st := range sched.nodes[i].joins {
+			acc = sc.join(acc, upRel[st.child], st)
+		}
+		if sched.nodes[i].projCols != nil {
+			acc = sc.project(acc, sched.nodes[i].projCols, sched.nodes[i].vars)
+		}
+		upRel[i] = acc
+	}
+	total := rel{vars: nil, rows: [][]int{{}}}
+	for _, st := range sched.rootJoins {
+		if err := cqerr.Check(ctx); err != nil {
+			return nil, false, err
+		}
+		if len(upRel[st.child].rows) == 0 {
+			return Answers{}, true, nil
+		}
+		total = sc.join(total, upRel[st.child], st)
+	}
+	// Head projection (the head may repeat variables): deduplicate via
+	// the integer-hashed TupleSet — no string keys on the answer path.
+	var seen relstr.TupleSet
+	for _, row := range total.rows {
+		vals := make(relstr.Tuple, len(sched.head))
+		for i, j := range sched.headCols {
+			vals[i] = row[j]
+		}
+		seen.Add(vals)
+	}
+	return sortAnswers(append([]relstr.Tuple{}, seen.Rows()...)), false, nil
+}
+
+// runSolveBool executes only the bottom-up reduction pass, reporting
+// whether every node keeps at least one row (answer existence).
+func runSolveBool(ctx context.Context, sched *schedule, nodes []node, sc *scratch) (bool, error) {
+	for _, i := range sched.postorder {
+		if err := cqerr.Check(ctx); err != nil {
+			return false, err
+		}
+		for _, st := range sched.downOf[i] {
+			sc.semijoin(&nodes[st.target].rel, &nodes[st.source].rel, st.tCols, st.sCols)
+		}
+		if len(nodes[i].rows) == 0 {
+			return false, nil
+		}
+	}
+	return true, nil
+}

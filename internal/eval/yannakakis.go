@@ -5,7 +5,6 @@ import (
 	"errors"
 
 	"cqapprox/internal/cq"
-	"cqapprox/internal/cqerr"
 	"cqapprox/internal/hypergraph"
 	"cqapprox/internal/relstr"
 )
@@ -61,7 +60,7 @@ func atomRelation(a patom, db *relstr.Structure) rel {
 		}
 	}
 	out := rel{vars: vars}
-	seen := map[string]bool{}
+	var seen relstr.TupleSet
 tuples:
 	for _, t := range db.Tuples(a.rel) {
 		if len(t) != len(a.args) {
@@ -77,21 +76,55 @@ tuples:
 		for i, v := range vars {
 			row[i] = t[pos[v]]
 		}
-		k := key(row)
-		if !seen[k] {
-			seen[k] = true
+		if seen.Add(row) {
 			out.rows = append(out.rows, row)
 		}
 	}
 	return out
 }
 
+// patternSig identifies the materialised relation of an atom up to
+// variable renaming: the relation symbol plus the repetition pattern
+// of its arguments. Two atoms with equal signatures realise identical
+// row sets (over their respective distinct-variable lists).
+func patternSig(a patom) string {
+	sig := make([]byte, 0, len(a.rel)+1+len(a.args))
+	sig = append(sig, a.rel...)
+	sig = append(sig, 0)
+	pos := map[int]int{}
+	for _, v := range a.args {
+		p, ok := pos[v]
+		if !ok {
+			p = len(pos)
+			pos[v] = p
+		}
+		sig = append(sig, byte(p))
+	}
+	return string(sig)
+}
+
 // buildJoinForest converts a hypergraph join tree into rooted nodes
-// with materialised atom relations.
+// with materialised atom relations. Atoms sharing a pattern signature
+// (same symbol, same repetition pattern — e.g. every edge atom of a
+// chain query) materialise once; the other nodes get fresh row-header
+// slices over the same row storage, safe under the in-place semijoin
+// filtering because individual rows are never mutated.
 func buildJoinForest(atoms []patom, jt hypergraph.JoinTree, db *relstr.Structure) []node {
 	nodes := make([]node, len(atoms))
+	var cache map[string][][]int
 	for i, a := range atoms {
-		nodes[i].rel = atomRelation(a, db)
+		sig := patternSig(a)
+		if rows, ok := cache[sig]; ok {
+			nodes[i].rel = rel{vars: a.distinctVars(), rows: append([][]int{}, rows...)}
+		} else {
+			r := atomRelation(a, db)
+			if cache == nil {
+				cache = map[string][][]int{}
+			}
+			cache[sig] = r.rows
+			r.rows = append([][]int{}, r.rows...)
+			nodes[i].rel = r
+		}
 		nodes[i].parent = jt.Parent[i]
 	}
 	for i, p := range jt.Parent {
@@ -145,34 +178,12 @@ func YannakakisBoolCtx(ctx context.Context, q *cq.Query, db *relstr.Structure) (
 
 // solveBoolForest runs the single leaves→roots semijoin pass over a
 // join forest, reporting whether every node keeps at least one row
-// (i.e. the query has an answer).
+// (i.e. the query has an answer). Plan-based callers run the same pass
+// through their prepare-time schedule instead (runSolveBool).
 func solveBoolForest(ctx context.Context, nodes []node) (bool, error) {
-	var postorder func(i int, out *[]int)
-	postorder = func(i int, out *[]int) {
-		for _, c := range nodes[i].children {
-			postorder(c, out)
-		}
-		*out = append(*out, i)
-	}
-	for i := range nodes {
-		if nodes[i].parent != -1 {
-			continue
-		}
-		var order []int
-		postorder(i, &order)
-		for _, u := range order {
-			if err := cqerr.Check(ctx); err != nil {
-				return false, err
-			}
-			for _, c := range nodes[u].children {
-				nodes[u].rel = semijoin(nodes[u].rel, nodes[c].rel)
-			}
-			if len(nodes[u].rows) == 0 {
-				return false, nil
-			}
-		}
-	}
-	return true, nil
+	sc := getScratch()
+	defer putScratch(sc)
+	return runSolveBool(ctx, newScheduleFromNodes(nodes, nil), nodes, sc)
 }
 
 // SemijoinProgram describes the reduction schedule Yannakakis runs —

@@ -593,7 +593,7 @@ func ProjectCtx(ctx context.Context, a, b *relstr.Structure, pre map[int]int, pr
 			rest = append(rest, e)
 		}
 	}
-	seen := map[string]bool{}
+	var seen relstr.TupleSet
 	var assignProj func(rem []int) bool
 	assignProj = func(rem []int) bool {
 		if p.cancelled() {
@@ -610,11 +610,9 @@ func ProjectCtx(ctx context.Context, a, b *relstr.Structure, pre map[int]int, pr
 			for i, e := range proj {
 				vals[i] = assign[e]
 			}
-			k := relstr.Tuple(vals).Key()
-			if seen[k] {
+			if !seen.Add(vals) {
 				return true
 			}
-			seen[k] = true
 			return fn(vals)
 		}
 		// MRV within the projection elements.

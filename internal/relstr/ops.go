@@ -14,7 +14,7 @@ func (s *Structure) Map(f func(int) int) *Structure {
 	out := s.CloneSchema()
 	for name, r := range s.rels {
 		buf := make([]int, r.arity)
-		for _, t := range r.tuples {
+		for _, t := range r.set.Rows() {
 			for i, e := range t {
 				buf[i] = f(e)
 			}
@@ -43,7 +43,7 @@ func (s *Structure) Induced(keep map[int]bool) *Structure {
 	out := s.CloneSchema()
 	for name, r := range s.rels {
 	tuples:
-		for _, t := range r.tuples {
+		for _, t := range r.set.Rows() {
 			for _, e := range t {
 				if !keep[e] {
 					continue tuples
@@ -74,7 +74,7 @@ func Union(s, o *Structure) *Structure {
 	out := s.Clone()
 	for name, r := range o.rels {
 		out.Declare(name, r.arity)
-		for _, t := range r.tuples {
+		for _, t := range r.set.Rows() {
 			out.Add(name, t...)
 		}
 	}
@@ -100,7 +100,7 @@ func DisjointUnion(s, o *Structure) (*Structure, int) {
 	shifted := o.Map(func(e int) int { return e + offset })
 	for name, r := range shifted.rels {
 		out.Declare(name, r.arity)
-		for _, t := range r.tuples {
+		for _, t := range r.set.Rows() {
 			out.Add(name, t...)
 		}
 	}

@@ -55,11 +55,32 @@ func (t Tuple) Equal(u Tuple) bool {
 	return true
 }
 
-// relation holds the tuples of one relation symbol.
+// Compare orders tuples lexicographically (shorter prefixes first),
+// returning -1, 0 or +1. This is the single comparison the evaluation
+// runtime and the answer path share; it never materialises keys.
+func Compare(a, b Tuple) int {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i] != b[i] {
+			if a[i] < b[i] {
+				return -1
+			}
+			return 1
+		}
+	}
+	switch {
+	case len(a) < len(b):
+		return -1
+	case len(a) > len(b):
+		return 1
+	}
+	return 0
+}
+
+// relation holds the tuples of one relation symbol: an insertion-
+// ordered, integer-hashed tuple set.
 type relation struct {
-	arity  int
-	tuples []Tuple         // insertion order, deduplicated
-	index  map[string]bool // Tuple.Key() presence
+	arity int
+	set   TupleSet
 }
 
 // Structure is a finite relational structure: a vocabulary of relation
@@ -87,7 +108,7 @@ func (s *Structure) Declare(name string, arity int) {
 		}
 		return
 	}
-	s.rels[name] = &relation{arity: arity, index: map[string]bool{}}
+	s.rels[name] = &relation{arity: arity}
 }
 
 // Add inserts the fact name(elems...) into the structure, declaring the
@@ -102,14 +123,7 @@ func (s *Structure) Add(name string, elems ...int) bool {
 	if r.arity != len(elems) {
 		panic(fmt.Sprintf("relstr: relation %q has arity %d, got tuple of length %d", name, r.arity, len(elems)))
 	}
-	t := Tuple(elems).Clone()
-	k := t.Key()
-	if r.index[k] {
-		return false
-	}
-	r.index[k] = true
-	r.tuples = append(r.tuples, t)
-	return true
+	return r.set.AddCopy(elems)
 }
 
 // AddElement registers e as a domain element even if it occurs in no
@@ -123,7 +137,7 @@ func (s *Structure) Has(name string, elems ...int) bool {
 	if !ok || r.arity != len(elems) {
 		return false
 	}
-	return r.index[Tuple(elems).Key()]
+	return r.set.Has(elems)
 }
 
 // Remove deletes the fact name(elems...) if present, reporting whether
@@ -133,18 +147,7 @@ func (s *Structure) Remove(name string, elems ...int) bool {
 	if !ok || r.arity != len(elems) {
 		return false
 	}
-	k := Tuple(elems).Key()
-	if !r.index[k] {
-		return false
-	}
-	delete(r.index, k)
-	for i, t := range r.tuples {
-		if t.Key() == k {
-			r.tuples = append(r.tuples[:i], r.tuples[i+1:]...)
-			break
-		}
-	}
-	return true
+	return r.set.Remove(elems)
 }
 
 // Relations returns the declared relation symbols in sorted order.
@@ -181,7 +184,7 @@ func (s *Structure) MaxArity() int {
 // returned slice is owned by the structure and must not be modified.
 func (s *Structure) Tuples(name string) []Tuple {
 	if r, ok := s.rels[name]; ok {
-		return r.tuples
+		return r.set.Rows()
 	}
 	return nil
 }
@@ -192,24 +195,15 @@ func (s *Structure) SortedTuples(name string) []Tuple {
 	src := s.Tuples(name)
 	out := make([]Tuple, len(src))
 	copy(out, src)
-	sort.Slice(out, func(i, j int) bool { return lessTuple(out[i], out[j]) })
+	sort.Slice(out, func(i, j int) bool { return Compare(out[i], out[j]) < 0 })
 	return out
-}
-
-func lessTuple(a, b Tuple) bool {
-	for i := 0; i < len(a) && i < len(b); i++ {
-		if a[i] != b[i] {
-			return a[i] < b[i]
-		}
-	}
-	return len(a) < len(b)
 }
 
 // NumFacts returns the total number of tuples across all relations.
 func (s *Structure) NumFacts() int {
 	n := 0
 	for _, r := range s.rels {
-		n += len(r.tuples)
+		n += r.set.Len()
 	}
 	return n
 }
@@ -219,7 +213,7 @@ func (s *Structure) NumFacts() int {
 func (s *Structure) Size() int {
 	n := 0
 	for _, r := range s.rels {
-		n += r.arity * len(r.tuples)
+		n += r.arity * r.set.Len()
 	}
 	return n
 }
@@ -240,7 +234,7 @@ func (s *Structure) Domain() []int {
 func (s *Structure) DomainSet() map[int]bool {
 	set := make(map[int]bool)
 	for _, r := range s.rels {
-		for _, t := range r.tuples {
+		for _, t := range r.set.Rows() {
 			for _, e := range t {
 				set[e] = true
 			}
@@ -260,7 +254,7 @@ func (s *Structure) Clone() *Structure {
 	c := New()
 	for name, r := range s.rels {
 		c.Declare(name, r.arity)
-		for _, t := range r.tuples {
+		for _, t := range r.set.Rows() {
 			c.Add(name, t...)
 		}
 	}
@@ -288,11 +282,11 @@ func (s *Structure) Equal(o *Structure) bool {
 	}
 	for name, r := range s.rels {
 		or, ok := o.rels[name]
-		if !ok || or.arity != r.arity || len(or.tuples) != len(r.tuples) {
+		if !ok || or.arity != r.arity || or.set.Len() != r.set.Len() {
 			return false
 		}
-		for k := range r.index {
-			if !or.index[k] {
+		for _, t := range r.set.Rows() {
+			if !or.set.Has(t) {
 				return false
 			}
 		}
@@ -315,7 +309,7 @@ func (s *Structure) ContainedIn(o *Structure) bool {
 	for name, r := range s.rels {
 		or, ok := o.rels[name]
 		if !ok {
-			if len(r.tuples) == 0 {
+			if r.set.Len() == 0 {
 				continue
 			}
 			return false
@@ -323,8 +317,8 @@ func (s *Structure) ContainedIn(o *Structure) bool {
 		if or.arity != r.arity {
 			return false
 		}
-		for k := range r.index {
-			if !or.index[k] {
+		for _, t := range r.set.Rows() {
+			if !or.set.Has(t) {
 				return false
 			}
 		}

@@ -154,7 +154,14 @@ func (s *Server) Handler() http.Handler { return s.mux }
 func (s *Server) Stats() api.StatsResponse {
 	cs := s.eng.CacheStats()
 	return api.StatsResponse{
-		Cache:     api.CacheStats{Hits: cs.Hits, Misses: cs.Misses, Entries: cs.Entries},
+		Cache: api.CacheStats{
+			Hits:         cs.Hits,
+			Misses:       cs.Misses,
+			Entries:      cs.Entries,
+			IndexBuilds:  cs.Indexes.IndexBuilds,
+			IndexProbes:  cs.Indexes.IndexProbes,
+			IndexedEvals: cs.Indexes.Evals,
+		},
 		Endpoints: s.metrics.snapshot(),
 	}
 }

@@ -115,6 +115,37 @@ func ChordedCycleQuery(n int) *cq.Query {
 	return q
 }
 
+// ChainQuery returns the n-edge path query with the first endpoint
+// free: Q(x0) :- E(x0,x1), …, E(x_{n-1},x_n). Acyclic; the canonical
+// workload of the E19 indexed-runtime benchmarks (a single free
+// variable keeps the output linear so the benchmarks measure join
+// work, not result materialisation).
+func ChainQuery(n int) *cq.Query {
+	q := &cq.Query{Name: fmt.Sprintf("Chain%d", n)}
+	v := func(i int) string { return fmt.Sprintf("x%d", i) }
+	for i := 0; i < n; i++ {
+		q.Atoms = append(q.Atoms, cq.Atom{Rel: "E", Args: []string{v(i), v(i + 1)}})
+	}
+	q.Head = []string{v(0)}
+	return q
+}
+
+// StarQuery returns the k-leaf star query with the center free:
+// Q(c) :- R1(c,l1), …, Rk(c,lk). Acyclic, with every atom joined on
+// the same variable — the high-fan-in shape of the join index. The
+// leaves use distinct relation symbols so the query is its own core
+// (a star over one symbol would minimize to a single atom).
+func StarQuery(k int) *cq.Query {
+	q := &cq.Query{Name: fmt.Sprintf("Star%d", k), Head: []string{"c"}}
+	for i := 1; i <= k; i++ {
+		q.Atoms = append(q.Atoms, cq.Atom{
+			Rel:  fmt.Sprintf("R%d", i),
+			Args: []string{"c", fmt.Sprintf("l%d", i)},
+		})
+	}
+	return q
+}
+
 // TernaryCycleQuery returns the Example 6.6 family generalised to n
 // atoms: Q() :- R(x0,y0,x1), R(x1,y1,x2), …, R(x_{n-1},y_{n-1},x0).
 func TernaryCycleQuery(n int) *cq.Query {
@@ -166,6 +197,51 @@ func RandomGraphQuery(rng *rand.Rand, vars, atoms int) *cq.Query {
 		q.Atoms = append(q.Atoms, cq.Atom{Rel: "E", Args: []string{pick(), pick()}})
 	}
 	return q
+}
+
+// EvalBenchCase is one workload of the E19 indexed-runtime benchmark
+// suite: a query (prepared exactly, or approximated into TW(1) when
+// Exact is false) evaluated warm over databases of the given sizes.
+type EvalBenchCase struct {
+	Name  string
+	Query *cq.Query
+	Exact bool
+	Sizes []int
+}
+
+// EvalBenchSuite returns the E19 workloads. The names and sizes are
+// load-bearing: BenchmarkIndexedJoin sub-benchmark names derive from
+// them, and the committed BENCH_eval.json baseline (the CI regression
+// gate) is keyed by those names.
+func EvalBenchSuite() []EvalBenchCase {
+	sizes := []int{300, 1000, 3000}
+	// The chain runs Boolean: with an interior variable free the answer
+	// pair sets grow quadratically in |D| and the benchmark would
+	// measure output materialisation instead of join work.
+	chain := ChainQuery(6)
+	chain.Head = nil
+	return []EvalBenchCase{
+		{Name: "chain6", Query: chain, Exact: true, Sizes: sizes},
+		{Name: "star5", Query: StarQuery(5), Exact: true, Sizes: sizes},
+		{Name: "cycle4", Query: CycleQueryFree(4), Exact: false, Sizes: sizes},
+	}
+}
+
+// EvalBenchDB returns the deterministic database the E19 benchmarks
+// evaluate against at size n: a social graph under E (chain/cycle
+// workloads) plus five follower graphs R1…R5 over the same nodes (the
+// star workload's distinct leaf relations).
+func EvalBenchDB(n int) *relstr.Structure {
+	db := RandomSocial(rand.New(rand.NewSource(42)), n, 6, 0.3)
+	for i := 1; i <= 5; i++ {
+		ri := RandomSocial(rand.New(rand.NewSource(int64(42+i))), n, 3, 0.3)
+		name := fmt.Sprintf("R%d", i)
+		db.Declare(name, 2)
+		for _, t := range ri.Tuples("E") {
+			db.Add(name, t...)
+		}
+	}
+	return db
 }
 
 // QuerySuite returns the named query suite used by the Figure 1

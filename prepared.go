@@ -111,6 +111,14 @@ func (p *PreparedQuery) CacheHit() bool { return p.fromCache }
 // ("yannakakis" or "naive").
 func (p *PreparedQuery) PlanMode() string { return p.plan.Mode().String() }
 
+// IndexStats returns the cumulative indexed-runtime counters of this
+// prepared query's plan: hash indexes built over databases, rows
+// driven through index probes, and evaluations run. The plan is shared
+// across every cache hit of the same key, so the counters aggregate
+// all callers — the per-plan view of what Engine.CacheStats sums over
+// the whole cache.
+func (p *PreparedQuery) IndexStats() IndexStats { return p.plan.IndexStats() }
+
 // Eval evaluates the prepared (approximated) query on db, returning
 // the full deduplicated answer set in sorted order. Only per-database
 // work happens here: O(|D|·|Q'|) plus output cost for acyclic plans.
