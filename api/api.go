@@ -139,17 +139,40 @@ func NewPrepareResponse(p *cqapprox.PreparedQuery, key string) *PrepareResponse 
 	return resp
 }
 
+// RegisterDBRequest is the body of POST /v1/db: register (or replace)
+// the database under Name. Later eval/stream requests may then carry
+// the name in EvalRequest.DB instead of re-shipping the data — and
+// every evaluation against the registered snapshot shares its
+// persistent index cache.
+type RegisterDBRequest struct {
+	Name     string   `json:"name"`
+	Database Database `json:"database"`
+}
+
+// RegisterDBResponse summarizes a successful registration.
+type RegisterDBResponse struct {
+	Name      string `json:"name"`
+	Version   uint64 `json:"version"`   // process-unique snapshot version
+	Relations int    `json:"relations"` // relation symbols registered
+	Facts     int    `json:"facts"`     // total tuples registered
+	Replaced  bool   `json:"replaced"`  // a previous registration of Name existed
+}
+
 // EvalRequest is the body of POST /v1/eval, /v1/eval/bool and
 // /v1/stream. The prepared query is named either by Key (from a prior
 // prepare) or inline by Query plus Class/Exact/Options as in
-// PrepareRequest; Key wins when both are present.
+// PrepareRequest; Key wins when both are present. The database is
+// either shipped inline in Database or named by DB (registered earlier
+// via POST /v1/db — evaluation then runs against the registered
+// snapshot's persistent indexes); the two are mutually exclusive.
 type EvalRequest struct {
 	Key       string   `json:"key,omitempty"`
 	Query     string   `json:"query,omitempty"`
 	Class     string   `json:"class,omitempty"`
 	Exact     bool     `json:"exact,omitempty"`
 	Options   *Options `json:"options,omitempty"`
-	Database  Database `json:"database"`
+	Database  Database `json:"database,omitempty"`
+	DB        string   `json:"db,omitempty"`
 	TimeoutMS int64    `json:"timeout_ms,omitempty"`
 }
 
@@ -194,9 +217,27 @@ type EndpointStats struct {
 	LatencyTotalMS float64 `json:"latency_total_ms"`
 }
 
+// DBRegistryStats mirrors cqapprox.DBStats on the wire: the engine's
+// database registry counters plus the snapshot index-cache activity
+// aggregated over every currently registered database.
+type DBRegistryStats struct {
+	Entries       int    `json:"entries"`
+	Registered    uint64 `json:"registered"`
+	Updates       uint64 `json:"updates"`
+	Hits          uint64 `json:"hits"`
+	Misses        uint64 `json:"misses"`
+	Evictions     uint64 `json:"evictions"`
+	Facts         int    `json:"facts"`
+	Views         int    `json:"views"`
+	IndexesCached int    `json:"indexes_cached"`
+	IndexBuilds   uint64 `json:"index_builds"`
+	IndexHits     uint64 `json:"index_hits"`
+}
+
 // StatsResponse is the body of GET /v1/stats.
 type StatsResponse struct {
 	Cache     CacheStats               `json:"cache"`
+	DBs       DBRegistryStats          `json:"dbs"`
 	Endpoints map[string]EndpointStats `json:"endpoints"`
 }
 
@@ -206,6 +247,7 @@ const (
 	CodeBadRequest     = "bad_request"     // 400: malformed JSON / missing or invalid fields
 	CodeParseError     = "parse_error"     // 400: query syntax error (Line/Col set)
 	CodeUnknownKey     = "unknown_key"     // 404: key not in the cache (evicted or foreign)
+	CodeUnknownDB      = "unknown_db"      // 404: db name not in the registry (evicted or never registered)
 	CodeNotInClass     = "not_in_class"    // 422: no query of the class is contained in Q
 	CodeBudgetExceeded = "budget_exceeded" // 422: query exceeds Options.MaxVars
 	CodeOverloaded     = "overloaded"      // 429: admission control rejected the request

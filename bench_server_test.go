@@ -22,6 +22,18 @@ import (
 )
 
 func BenchmarkServerThroughput(b *testing.B) {
+	benchServerThroughput(b, 0)
+}
+
+// BenchmarkServerThroughputRegistered runs the same mixed workload
+// with half the eval/stream traffic evaluating by registered database
+// name (POST /v1/db up front, then eval-by-name) — the register-once
+// traffic shape the snapshot API targets.
+func BenchmarkServerThroughputRegistered(b *testing.B) {
+	benchServerThroughput(b, 0.5)
+}
+
+func benchServerThroughput(b *testing.B, registeredShare float64) {
 	eng := cqapprox.NewEngine()
 	srv := server.New(eng, server.Config{MaxInflightPrepare: 16, MaxInflightEval: 256})
 	ts := httptest.NewServer(srv.Handler())
@@ -29,7 +41,7 @@ func BenchmarkServerThroughput(b *testing.B) {
 	c := client.New(ts.URL).WithHTTPClient(ts.Client())
 	exec := httpdrive.Executor(c)
 	ctx := context.Background()
-	gen := &workload.LoadGen{Seed: 7, Concurrency: runtime.GOMAXPROCS(0)}
+	gen := &workload.LoadGen{Seed: 7, Concurrency: runtime.GOMAXPROCS(0), RegisteredShare: registeredShare}
 
 	// Warm the cache: every suite query's search is paid here, outside
 	// the timer, so the measured regime is the service's steady state.

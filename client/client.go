@@ -106,8 +106,22 @@ func (c *Client) Prepare(ctx context.Context, req api.PrepareRequest) (*api.Prep
 	return &out, nil
 }
 
+// RegisterDB registers (or replaces) a named database snapshot on the
+// server. Later Eval/EvalBool/Stream requests may name it via
+// api.EvalRequest.DB instead of shipping the database inline; those
+// evaluations run against the server-side snapshot's persistent shared
+// indexes.
+func (c *Client) RegisterDB(ctx context.Context, req api.RegisterDBRequest) (*api.RegisterDBResponse, error) {
+	var out api.RegisterDBResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/db", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
 // Eval evaluates a prepared (by Key) or inline query on the request's
-// database and returns the materialized answer set.
+// database (inline, or registered by name via req.DB) and returns the
+// materialized answer set.
 func (c *Client) Eval(ctx context.Context, req api.EvalRequest) (*api.EvalResponse, error) {
 	var out api.EvalResponse
 	if err := c.do(ctx, http.MethodPost, "/v1/eval", req, &out); err != nil {

@@ -9,14 +9,17 @@
 //	cqapprox approx   -q "..." -class TW1 [-all] [-timeout 30s] [-json]
 //	cqapprox check    -q "..." -cand "..." -class AC
 //	cqapprox eval     -q "..." -db graph.txt [-engine auto|naive|yannakakis|td]
-//	                  [-class TW1] [-stream] [-timeout 30s] [-json]
+//	                  [-class TW1] [-db-register name] [-stream] [-timeout 30s] [-json]
 //
 // The approx and eval commands run on a cqapprox.Engine: queries are
 // prepared once (minimize → approximate → plan) and evaluated through
 // the prepared plan, with -timeout cancelling long searches cleanly.
 // eval -class evaluates the query's C-approximation instead of the
 // query itself; -stream prints answers as they are found instead of
-// materialising the sorted answer set.
+// materialising the sorted answer set; -db-register snapshots the
+// database into the engine's registry first and evaluates against the
+// snapshot's persistent indexes (the register-once path cqapproxd's
+// eval-by-name requests take).
 //
 // -json switches classify/approx/eval to machine-readable output in
 // exactly the wire shapes the cqapproxd server emits (package api):
@@ -34,6 +37,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"iter"
 	"os"
 	"strconv"
 	"strings"
@@ -95,7 +99,8 @@ commands:
             [-all] [-timeout 30s] [-v]
   check     decide whether -cand is a C-approximation of -q
   eval      evaluate a query on a database file (one fact per line: "E 1 2")
-            [-class TW1] evaluates its approximation; [-stream] streams answers`)
+            [-class TW1] evaluates its approximation; [-stream] streams answers;
+            [-db-register name] evaluates via a registered snapshot`)
 }
 
 // classFromName resolves a class name; the accepted names are the wire
@@ -267,6 +272,7 @@ func cmdEval(args []string) error {
 	fs := flag.NewFlagSet("eval", flag.ExitOnError)
 	src := fs.String("q", "", "query in rule notation")
 	dbPath := fs.String("db", "", "database file (one fact per line)")
+	dbRegister := fs.String("db-register", "", "register the database under this name and evaluate against the registered snapshot (persistent shared indexes, as cqapproxd's eval-by-name does)")
 	engineName := fs.String("engine", "auto", "auto|naive|yannakakis|td")
 	className := fs.String("class", "", "evaluate the query's C-approximation instead (e.g. TW1, AC)")
 	stream := fs.Bool("stream", false, "print answers as they are found (discovery order)")
@@ -283,6 +289,9 @@ func cmdEval(args []string) error {
 	}
 	if *stream && *engineName != "auto" {
 		return fmt.Errorf("-stream requires -engine auto (streaming runs through the prepared plan)")
+	}
+	if *dbRegister != "" && *engineName != "auto" {
+		return fmt.Errorf("-db-register requires -engine auto (snapshot evaluation runs through the prepared plan)")
 	}
 	if *stream && q.IsBoolean() {
 		return fmt.Errorf("-stream requires a non-Boolean query (a Boolean query has a single true/false answer)")
@@ -343,8 +352,27 @@ func cmdEval(args []string) error {
 			return err
 		}
 	}
+	// -db-register snapshots the file into the engine's registry and
+	// evaluates through the snapshot's persistent indexes — the same
+	// path cqapproxd's eval-by-name requests take.
+	var bound *cqapprox.BoundQuery
+	if *dbRegister != "" {
+		d, _, err := engine.RegisterDB(*dbRegister, db)
+		if err != nil {
+			return err
+		}
+		bound = p.Bind(d)
+	}
 	if *stream {
-		seq, errf := p.AnswersErr(ctx, db)
+		var (
+			seq  iter.Seq[cqapprox.Tuple]
+			errf func() error
+		)
+		if bound != nil {
+			seq, errf = bound.AnswersErr(ctx)
+		} else {
+			seq, errf = p.AnswersErr(ctx, db)
+		}
 		n := 0
 		for t := range seq {
 			if *jsonOut {
@@ -365,7 +393,12 @@ func cmdEval(args []string) error {
 		return nil
 	}
 	if q.IsBoolean() {
-		ok, err := p.EvalBool(ctx, db)
+		var ok bool
+		if bound != nil {
+			ok, err = bound.EvalBool(ctx)
+		} else {
+			ok, err = p.EvalBool(ctx, db)
+		}
 		if err != nil {
 			return err
 		}
@@ -375,7 +408,12 @@ func cmdEval(args []string) error {
 		fmt.Println(ok)
 		return nil
 	}
-	ans, err := p.Eval(ctx, db)
+	var ans cqapprox.Answers
+	if bound != nil {
+		ans, err = bound.Eval(ctx)
+	} else {
+		ans, err = p.Eval(ctx, db)
+	}
 	if err != nil {
 		return err
 	}

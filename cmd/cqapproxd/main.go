@@ -9,10 +9,12 @@
 //	          -max-inflight-prepare 4 -max-inflight-eval 64 \
 //	          -default-timeout 30s -max-timeout 2m
 //
-// Endpoints: POST /v1/prepare, /v1/eval, /v1/eval/bool, /v1/stream
-// (NDJSON); GET /v1/stats and /debug/vars (expvar, including the same
-// counters under "cqapproxd"). SIGINT/SIGTERM drain in-flight requests
-// for up to -grace before exiting.
+// Endpoints: POST /v1/prepare, /v1/db (register a named database
+// snapshot with persistent shared indexes; eval requests may then pass
+// "db" instead of shipping the data), /v1/eval, /v1/eval/bool,
+// /v1/stream (NDJSON); GET /v1/stats and /debug/vars (expvar,
+// including the same counters under "cqapproxd"). SIGINT/SIGTERM drain
+// in-flight requests for up to -grace before exiting.
 package main
 
 import (

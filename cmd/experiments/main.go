@@ -1,9 +1,10 @@
 // Command experiments regenerates every experiment in DESIGN.md's
-// experiment index (E1–E19): the Figure 1 summary table, the
+// experiment index (E1–E20): the Figure 1 summary table, the
 // quantitative content of the paper's propositions, theorems and
 // examples, and the repo's own engineering experiments (E19: the
-// indexed join runtime). Each experiment prints a table comparing the
-// expected outcome against the measured one.
+// indexed join runtime; E20: the registered database snapshot API).
+// Each experiment prints a table comparing the expected outcome
+// against the measured one.
 //
 // Usage:
 //
@@ -12,6 +13,8 @@
 //	experiments -fast        # skip the slowest experiments
 //	experiments -run indexedjoin -bench-out BENCH_eval.json
 //	                         # refresh the E19 benchmark baselines
+//	experiments -run registereddb -bench-out BENCH_eval.json
+//	                         # refresh the E20 benchmark baselines
 package main
 
 import (
@@ -52,6 +55,7 @@ func main() {
 		{"higherarity", "Props 5.13–5.15: beyond graphs", false, expHigherArity},
 		{"cor65", "Cor 6.3/6.5: hypergraph-based sizes", false, expCor65},
 		{"indexedjoin", "E19: indexed join runtime speedup", true, expIndexedJoin},
+		{"registereddb", "E20: registered-snapshot eval speedup", true, expRegisteredDB},
 	}
 
 	ran := 0

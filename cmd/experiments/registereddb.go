@@ -1,0 +1,140 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"testing"
+	"time"
+
+	"cqapprox"
+	"cqapprox/internal/benchfmt"
+	"cqapprox/internal/workload"
+)
+
+// expRegisteredDB is experiment E20: the database snapshot API. Every
+// E19 workload is prepared once and its database registered once; the
+// warm evaluation then runs two ways — inline (PreparedQuery.Eval over
+// the plain structure, re-indexing per call) and registered
+// (BoundQuery.Eval over the snapshot's persistent shared indexes) —
+// asserting equal answers, a ≥2× registered speedup on the chain and
+// star workloads at the largest size, and the API's core property:
+// zero index builds across repeated warm evaluations of a registered
+// database. With -bench-out the registered numbers are merged into the
+// benchmark baseline under the BenchmarkRegisteredDB names CI gates.
+// equalAnswers compares two (sorted, deduplicated) answer sets
+// element-wise.
+func equalAnswers(a, b cqapprox.Answers) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !a[i].Equal(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func expRegisteredDB() error {
+	ctx := context.Background()
+	engine := cqapprox.NewEngine()
+	var report *benchfmt.Report
+	if benchOut != "" {
+		var err error
+		report, err = benchfmt.Load(benchOut)
+		if os.IsNotExist(err) {
+			report, err = &benchfmt.Report{Benchmarks: map[string]benchfmt.Entry{}}, nil
+		}
+		if err != nil {
+			return fmt.Errorf("loading %s: %w", benchOut, err)
+		}
+	}
+	dbs := map[int]*cqapprox.Database{}
+	structures := map[int]*cqapprox.Structure{}
+	fmt.Printf("%-8s %8s %12s %12s %9s %12s\n", "query", "|V|", "inline", "registered", "speedup", "warm builds")
+	speedups := map[string]float64{}
+	for _, c := range workload.EvalBenchSuite() {
+		var (
+			p   *cqapprox.PreparedQuery
+			err error
+		)
+		if c.Exact {
+			p, err = engine.PrepareExact(ctx, c.Query)
+		} else {
+			p, err = engine.Prepare(ctx, c.Query, cqapprox.TW(1))
+		}
+		if err != nil {
+			return err
+		}
+		for _, n := range c.Sizes {
+			if dbs[n] == nil {
+				structures[n] = workload.EvalBenchDB(n)
+				if dbs[n], _, err = engine.RegisterDB(fmt.Sprintf("bench%d", n), structures[n]); err != nil {
+					return err
+				}
+			}
+			bq := p.Bind(dbs[n])
+			want, err := p.Eval(ctx, structures[n])
+			if err != nil {
+				return err
+			}
+			got, err := bq.Eval(ctx) // warming evaluation
+			if err != nil {
+				return err
+			}
+			if !equalAnswers(got, want) {
+				return fmt.Errorf("%s/N%d: registered answers differ from inline (%d vs %d)", c.Name, n, len(got), len(want))
+			}
+			// The register-once contract: repeated warm evaluations build
+			// no further indexes, inline evaluations keep re-indexing.
+			pre := p.IndexStats()
+			if _, err := bq.Eval(ctx); err != nil {
+				return err
+			}
+			warmBuilds := p.IndexStats().IndexBuilds - pre.IndexBuilds
+			inline := testing.Benchmark(func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := p.Eval(ctx, structures[n]); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			reg := testing.Benchmark(func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := bq.Eval(ctx); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			speedup := float64(inline.NsPerOp()) / float64(reg.NsPerOp())
+			fmt.Printf("%-8s %8d %12s %12s %8.2fx %12d\n", c.Name, n,
+				time.Duration(inline.NsPerOp()).Round(time.Microsecond),
+				time.Duration(reg.NsPerOp()).Round(time.Microsecond), speedup, warmBuilds)
+			if n == c.Sizes[len(c.Sizes)-1] {
+				speedups[c.Name] = speedup
+				if warmBuilds != 0 && (c.Name == "chain6" || c.Name == "star5") {
+					return fmt.Errorf("%s/N%d: warm registered eval built %d indexes, want 0", c.Name, n, warmBuilds)
+				}
+			}
+			if report != nil {
+				name := fmt.Sprintf("BenchmarkRegisteredDB/%s/N%d", c.Name, n)
+				report.Benchmarks[name] = benchfmt.Entry{NsPerOp: float64(reg.NsPerOp())}
+			}
+		}
+	}
+	for _, name := range []string{"chain6", "star5"} {
+		if speedups[name] < 2 {
+			return fmt.Errorf("%s warm registered speedup %.2fx, want ≥2x over inline per-call indexing", name, speedups[name])
+		}
+	}
+	fmt.Printf("registered-snapshot warm eval ≥2x over inline per-call indexing (chain %.1fx, star %.1fx), zero warm index builds\n",
+		speedups["chain6"], speedups["star5"])
+	if report != nil {
+		if err := report.Save(benchOut); err != nil {
+			return err
+		}
+		fmt.Printf("wrote registered-db baselines to %s\n", benchOut)
+	}
+	return nil
+}

@@ -40,6 +40,13 @@
 //	p2, _ := engine.Prepare(ctx, cqapprox.MustParse("Q(a) :- E(a,b), E(b,c), E(c,a)"), cqapprox.TW(1))
 //	_ = engine.CacheStats().Hits // 1
 //
+// The data side mirrors the split: register a database once and every
+// evaluation probes the snapshot's persistent shared indexes instead
+// of re-indexing per call (copy-on-write updates fork new versions):
+//
+//	d, _, _ := engine.RegisterDB("social", db)
+//	ans, err := p.Bind(d).Eval(ctx) // probe-only once warm
+//
 // Errors are typed: errors.Is against ErrCanceled, ErrBudgetExceeded,
 // ErrNotInClass, ErrNotAcyclic; parse errors carry positions
 // (ParseError).
@@ -147,11 +154,32 @@ func Approximate(q *Query, c Class, opt Options) (*Query, error) {
 	return p.Approx(), nil
 }
 
+// ApproximateCtx is Approximate under a context: cancellation aborts
+// the Bell-number search with an ErrCanceled-wrapped error instead of
+// running it to completion.
+func ApproximateCtx(ctx context.Context, q *Query, c Class, opt Options) (*Query, error) {
+	p, err := defaultEngine.PrepareOpt(ctx, q, c, opt)
+	if err != nil {
+		return nil, err
+	}
+	return p.Approx(), nil
+}
+
 // Approximations returns all minimized C-approximations of q up to
 // equivalence (the paper's C-APPR_min(Q)). Like Approximate, it is a
 // cached wrapper over the default Engine.
 func Approximations(q *Query, c Class, opt Options) ([]*Query, error) {
 	p, err := defaultEngine.PrepareOpt(context.Background(), q, c, opt)
+	if err != nil {
+		return nil, err
+	}
+	return p.Approximations(), nil
+}
+
+// ApproximationsCtx is Approximations under a context; see
+// ApproximateCtx.
+func ApproximationsCtx(ctx context.Context, q *Query, c Class, opt Options) ([]*Query, error) {
+	p, err := defaultEngine.PrepareOpt(ctx, q, c, opt)
 	if err != nil {
 		return nil, err
 	}
@@ -253,6 +281,19 @@ func Eval(q *Query, db *Structure) Answers {
 	return ans
 }
 
+// EvalCtx is Eval under a context, with errors surfaced instead of
+// swallowed: preparation failures (validation, cancellation) and
+// evaluation cancellation come back typed (errors.Is against
+// ErrCanceled etc.) where Eval silently drops them for legacy
+// compatibility. Like Eval it runs on the default Engine's cache.
+func EvalCtx(ctx context.Context, q *Query, db *Structure) (Answers, error) {
+	p, err := defaultEngine.PrepareExact(ctx, q)
+	if err != nil {
+		return nil, err
+	}
+	return p.Eval(ctx, db)
+}
+
 // EvalBool evaluates a Boolean query (or answer-existence). Like Eval,
 // it is a cached wrapper over the default Engine.
 func EvalBool(q *Query, db *Structure) bool {
@@ -263,6 +304,16 @@ func EvalBool(q *Query, db *Structure) bool {
 	}
 	ok, _ := p.EvalBool(context.Background(), db)
 	return ok
+}
+
+// EvalBoolCtx is EvalBool under a context, with errors surfaced; see
+// EvalCtx.
+func EvalBoolCtx(ctx context.Context, q *Query, db *Structure) (bool, error) {
+	p, err := defaultEngine.PrepareExact(ctx, q)
+	if err != nil {
+		return false, err
+	}
+	return p.EvalBool(ctx, db)
 }
 
 // Yannakakis evaluates an acyclic query in O(|db|·|q|) plus output

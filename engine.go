@@ -43,6 +43,21 @@ type Engine struct {
 	// like the cache, with its own LRU list.
 	keyMemo map[string]*list.Element // syn → element in memoLRU (Value: *memoEntry)
 	memoLRU *list.List
+
+	// The database registry: named snapshots with persistent shared
+	// indexes (see RegisterDB in db.go). Bounded by maxDBs with LRU
+	// eviction. Guarded by its own mutex so registry traffic — in
+	// particular an UpdateDB copy-on-write fork, which is O(touched
+	// relation) — never stalls prepare-cache hits or vice versa.
+	dbMu         sync.Mutex
+	maxDBs       int
+	dbs          map[string]*list.Element // name → element in dbLRU (Value: *dbEntry)
+	dbLRU        *list.List
+	dbHits       uint64
+	dbMisses     uint64
+	dbRegistered uint64
+	dbUpdates    uint64
+	dbEvictions  uint64
 }
 
 // cacheEntry is the value stored in the cache's LRU list.
@@ -91,12 +106,14 @@ func NewEngine(opts ...EngineOption) *Engine {
 	e := &Engine{
 		opt:        DefaultOptions(),
 		maxEntries: DefaultCacheCapacity,
+		maxDBs:     DefaultDBCapacity,
 		cache:      map[string]*list.Element{},
 		lru:        list.New(),
 		pending:    map[string]*inflight{},
 		keyMemo:    map[string]*list.Element{},
 		memoLRU:    list.New(),
 	}
+	e.newDBRegistry()
 	for _, o := range opts {
 		o(e)
 	}
@@ -143,14 +160,42 @@ func (e *Engine) CacheStats() CacheStats {
 	return s
 }
 
-// ResetCache drops every cached prepared query and zeroes the counters.
-// In-flight Prepares are unaffected (they re-insert on completion).
+// ResetCache drops every cached prepared query and zeroes the
+// prepare-cache hit/miss counters — nothing else. Two things
+// deliberately survive: the syntactic key memo (a pure accelerator
+// whose entries stay valid — see keyMemo) and the database registry
+// with its snapshots, warm indexes and counters (registered data is
+// not cache; dropping it would break eval-by-name callers). In-flight
+// Prepares are unaffected (they re-insert on completion). Use ResetAll
+// to clear the memo and the registry too.
 func (e *Engine) ResetCache() {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	e.cache = map[string]*list.Element{}
 	e.lru = list.New()
 	e.hits, e.misses = 0, 0
+}
+
+// ResetAll is ResetCache plus everything it leaves behind: the
+// syntactic key memo is emptied and the database registry is cleared
+// — every registration dropped, all registry counters zeroed.
+// Snapshots already handed out remain valid (they own their data);
+// only the engine forgets them. In-flight Prepares still re-insert on
+// completion.
+func (e *Engine) ResetAll() {
+	e.mu.Lock()
+	e.cache = map[string]*list.Element{}
+	e.lru = list.New()
+	e.hits, e.misses = 0, 0
+	e.keyMemo = map[string]*list.Element{}
+	e.memoLRU = list.New()
+	e.mu.Unlock()
+
+	e.dbMu.Lock()
+	e.dbs = map[string]*list.Element{}
+	e.dbLRU = list.New()
+	e.dbHits, e.dbMisses, e.dbRegistered, e.dbUpdates, e.dbEvictions = 0, 0, 0, 0, 0
+	e.dbMu.Unlock()
 }
 
 // CacheKey returns the cache key Prepare uses for (q, c, opt): a stable

@@ -335,6 +335,23 @@ func (sc *scratch) join(l, r rel, st jStep) rel {
 	if len(l.rows) == 0 || len(r.rows) == 0 {
 		return out
 	}
+	if len(st.rCols) == 0 {
+		// Keyless join (cross product across components): every pair
+		// matches, so a hash index would be a single bucket — iterate
+		// directly instead of building one.
+		w := len(l.vars) + len(st.rExtra)
+		for _, lrow := range l.rows {
+			for _, rrow := range r.rows {
+				vals := sc.alloc(w)
+				copy(vals, lrow)
+				for k, c := range st.rExtra {
+					vals[len(lrow)+k] = rrow[c]
+				}
+				out.rows = append(out.rows, vals)
+			}
+		}
+		return out
+	}
 	ix := sc.buildIndex(r.rows, st.rCols)
 	sc.stats.probes += uint64(len(l.rows))
 	w := len(l.vars) + len(st.rExtra)

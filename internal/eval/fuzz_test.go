@@ -102,10 +102,50 @@ func decodeRels(data []byte) (l, r rel, ok bool) {
 	return l, r, true
 }
 
+// snapSemijoinRows runs the snapshot path's bitmap semijoin of l
+// against r: r's rows become a snapshot relation whose index the step
+// probes, l's rows get an all-alive bitmap that the step filters. The
+// surviving rows are returned.
+func snapSemijoinRows(sc *scratch, l, r rel, lCols, rCols []int) [][]int {
+	sdb := relstr.New()
+	if len(r.rows) == 0 {
+		sdb.Declare("R", len(r.vars))
+	}
+	for _, row := range r.rows {
+		sdb.Add("R", row...)
+	}
+	snap := relstr.NewSnapshot(sdb)
+	pat := make([]int, len(r.vars))
+	for i := range pat {
+		pat[i] = i
+	}
+	view := snap.View("R", pat)
+	f := &snapForest{nodes: make([]snapNode, 2), sc: sc}
+	f.nodes[0] = fullAliveNode(nil, l.rows)
+	f.nodes[1] = fullAliveNode(view, view.Rows())
+	f.semijoin(sjStep{target: 0, source: 1, tCols: lCols, sCols: rCols})
+	return f.nodes[0].aliveRows()
+}
+
+// fullAliveNode builds a snapNode over rows with every row alive.
+func fullAliveNode(view *relstr.View, rows [][]int) snapNode {
+	n := len(rows)
+	words := make([]uint64, (n+63)/64)
+	for w := range words {
+		words[w] = ^uint64(0)
+	}
+	if n%64 != 0 && len(words) > 0 {
+		words[len(words)-1] = (1 << uint(n%64)) - 1
+	}
+	return snapNode{view: view, rows: rows, words: words, live: n}
+}
+
 // FuzzJoinEquivalence asserts the indexed semijoin/join/project agree
 // with the string-keyed reference implementations they replaced, on
 // arbitrary relation pairs (including empty relations, disjoint
 // variable sets, and tiny value domains that force bucket collisions).
+// The snapshot runtime's bitmap semijoin (the registered-database
+// path) is held to the same oracle.
 func FuzzJoinEquivalence(f *testing.F) {
 	f.Add([]byte{0, 0, 0})                                  // empty relations
 	f.Add([]byte{1, 1, 1, 1, 2, 2, 1, 3, 3})                // small overlap
@@ -127,6 +167,13 @@ func FuzzJoinEquivalence(f *testing.F) {
 		want := sortedRows(semijoinRef(cloneRel(l), r))
 		if got := sortedRows(li); !equalRows(got, want) {
 			t.Fatalf("semijoin mismatch:\n  indexed %v\n  reference %v\n  l=%v r=%v", got, want, l, r)
+		}
+
+		// Snapshot-backed semijoin: the same filter through a
+		// snapshot-owned index plus liveness bitmaps — the registered-
+		// database path — must agree with both.
+		if got := sortedRows(rel{vars: l.vars, rows: snapSemijoinRows(sc, l, r, lCols, rCols)}); !equalRows(got, want) {
+			t.Fatalf("snapshot semijoin mismatch:\n  snapshot %v\n  reference %v\n  l=%v r=%v", got, want, l, r)
 		}
 
 		// Join.
@@ -162,9 +209,10 @@ func FuzzJoinEquivalence(f *testing.F) {
 	})
 }
 
-// The full pipelines agree: Plan.Eval (indexed, scheduled) matches
-// Plan.EvalBaseline (string-keyed reference) on random acyclic queries
-// and databases.
+// The full pipelines agree three ways: Plan.EvalBaseline (string-keyed
+// reference), Plan.Eval (per-call indexed), and Plan.EvalSnap (shared
+// snapshot indexes) return identical answers on random acyclic queries
+// and databases — and so do the Boolean variants.
 func TestQuickIndexedMatchesBaseline(t *testing.T) {
 	ctx := context.Background()
 	f := func(seed int64) bool {
@@ -180,7 +228,17 @@ func TestQuickIndexedMatchesBaseline(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		return sameAnswers(got, want)
+		if !sameAnswers(got, want) {
+			return false
+		}
+		snap := relstr.NewSnapshot(db)
+		snapAns, err := p.EvalSnap(ctx, snap)
+		if err != nil || !sameAnswers(snapAns, want) {
+			return false
+		}
+		okPlain, err1 := p.EvalBool(ctx, db)
+		okSnap, err2 := p.EvalBoolSnap(ctx, snap)
+		return err1 == nil && err2 == nil && okPlain == okSnap && okPlain == (len(want) > 0)
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
 		t.Fatal(err)

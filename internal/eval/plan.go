@@ -106,15 +106,105 @@ func NewPlan(q *cq.Query) *Plan {
 		for i, a := range p.atoms {
 			vars[i] = a.distinctVars()
 		}
+		// Re-root each tree of the forest at a node covering its head
+		// variables when one exists: the schedule's dead-step analysis
+		// then elides the entire solve phase (all joins merely filter,
+		// which the semijoin reduction already did) — the difference
+		// between a per-eval join pipeline and a single head projection.
+		p.jt.Parent = rerootForHead(jt.Parent, vars, p.tb.Dist)
 		children := make([][]int, len(p.atoms))
-		for i, par := range jt.Parent {
+		for i, par := range p.jt.Parent {
 			if par >= 0 {
 				children[par] = append(children[par], i)
 			}
 		}
-		p.sched = newSchedule(vars, jt.Parent, children, p.tb.Dist)
+		p.sched = newSchedule(vars, p.jt.Parent, children, p.tb.Dist)
 	}
 	return p
+}
+
+// rerootForHead returns a parent array for the same undirected forest,
+// re-rooting each tree at its first node whose variables contain every
+// head variable occurring in that tree (join-tree validity — the
+// connected-subtree property per variable — is direction-independent).
+// Trees with no such node keep their root.
+func rerootForHead(parent []int, vars [][]int, head []int) []int {
+	n := len(parent)
+	adj := make([][]int, n)
+	for i, p := range parent {
+		if p >= 0 {
+			adj[i] = append(adj[i], p)
+			adj[p] = append(adj[p], i)
+		}
+	}
+	headSet := map[int]bool{}
+	for _, v := range head {
+		headSet[v] = true
+	}
+	out := append([]int{}, parent...)
+	comp := make([]int, n)
+	for i := range comp {
+		comp[i] = -1
+	}
+	for r := 0; r < n; r++ {
+		if comp[r] != -1 || parent[r] != -1 {
+			continue
+		}
+		// Collect the tree and the head variables it mentions.
+		tree := []int{r}
+		comp[r] = r
+		for k := 0; k < len(tree); k++ {
+			for _, w := range adj[tree[k]] {
+				if comp[w] == -1 {
+					comp[w] = r
+					tree = append(tree, w)
+				}
+			}
+		}
+		want := map[int]bool{}
+		for _, i := range tree {
+			for _, v := range vars[i] {
+				if headSet[v] {
+					want[v] = true
+				}
+			}
+		}
+		if len(want) == 0 {
+			continue
+		}
+		root := -1
+		for _, i := range tree {
+			covered := 0
+			for _, v := range vars[i] {
+				if want[v] {
+					covered++
+				}
+			}
+			if covered == len(want) {
+				root = i
+				break
+			}
+		}
+		if root == -1 || root == r {
+			continue
+		}
+		// Reorient the tree from the new root.
+		out[root] = -1
+		seen := map[int]bool{root: true}
+		stack := []int{root}
+		for len(stack) > 0 {
+			u := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, w := range adj[u] {
+				if !seen[w] {
+					seen[w] = true
+					out[w] = u
+					stack = append(stack, w)
+				}
+			}
+		}
+	}
+	return out
 }
 
 // Query returns the query the plan evaluates.

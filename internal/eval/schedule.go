@@ -29,10 +29,19 @@ type sjStep struct {
 // jStep is one join step of the bottom-up solve: probe the child's
 // relation keyed on rCols with the accumulator's lCols, appending the
 // child's rExtra columns to each matching accumulator row.
+//
+// skip marks steps that copy no columns (rExtra empty): after the full
+// two-pass semijoin reduction the forest is globally consistent —
+// every surviving row extends to a complete assignment — so a join
+// that would only *filter* the accumulator filters nothing and is
+// elided entirely. The flag is static (it depends only on the variable
+// flow), which is what lets whole subtrees drop out of the solve phase
+// at prepare time.
 type jStep struct {
 	child                int
 	lCols, rCols, rExtra []int
 	outVars              []int
+	skip                 bool
 }
 
 // nodeSched is the solve-phase program of one node: join every child,
@@ -56,7 +65,25 @@ type schedule struct {
 	totalVars []int
 	head      []int
 	headCols  []int // head positions in totalVars
+
+	// Post-reduction dead-step analysis (see jStep.skip). needed marks
+	// the nodes whose solve output some retained join consumes; the
+	// others never materialise an upward relation. When the analysis
+	// eliminates every join — the head lives inside one atom, as in
+	// chain and star queries — the whole solve phase collapses to a
+	// direct head projection of directNode's reduced rows through
+	// directCols; directNode is -1 when no such shortcut exists and
+	// unitNode for Boolean-shaped schedules whose answer is the unit
+	// relation.
+	needed     []bool
+	directNode int
+	directCols []int // head positions in vars[directNode]
 }
+
+// unitNode is the directNode sentinel for schedules where every
+// component's contribution is empty (Boolean queries): the solve
+// result is the unit relation, a single empty row.
+const unitNode = -2
 
 // sharedCols returns the aligned column pairs of the variables common
 // to a and b, in a's order (the order sharedVars uses).
@@ -180,7 +207,74 @@ func newSchedule(vars [][]int, parent []int, children [][]int, head []int) *sche
 	for i, v := range head {
 		sc.headCols[i] = indexOf(total, v)
 	}
+	sc.analyze(vars)
 	return sc
+}
+
+// analyze computes the post-reduction dead-step information: which
+// joins copy no columns (skip), which nodes still materialise a solve
+// relation (needed), and whether the whole solve collapses to a direct
+// head projection (directNode/directCols).
+func (sc *schedule) analyze(vars [][]int) {
+	for i := range sc.nodes {
+		for k := range sc.nodes[i].joins {
+			sc.nodes[i].joins[k].skip = len(sc.nodes[i].joins[k].rExtra) == 0
+		}
+	}
+	live := -1 // the unique retained rootJoin, if exactly one
+	for k := range sc.rootJoins {
+		sc.rootJoins[k].skip = len(sc.rootJoins[k].rExtra) == 0
+		if !sc.rootJoins[k].skip {
+			if live == -1 {
+				live = k
+			} else {
+				live = -3 // several components contribute columns
+			}
+		}
+	}
+	sc.needed = make([]bool, len(sc.nodes))
+	var mark func(i int)
+	mark = func(i int) {
+		sc.needed[i] = true
+		for _, st := range sc.nodes[i].joins {
+			if !st.skip {
+				mark(st.child)
+			}
+		}
+	}
+	for _, st := range sc.rootJoins {
+		if !st.skip {
+			mark(st.child)
+		}
+	}
+	sc.directNode = -1
+	switch {
+	case live == -1:
+		// Every component's contribution is empty: Boolean query, the
+		// solve result is the unit relation (head is necessarily empty —
+		// a head variable would be kept by its component's root).
+		sc.directNode = unitNode
+	case live >= 0:
+		r := sc.rootJoins[live].child
+		allSkipped := true
+		for _, st := range sc.nodes[r].joins {
+			if !st.skip {
+				allSkipped = false
+				break
+			}
+		}
+		if allSkipped {
+			// The one contributing component runs no joins either: the
+			// answers are the head projection of the root's reduced rows
+			// (head ⊆ keep(root) ⊆ vars[root]), folding the root's own
+			// projection into the head projection.
+			sc.directNode = r
+			sc.directCols = make([]int, len(sc.head))
+			for i, v := range sc.head {
+				sc.directCols[i] = indexOf(vars[r], v)
+			}
+		}
+	}
 }
 
 // newScheduleFromNodes derives a schedule from an already-built forest
@@ -231,16 +325,30 @@ func runSemijoinPasses(ctx context.Context, sched *schedule, nodes []node, sc *s
 
 // runSolve executes the scheduled bottom-up join, cross product and
 // head projection over a forest that already went through
-// runSemijoinPasses. empty reports an empty answer set discovered
-// mid-way.
+// runSemijoinPasses (callers must also have verified every node keeps
+// at least one row — the skip analysis relies on it). empty reports an
+// empty answer set discovered mid-way.
 func runSolve(ctx context.Context, sched *schedule, nodes []node, sc *scratch) (_ Answers, empty bool, _ error) {
+	if sched.directNode != -1 {
+		rows := [][]int{{}} // unitNode: the Boolean unit relation
+		if sched.directNode >= 0 {
+			rows = nodes[sched.directNode].rows
+		}
+		return projectHead(rows, len(sched.head), sched.directCols), false, nil
+	}
 	upRel := make([]rel, len(nodes))
 	for _, i := range sched.postorder {
+		if !sched.needed[i] {
+			continue
+		}
 		if err := cqerr.Check(ctx); err != nil {
 			return nil, false, err
 		}
 		acc := nodes[i].rel
 		for _, st := range sched.nodes[i].joins {
+			if st.skip {
+				continue
+			}
 			acc = sc.join(acc, upRel[st.child], st)
 		}
 		if sched.nodes[i].projCols != nil {
@@ -250,25 +358,39 @@ func runSolve(ctx context.Context, sched *schedule, nodes []node, sc *scratch) (
 	}
 	total := rel{vars: nil, rows: [][]int{{}}}
 	for _, st := range sched.rootJoins {
+		if st.skip {
+			continue
+		}
 		if err := cqerr.Check(ctx); err != nil {
 			return nil, false, err
 		}
 		if len(upRel[st.child].rows) == 0 {
 			return Answers{}, true, nil
 		}
+		if len(total.vars) == 0 && len(total.rows) == 1 {
+			// Cross product with the unit relation: adopt the component's
+			// relation as-is (outVars is exactly its variable list).
+			total = rel{vars: st.outVars, rows: upRel[st.child].rows}
+			continue
+		}
 		total = sc.join(total, upRel[st.child], st)
 	}
-	// Head projection (the head may repeat variables): deduplicate via
-	// the integer-hashed TupleSet — no string keys on the answer path.
+	return projectHead(total.rows, len(sched.head), sched.headCols), false, nil
+}
+
+// projectHead projects rows onto the head (the head may repeat
+// variables), deduplicating via the integer-hashed TupleSet — no
+// string keys on the answer path — and sorting.
+func projectHead(rows [][]int, width int, cols []int) Answers {
 	var seen relstr.TupleSet
-	for _, row := range total.rows {
-		vals := make(relstr.Tuple, len(sched.head))
-		for i, j := range sched.headCols {
+	for _, row := range rows {
+		vals := make(relstr.Tuple, width)
+		for i, j := range cols {
 			vals[i] = row[j]
 		}
 		seen.Add(vals)
 	}
-	return sortAnswers(append([]relstr.Tuple{}, seen.Rows()...)), false, nil
+	return sortAnswers(append([]relstr.Tuple{}, seen.Rows()...))
 }
 
 // runSolveBool executes only the bottom-up reduction pass, reporting

@@ -1,0 +1,349 @@
+package eval
+
+import (
+	"context"
+	"iter"
+	"math/bits"
+
+	"cqapprox/internal/cqerr"
+	"cqapprox/internal/hom"
+	"cqapprox/internal/relstr"
+)
+
+// Snapshot evaluation: the per-call half of the register-once database
+// split. Against a relstr.Snapshot, the Yannakakis pipeline never
+// materialises or re-indexes atom relations — each atom resolves to a
+// snapshot-owned View (shared row storage, cached per repetition
+// pattern) and every semijoin probes a snapshot-owned Index (cached
+// per key-column set, shared across all plans and calls). The per-call
+// state shrinks to one liveness bitmap per node: the in-place row
+// filtering of the *Structure path becomes bit clearing, and the solve
+// phase runs over the surviving rows exactly as scheduled. After the
+// first (warming) evaluation has populated the caches, a repeat
+// evaluation performs zero index builds for plans whose solve phase
+// the schedule's dead-step analysis eliminated (chain- and star-shaped
+// queries); other plans still build only the indexes over *derived*
+// intermediate join relations, never over the base data.
+
+// atomPattern returns the repetition pattern of an atom's argument
+// list: pattern[i] is the first position holding the same variable as
+// position i (the shape relstr.Snapshot.View keys its views by).
+func atomPattern(args []int) []int {
+	pat := make([]int, len(args))
+	for i, v := range args {
+		pat[i] = i
+		for j := 0; j < i; j++ {
+			if args[j] == v {
+				pat[i] = j
+				break
+			}
+		}
+	}
+	return pat
+}
+
+// snapNode is one join-forest node evaluated against a snapshot: the
+// shared view standing in for the materialised atom relation, plus the
+// call-local liveness bitmap that replaces in-place row filtering.
+type snapNode struct {
+	view  *relstr.View
+	rows  [][]int
+	vars  []int
+	words []uint64 // bit id set ⇔ row id alive
+	live  int
+}
+
+func (n *snapNode) alive(id int32) bool {
+	return n.words[id>>6]&(1<<(uint(id)&63)) != 0
+}
+
+func (n *snapNode) clearAll() {
+	for w := range n.words {
+		n.words[w] = 0
+	}
+	n.live = 0
+}
+
+// aliveRows materialises the surviving rows (headers shared with the
+// snapshot; rows are never mutated downstream).
+func (n *snapNode) aliveRows() [][]int {
+	out := make([][]int, 0, n.live)
+	for w, word := range n.words {
+		for word != 0 {
+			b := bits.TrailingZeros64(word)
+			word &= word - 1
+			out = append(out, n.rows[w<<6|b])
+		}
+	}
+	return out
+}
+
+// snapForest is the per-call evaluation state over one snapshot.
+type snapForest struct {
+	nodes []snapNode
+	sc    *scratch
+}
+
+// snapForest builds the forest state for evaluating p against snap:
+// one view lookup per atom (cached in the snapshot) and one liveness
+// bitmap per node, initially all-alive.
+func (p *Plan) snapForest(snap *relstr.Snapshot, sc *scratch) *snapForest {
+	f := &snapForest{nodes: make([]snapNode, len(p.atoms)), sc: sc}
+	for i, a := range p.atoms {
+		v := snap.View(a.rel, atomPattern(a.args))
+		rows := v.Rows()
+		n := len(rows)
+		words := make([]uint64, (n+63)/64)
+		for w := range words {
+			words[w] = ^uint64(0)
+		}
+		if n%64 != 0 && len(words) > 0 {
+			words[len(words)-1] = (1 << uint(n%64)) - 1
+		}
+		f.nodes[i] = snapNode{view: v, rows: rows, vars: a.distinctVars(), words: words, live: n}
+	}
+	return f
+}
+
+// semijoin applies one scheduled reduction step over the bitmaps:
+// target rows with no alive source partner on the aligned columns die.
+// The probe runs through the snapshot's cached index for the source's
+// key columns; only a cold cache builds one (counted exactly once).
+func (f *snapForest) semijoin(st sjStep) {
+	t, s := &f.nodes[st.target], &f.nodes[st.source]
+	if t.live == 0 {
+		return
+	}
+	if s.live == 0 {
+		t.clearAll()
+		return
+	}
+	if len(st.tCols) == 0 {
+		return // no shared variables and the source is non-empty
+	}
+	ix, built := s.view.Index(st.sCols)
+	if built {
+		f.sc.stats.builds++
+	}
+	f.sc.stats.probes += uint64(t.live)
+	full := s.live == len(s.rows) // skip liveness checks while the source is unfiltered
+	for w := range t.words {
+		word := t.words[w]
+		for word != 0 {
+			b := bits.TrailingZeros64(word)
+			word &= word - 1
+			id := w<<6 | b
+			row := t.rows[id]
+			ok := false
+			for sid := ix.First(row, st.tCols); sid >= 0; sid = ix.Next(sid, row, st.tCols) {
+				if full || s.alive(sid) {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				t.words[w] &^= 1 << uint(b)
+				t.live--
+			}
+		}
+	}
+}
+
+// runPasses executes both scheduled semijoin passes over the bitmaps.
+func (f *snapForest) runPasses(ctx context.Context, sched *schedule) error {
+	for _, i := range sched.postorder {
+		if err := cqerr.Check(ctx); err != nil {
+			return err
+		}
+		for _, st := range sched.downOf[i] {
+			f.semijoin(st)
+		}
+	}
+	for _, i := range sched.preorder {
+		if err := cqerr.Check(ctx); err != nil {
+			return err
+		}
+		for _, st := range sched.upOf[i] {
+			f.semijoin(st)
+		}
+	}
+	return nil
+}
+
+// runBool executes only the leaves→roots pass, reporting answer
+// existence (the Boolean fast path).
+func (f *snapForest) runBool(ctx context.Context, sched *schedule) (bool, error) {
+	for _, i := range sched.postorder {
+		if err := cqerr.Check(ctx); err != nil {
+			return false, err
+		}
+		for _, st := range sched.downOf[i] {
+			f.semijoin(st)
+		}
+		if f.nodes[i].live == 0 {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// anyEmpty reports whether some node lost all rows (empty answer set).
+func (f *snapForest) anyEmpty() bool {
+	for i := range f.nodes {
+		if f.nodes[i].live == 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// materialize converts the surviving bitmaps into the plain node form
+// runSolve consumes — only for nodes the schedule still needs (the
+// dead-step analysis usually leaves few, often none).
+func (f *snapForest) materialize(sched *schedule) []node {
+	nodes := make([]node, len(f.nodes))
+	for i := range f.nodes {
+		if !sched.needed[i] {
+			continue
+		}
+		nodes[i].rel = rel{vars: f.nodes[i].vars, rows: f.nodes[i].aliveRows()}
+	}
+	return nodes
+}
+
+// directAnswers is the collapsed solve phase over a snapshot forest:
+// head-project the direct node's surviving rows (or the unit relation)
+// without materialising anything else.
+func (f *snapForest) directAnswers(sched *schedule) Answers {
+	if sched.directNode == unitNode {
+		return Answers{relstr.Tuple{}}
+	}
+	n := &f.nodes[sched.directNode]
+	var seen relstr.TupleSet
+	for w, word := range n.words {
+		for word != 0 {
+			b := bits.TrailingZeros64(word)
+			word &= word - 1
+			row := n.rows[w<<6|b]
+			vals := make(relstr.Tuple, len(sched.head))
+			for i, j := range sched.directCols {
+				vals[i] = row[j]
+			}
+			seen.Add(vals)
+		}
+	}
+	return sortAnswers(append([]relstr.Tuple{}, seen.Rows()...))
+}
+
+// EvalSnap evaluates the plan's query against a database snapshot,
+// probing the snapshot's persistent index cache instead of building
+// per-call indexes. Answers equal Eval's on the equivalent structure.
+func (p *Plan) EvalSnap(ctx context.Context, snap *relstr.Snapshot) (Answers, error) {
+	if p.mode != PlanYannakakis {
+		return naiveEval(ctx, p.tb, snap.Structure())
+	}
+	sc := getScratch()
+	defer p.flush(sc)
+	f := p.snapForest(snap, sc)
+	if err := f.runPasses(ctx, p.sched); err != nil {
+		return nil, err
+	}
+	if f.anyEmpty() {
+		return Answers{}, nil
+	}
+	if p.sched.directNode != -1 {
+		return f.directAnswers(p.sched), nil
+	}
+	ans, empty, err := runSolve(ctx, p.sched, f.materialize(p.sched), sc)
+	if err != nil {
+		return nil, err
+	}
+	if empty {
+		return Answers{}, nil
+	}
+	return ans, nil
+}
+
+// EvalBoolSnap reports answer existence against a snapshot: the single
+// leaves→roots semijoin pass, probe-only once the index cache is warm.
+func (p *Plan) EvalBoolSnap(ctx context.Context, snap *relstr.Snapshot) (bool, error) {
+	if p.mode != PlanYannakakis {
+		return naiveBool(ctx, p.tb, snap.Structure())
+	}
+	sc := getScratch()
+	defer p.flush(sc)
+	f := p.snapForest(snap, sc)
+	return f.runBool(ctx, p.sched)
+}
+
+// StreamSnap enumerates distinct answers against a snapshot without
+// materialising the answer set; see Plan.Stream for the contract.
+func (p *Plan) StreamSnap(ctx context.Context, snap *relstr.Snapshot) iter.Seq[relstr.Tuple] {
+	seq, _ := p.StreamSnapErr(ctx, snap)
+	return seq
+}
+
+// StreamSnapErr is StreamSnap plus the terminal-error accessor; see
+// Plan.StreamErr. The semijoin pre-reduction probes the snapshot's
+// cached indexes; the enumeration itself runs over the reduced
+// structure the reduction rebuilds.
+func (p *Plan) StreamSnapErr(ctx context.Context, snap *relstr.Snapshot) (iter.Seq[relstr.Tuple], func() error) {
+	var terminal error
+	seq := func(yield func(relstr.Tuple) bool) {
+		target := snap.Structure()
+		if p.mode == PlanYannakakis {
+			reduced, empty, err := p.reduceSnap(ctx, snap)
+			if err != nil {
+				terminal = err
+				return
+			}
+			if empty {
+				return
+			}
+			target = reduced
+		}
+		_, err := hom.ProjectCtx(ctx, p.tb.S, target, nil, p.tb.Dist, func(vals []int) bool {
+			return yield(relstr.Tuple(vals).Clone())
+		})
+		if err != nil {
+			terminal = err
+		}
+	}
+	return seq, func() error { return terminal }
+}
+
+// reduceSnap is Plan.reduce against a snapshot: both semijoin passes
+// over the bitmaps, then a fresh structure holding only the database
+// tuples backing surviving assignment rows.
+func (p *Plan) reduceSnap(ctx context.Context, snap *relstr.Snapshot) (_ *relstr.Structure, empty bool, _ error) {
+	sc := getScratch()
+	defer p.flush(sc)
+	f := p.snapForest(snap, sc)
+	if err := f.runPasses(ctx, p.sched); err != nil {
+		return nil, false, err
+	}
+	out := snap.Structure().CloneSchema()
+	for i, a := range p.atoms {
+		n := &f.nodes[i]
+		if n.live == 0 {
+			return nil, true, nil
+		}
+		varIdx := make([]int, len(a.args))
+		for j, v := range a.args {
+			varIdx[j] = indexOf(n.vars, v)
+		}
+		t := make([]int, len(a.args))
+		for w, word := range n.words {
+			for word != 0 {
+				b := bits.TrailingZeros64(word)
+				word &= word - 1
+				row := n.rows[w<<6|b]
+				for j, vi := range varIdx {
+					t[j] = row[vi]
+				}
+				out.Add(a.rel, t...)
+			}
+		}
+	}
+	return out, false, nil
+}

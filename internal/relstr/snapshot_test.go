@@ -1,0 +1,203 @@
+package relstr
+
+import (
+	"reflect"
+	"testing"
+)
+
+func snapFixture() *Structure {
+	s := New()
+	s.Add("E", 1, 2)
+	s.Add("E", 2, 3)
+	s.Add("E", 3, 3)
+	s.Add("R", 1, 1, 2)
+	s.Add("R", 1, 2, 2)
+	s.Add("R", 5, 5, 5)
+	return s
+}
+
+func identity(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	return p
+}
+
+func sortedRowSet(rows [][]int) []Tuple {
+	out := make([]Tuple, len(rows))
+	for i, r := range rows {
+		out[i] = Tuple(r).Clone()
+	}
+	SortTuples(out)
+	return out
+}
+
+// SortTuples sorts in place by the shared tuple order (test helper).
+func SortTuples(ts []Tuple) {
+	for i := 1; i < len(ts); i++ {
+		for j := i; j > 0 && Compare(ts[j], ts[j-1]) < 0; j-- {
+			ts[j], ts[j-1] = ts[j-1], ts[j]
+		}
+	}
+}
+
+func TestSnapshotViewsAndIndexes(t *testing.T) {
+	s := snapFixture()
+	sn := NewSnapshot(s)
+	if sn.NumFacts() != 6 || sn.Arity("R") != 3 {
+		t.Fatalf("snapshot shape: facts %d, R arity %d", sn.NumFacts(), sn.Arity("R"))
+	}
+	// Mutating the source after snapshotting must not leak in.
+	s.Add("E", 9, 9)
+	if sn.NumFacts() != 6 {
+		t.Fatal("snapshot saw a post-freeze mutation")
+	}
+
+	// Identity view = the relation itself.
+	v := sn.View("E", identity(2))
+	if v.Len() != 3 {
+		t.Fatalf("identity view rows = %d", v.Len())
+	}
+	// Pattern view R(x,x,y): rows with col0 == col1, projected to (x,y).
+	v2 := sn.View("R", []int{0, 0, 2})
+	want := []Tuple{{1, 2}, {5, 5}}
+	if got := sortedRowSet(v2.Rows()); !reflect.DeepEqual(got, want) {
+		t.Fatalf("pattern view rows = %v, want %v", got, want)
+	}
+	// Cached: same pointer on repeat lookup.
+	if sn.View("R", []int{0, 0, 2}) != v2 {
+		t.Fatal("view not cached")
+	}
+	// Unknown relation / arity mismatch: empty.
+	if sn.View("X", identity(2)).Len() != 0 || sn.View("E", identity(3)).Len() != 0 {
+		t.Fatal("missing/mismatched views not empty")
+	}
+
+	// Index probing with First/Next walks all matches.
+	ix, built := v.Index([]int{1})
+	if !built {
+		t.Fatal("first Index call did not build")
+	}
+	if _, built := v.Index([]int{1}); built {
+		t.Fatal("second Index call rebuilt")
+	}
+	probe := []int{0, 3} // find E rows with second column 3
+	var hits int
+	for id := ix.First(probe, []int{1}); id >= 0; id = ix.Next(id, probe, []int{1}) {
+		if v.Rows()[id][1] != 3 {
+			t.Fatalf("probe hit wrong row %v", v.Rows()[id])
+		}
+		hits++
+	}
+	if hits != 2 {
+		t.Fatalf("probe hits = %d, want 2 (E(2,3), E(3,3))", hits)
+	}
+	st := sn.Stats()
+	if st.Views < 2 || st.IndexesCached != 1 || st.IndexBuilds != 1 || st.IndexHits != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestSnapshotIndexCacheBound(t *testing.T) {
+	s := New()
+	s.Add("W", 1, 2, 3, 4, 5, 6)
+	s.Add("W", 2, 3, 4, 5, 6, 7)
+	sn := NewSnapshot(s)
+	v := sn.View("W", identity(6))
+	// More distinct column sets than the per-relation bound admits:
+	// all 30 ordered pairs, then the 6 singletons (the tail exceeds
+	// the cap and must be served transiently).
+	var colSets [][]int
+	for a := 0; a < 6; a++ {
+		for b := 0; b < 6; b++ {
+			if a != b {
+				colSets = append(colSets, []int{a, b})
+			}
+		}
+	}
+	for a := 0; a < 6; a++ {
+		colSets = append(colSets, []int{a})
+	}
+	for _, cols := range colSets {
+		if ix, _ := v.Index(cols); ix.First(s.Tuples("W")[0], cols) < 0 {
+			t.Fatalf("index on %v cannot find its own row", cols)
+		}
+	}
+	st := sn.Stats()
+	if st.IndexesCached > defaultIndexCap {
+		t.Fatalf("cache exceeded its bound: %d > %d", st.IndexesCached, defaultIndexCap)
+	}
+	if st.IndexBuilds != uint64(len(colSets)) {
+		t.Fatalf("builds = %d, want %d", st.IndexBuilds, len(colSets))
+	}
+	// Beyond-cap indexes are rebuilt per call (and still work).
+	last := colSets[len(colSets)-1]
+	if _, built := v.Index(last); !built {
+		t.Fatal("beyond-cap index unexpectedly cached")
+	}
+}
+
+func TestSnapshotUpdateCOW(t *testing.T) {
+	sn := NewSnapshot(snapFixture())
+	vE := sn.View("E", identity(2))
+	vE.Index([]int{0})
+	vR := sn.View("R", identity(3))
+
+	d := NewDelta().Insert("R", 7, 8, 9).Delete("R", 5, 5, 5).Insert("S", 1)
+	next, err := sn.Update(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if next.Version() <= sn.Version() {
+		t.Fatalf("version did not advance: %d -> %d", sn.Version(), next.Version())
+	}
+	// The old snapshot is untouched.
+	if sn.NumFacts() != 6 || !sn.Structure().Has("R", 5, 5, 5) || sn.Arity("S") != 0 {
+		t.Fatal("Update mutated the original snapshot")
+	}
+	// The fork sees the delta.
+	if !next.Structure().Has("R", 7, 8, 9) || next.Structure().Has("R", 5, 5, 5) || next.Arity("S") != 1 {
+		t.Fatalf("fork contents wrong: %v", next.Structure())
+	}
+	// Untouched relations share views (and thereby warm indexes).
+	if next.View("E", identity(2)) != vE {
+		t.Fatal("untouched relation did not share its view across Update")
+	}
+	// Touched relations do not.
+	if next.View("R", identity(3)) == vR {
+		t.Fatal("touched relation leaked its stale view into the fork")
+	}
+	if next.View("R", identity(3)).Len() != 3 {
+		t.Fatalf("fork R view rows = %d, want 3", next.View("R", identity(3)).Len())
+	}
+
+	// An empty delta returns the snapshot itself.
+	same, err := sn.Update(NewDelta())
+	if err != nil || same != sn {
+		t.Fatalf("empty delta: %v, %v", same, err)
+	}
+}
+
+func TestSnapshotDeltaValidation(t *testing.T) {
+	sn := NewSnapshot(snapFixture())
+	cases := []*Delta{
+		NewDelta().Insert("E", 1, 2, 3),             // arity mismatch on insert
+		NewDelta().Delete("E", 1),                   // arity mismatch on delete
+		NewDelta().Insert("X", 1).Insert("X", 1, 2), // mixed arity new relation
+		NewDelta().Insert("", 1),                    // empty relation name
+	}
+	for i, d := range cases {
+		if _, err := sn.Update(d); err == nil {
+			t.Fatalf("case %d: bad delta accepted", i)
+		}
+	}
+	// Delete-only on an unknown relation is a no-op, not an error.
+	next, err := sn.Update(NewDelta().Delete("X", 1, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if next.NumFacts() != sn.NumFacts() {
+		t.Fatal("no-op delete changed the snapshot")
+	}
+}

@@ -3,6 +3,7 @@ package server
 import (
 	"encoding/json"
 	"errors"
+	"fmt"
 	"net/http"
 
 	"cqapprox"
@@ -25,6 +26,13 @@ func errUnknownKey() *apiError {
 	return &apiError{http.StatusNotFound, api.ErrorInfo{
 		Code:    api.CodeUnknownKey,
 		Message: "no prepared query under this key (evicted or never prepared here); re-prepare",
+	}}
+}
+
+func errUnknownDB(name string) *apiError {
+	return &apiError{http.StatusNotFound, api.ErrorInfo{
+		Code:    api.CodeUnknownDB,
+		Message: fmt.Sprintf("no database registered under %q (evicted or never registered here); re-register via POST /v1/db", name),
 	}}
 }
 

@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"iter"
 	"net/http"
 
 	"cqapprox"
@@ -128,19 +129,108 @@ func (s *Server) resolve(ctx context.Context, req api.EvalRequest) (*cqapprox.Pr
 	return p, apiErr
 }
 
+// handleRegisterDB registers (or replaces) a named database snapshot:
+// the one-time indexing cost that later eval-by-name requests amortize.
+// The structure build and snapshot freeze are data-sized work, so the
+// request holds an eval admission slot like the other data-touching
+// endpoints (taken after the decode, as everywhere else).
+func (s *Server) handleRegisterDB(w http.ResponseWriter, r *http.Request) {
+	var req api.RegisterDBRequest
+	if !s.decodeJSON(w, r, &req) {
+		return
+	}
+	if req.Name == "" {
+		writeError(w, errBadRequest("name required"))
+		return
+	}
+	if !s.acquire(s.evalSem, w) {
+		return
+	}
+	defer release(s.evalSem)
+	db, err := req.Database.ToStructure()
+	if err != nil {
+		writeError(w, errBadRequest(err.Error()))
+		return
+	}
+	d, replaced, err := s.eng.RegisterDB(req.Name, db)
+	if err != nil {
+		writeError(w, errBadRequest(err.Error()))
+		return
+	}
+	writeJSON(w, http.StatusOK, api.RegisterDBResponse{
+		Name:      d.Name(),
+		Version:   d.Version(),
+		Relations: len(d.Relations()),
+		Facts:     d.NumFacts(),
+		Replaced:  replaced,
+	})
+}
+
+// dbSource is an eval request's resolved database: exactly one of an
+// inline per-request structure or a registered snapshot. The three
+// evaluation endpoints go through its methods so inline and registered
+// traffic share one code path per endpoint.
+type dbSource struct {
+	inline *cqapprox.Structure
+	bind   func(*cqapprox.PreparedQuery) *cqapprox.BoundQuery
+}
+
+func (d dbSource) eval(ctx context.Context, p *cqapprox.PreparedQuery) (cqapprox.Answers, error) {
+	if d.inline != nil {
+		return p.Eval(ctx, d.inline)
+	}
+	return d.bind(p).Eval(ctx)
+}
+
+func (d dbSource) evalBool(ctx context.Context, p *cqapprox.PreparedQuery) (bool, error) {
+	if d.inline != nil {
+		return p.EvalBool(ctx, d.inline)
+	}
+	return d.bind(p).EvalBool(ctx)
+}
+
+func (d dbSource) answersErr(ctx context.Context, p *cqapprox.PreparedQuery) (iter.Seq[cqapprox.Tuple], func() error) {
+	if d.inline != nil {
+		return p.AnswersErr(ctx, d.inline)
+	}
+	return d.bind(p).AnswersErr(ctx)
+}
+
+// resolveDB turns the request's database half into a dbSource: a
+// registered snapshot when DB names one, the inline structure
+// otherwise. Naming and shipping at once is rejected rather than
+// silently preferring one.
+func (s *Server) resolveDB(req api.EvalRequest) (dbSource, *apiError) {
+	if req.DB != "" {
+		if len(req.Database) > 0 {
+			return dbSource{}, errBadRequest("db and database are mutually exclusive (name a registered database or ship one inline, not both)")
+		}
+		d, ok := s.eng.DB(req.DB)
+		if !ok {
+			return dbSource{}, errUnknownDB(req.DB)
+		}
+		return dbSource{bind: func(p *cqapprox.PreparedQuery) *cqapprox.BoundQuery { return p.Bind(d) }}, nil
+	}
+	db, err := req.Database.ToStructure()
+	if err != nil {
+		return dbSource{}, errBadRequest(err.Error())
+	}
+	return dbSource{inline: db}, nil
+}
+
 // evalCommon factors the shared shape of the three evaluation
-// endpoints: decode and validate the whole request, then take an eval
-// admission slot, then resolve the prepared query under the request
-// deadline, and hand off to the endpoint's terminal action. run owns
-// the response on success.
-func (s *Server) evalCommon(w http.ResponseWriter, r *http.Request, run func(ctx context.Context, p *cqapprox.PreparedQuery, db *cqapprox.Structure)) {
+// endpoints: decode and validate the whole request (including the
+// database half), then take an eval admission slot, then resolve the
+// prepared query under the request deadline, and hand off to the
+// endpoint's terminal action. run owns the response on success.
+func (s *Server) evalCommon(w http.ResponseWriter, r *http.Request, run func(ctx context.Context, p *cqapprox.PreparedQuery, db dbSource)) {
 	var req api.EvalRequest
 	if !s.decodeJSON(w, r, &req) {
 		return
 	}
-	db, err := req.Database.ToStructure()
-	if err != nil {
-		writeError(w, errBadRequest(err.Error()))
+	db, apiErr := s.resolveDB(req)
+	if apiErr != nil {
+		writeError(w, apiErr)
 		return
 	}
 	if !s.acquire(s.evalSem, w) {
@@ -158,8 +248,8 @@ func (s *Server) evalCommon(w http.ResponseWriter, r *http.Request, run func(ctx
 }
 
 func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) {
-	s.evalCommon(w, r, func(ctx context.Context, p *cqapprox.PreparedQuery, db *cqapprox.Structure) {
-		ans, err := p.Eval(ctx, db)
+	s.evalCommon(w, r, func(ctx context.Context, p *cqapprox.PreparedQuery, db dbSource) {
+		ans, err := db.eval(ctx, p)
 		if err != nil {
 			writeError(w, mapError(err))
 			return
@@ -169,8 +259,8 @@ func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleEvalBool(w http.ResponseWriter, r *http.Request) {
-	s.evalCommon(w, r, func(ctx context.Context, p *cqapprox.PreparedQuery, db *cqapprox.Structure) {
-		res, err := p.EvalBool(ctx, db)
+	s.evalCommon(w, r, func(ctx context.Context, p *cqapprox.PreparedQuery, db dbSource) {
+		res, err := db.evalBool(ctx, p)
 		if err != nil {
 			writeError(w, mapError(err))
 			return
@@ -187,7 +277,7 @@ func (s *Server) handleEvalBool(w http.ResponseWriter, r *http.Request) {
 // distinguish the two shapes by the first byte. Closing the connection
 // cancels the enumeration promptly through the request context.
 func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
-	s.evalCommon(w, r, func(ctx context.Context, p *cqapprox.PreparedQuery, db *cqapprox.Structure) {
+	s.evalCommon(w, r, func(ctx context.Context, p *cqapprox.PreparedQuery, db dbSource) {
 		w.Header().Set("Content-Type", "application/x-ndjson")
 		w.WriteHeader(http.StatusOK)
 		flusher, _ := w.(http.Flusher)
@@ -197,7 +287,7 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 		enc := json.NewEncoder(w) // Encode appends \n: exactly one answer per line
-		seq, errf := p.AnswersErr(ctx, db)
+		seq, errf := db.answersErr(ctx, p)
 		n := 0
 		for t := range seq {
 			if err := enc.Encode([]int(t)); err != nil {

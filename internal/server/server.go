@@ -98,6 +98,7 @@ func (c Config) withDefaults() Config {
 // The metric names double as the endpoint keys of /v1/stats.
 const (
 	epPrepare  = "/v1/prepare"
+	epDB       = "/v1/db"
 	epEval     = "/v1/eval"
 	epEvalBool = "/v1/eval/bool"
 	epStream   = "/v1/stream"
@@ -127,7 +128,7 @@ func New(eng *cqapprox.Engine, cfg Config) *Server {
 	s := &Server{
 		eng:     eng,
 		cfg:     cfg.withDefaults(),
-		metrics: newMetrics(epPrepare, epEval, epEvalBool, epStream, epStats),
+		metrics: newMetrics(epPrepare, epDB, epEval, epEvalBool, epStream, epStats),
 	}
 	if n := s.cfg.MaxInflightPrepare; n > 0 {
 		s.prepareSem = make(chan struct{}, n)
@@ -137,6 +138,7 @@ func New(eng *cqapprox.Engine, cfg Config) *Server {
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST "+epPrepare, s.instrument(epPrepare, s.handlePrepare))
+	mux.HandleFunc("POST "+epDB, s.instrument(epDB, s.handleRegisterDB))
 	mux.HandleFunc("POST "+epEval, s.instrument(epEval, s.handleEval))
 	mux.HandleFunc("POST "+epEvalBool, s.instrument(epEvalBool, s.handleEvalBool))
 	mux.HandleFunc("POST "+epStream, s.instrument(epStream, s.handleStream))
@@ -153,6 +155,7 @@ func (s *Server) Handler() http.Handler { return s.mux }
 // by cmd/cqapproxd).
 func (s *Server) Stats() api.StatsResponse {
 	cs := s.eng.CacheStats()
+	ds := s.eng.DBStats()
 	return api.StatsResponse{
 		Cache: api.CacheStats{
 			Hits:         cs.Hits,
@@ -161,6 +164,19 @@ func (s *Server) Stats() api.StatsResponse {
 			IndexBuilds:  cs.Indexes.IndexBuilds,
 			IndexProbes:  cs.Indexes.IndexProbes,
 			IndexedEvals: cs.Indexes.Evals,
+		},
+		DBs: api.DBRegistryStats{
+			Entries:       ds.Entries,
+			Registered:    ds.Registered,
+			Updates:       ds.Updates,
+			Hits:          ds.Hits,
+			Misses:        ds.Misses,
+			Evictions:     ds.Evictions,
+			Facts:         ds.Facts,
+			Views:         ds.Views,
+			IndexesCached: ds.IndexesCached,
+			IndexBuilds:   ds.IndexBuilds,
+			IndexHits:     ds.IndexHits,
 		},
 		Endpoints: s.metrics.snapshot(),
 	}

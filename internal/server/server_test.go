@@ -351,3 +351,101 @@ func waitFor(t *testing.T, d time.Duration, cond func() bool) {
 		time.Sleep(5 * time.Millisecond)
 	}
 }
+
+// The register-once database flow: POST /v1/db freezes a snapshot,
+// eval/eval-bool/stream address it by name without re-shipping data,
+// results match the inline path exactly, and /v1/stats exposes the
+// registry counters.
+func TestRegisterDBFlow(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+
+	status, _, body := post(t, ts, "/v1/db",
+		`{"name":"social","database":{"E":[[1,2],[2,3],[3,4],[4,1]]}}`)
+	if status != 200 {
+		t.Fatalf("register: status %d, body %s", status, body)
+	}
+	var reg api.RegisterDBResponse
+	if err := json.Unmarshal([]byte(body), &reg); err != nil {
+		t.Fatal(err)
+	}
+	if reg.Name != "social" || reg.Relations != 1 || reg.Facts != 4 || reg.Replaced || reg.Version == 0 {
+		t.Fatalf("register response = %+v", reg)
+	}
+
+	// Re-registering the same name replaces it and says so.
+	status, _, body = post(t, ts, "/v1/db",
+		`{"name":"social","database":{"E":[[1,2],[2,3],[3,4],[4,1]]}}`)
+	if status != 200 {
+		t.Fatalf("re-register: status %d, body %s", status, body)
+	}
+	var reg2 api.RegisterDBResponse
+	if err := json.Unmarshal([]byte(body), &reg2); err != nil {
+		t.Fatal(err)
+	}
+	if !reg2.Replaced || reg2.Version <= reg.Version {
+		t.Fatalf("re-register response = %+v (first %+v)", reg2, reg)
+	}
+
+	const query = `"query":"Q(x,z) :- E(x,y), E(y,z)","exact":true`
+
+	// eval by name ≡ eval inline.
+	status, _, byName := post(t, ts, "/v1/eval", `{`+query+`,"db":"social"}`)
+	if status != 200 {
+		t.Fatalf("eval by name: status %d, body %s", status, byName)
+	}
+	status, _, inline := post(t, ts, "/v1/eval", `{`+query+`,"database":{"E":[[1,2],[2,3],[3,4],[4,1]]}}`)
+	if status != 200 || byName != inline {
+		t.Fatalf("eval by name %q, inline %q (status %d)", byName, inline, status)
+	}
+
+	// eval/bool and stream accept the name too.
+	if status, _, body := post(t, ts, "/v1/eval/bool", `{`+query+`,"db":"social"}`); status != 200 || body != `{"result":true}` {
+		t.Fatalf("eval/bool by name: status %d, body %s", status, body)
+	}
+	status, _, body = post(t, ts, "/v1/stream", `{`+query+`,"db":"social"}`)
+	if status != 200 || !strings.Contains(body, "[1,3]") {
+		t.Fatalf("stream by name: status %d, body %s", status, body)
+	}
+
+	// Unknown name: 404 unknown_db.
+	status, _, body = post(t, ts, "/v1/eval", `{`+query+`,"db":"nope"}`)
+	if status != 404 || !strings.Contains(body, `"code":"unknown_db"`) {
+		t.Fatalf("unknown db: status %d, body %s", status, body)
+	}
+
+	// Naming and shipping at once: 400.
+	status, _, body = post(t, ts, "/v1/eval", `{`+query+`,"db":"social","database":{"E":[[1,2]]}}`)
+	if status != 400 || !strings.Contains(body, "mutually exclusive") {
+		t.Fatalf("db+database: status %d, body %s", status, body)
+	}
+
+	// Registration without a name: 400.
+	if status, _, body := post(t, ts, "/v1/db", `{"database":{"E":[[1,2]]}}`); status != 400 {
+		t.Fatalf("nameless register: status %d, body %s", status, body)
+	}
+
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var stats api.StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	// Lookups: 3 by-name hits, 1 miss ("nope"); registrations never
+	// probe (Replaced is reported atomically by RegisterDB) and the
+	// db+database conflict is rejected before any lookup.
+	if d := stats.DBs; d.Entries != 1 || d.Registered != 2 || d.Hits != 3 || d.Misses != 1 {
+		t.Fatalf("dbs stats = %+v", d)
+	}
+	// The three by-name evaluations warmed and then reused the
+	// snapshot's index cache.
+	if d := stats.DBs; d.IndexBuilds == 0 || d.IndexHits == 0 {
+		t.Fatalf("dbs index stats = %+v", d)
+	}
+	ep := stats.Endpoints["/v1/db"]
+	if ep.Requests != 3 || ep.Errors != 1 {
+		t.Fatalf("/v1/db endpoint stats = %+v", ep)
+	}
+}

@@ -32,21 +32,31 @@ func WireDB(s *relstr.Structure) api.Database {
 
 // Executor returns a LoadGen executor that performs each op as the
 // corresponding HTTP request via c, draining streams completely.
+// Ops carrying a DBName evaluate by registered name (the database is
+// not re-shipped); OpRegisterDB ops become POST /v1/db.
 func Executor(c *client.Client) func(ctx context.Context, op workload.Op) error {
 	return func(ctx context.Context, op workload.Op) error {
+		evalReq := func() api.EvalRequest {
+			req := api.EvalRequest{Query: op.Query.String(), Class: op.Class}
+			if op.DBName != "" {
+				req.DB = op.DBName
+			} else {
+				req.Database = WireDB(op.DB)
+			}
+			return req
+		}
 		switch op.Kind {
 		case workload.OpPrepare:
 			_, err := c.Prepare(ctx, api.PrepareRequest{Query: op.Query.String(), Class: op.Class})
 			return err
+		case workload.OpRegisterDB:
+			_, err := c.RegisterDB(ctx, api.RegisterDBRequest{Name: op.DBName, Database: WireDB(op.DB)})
+			return err
 		case workload.OpEval:
-			_, err := c.Eval(ctx, api.EvalRequest{
-				Query: op.Query.String(), Class: op.Class, Database: WireDB(op.DB),
-			})
+			_, err := c.Eval(ctx, evalReq())
 			return err
 		default: // OpStream
-			seq, errf := c.Stream(ctx, api.EvalRequest{
-				Query: op.Query.String(), Class: op.Class, Database: WireDB(op.DB),
-			})
+			seq, errf := c.Stream(ctx, evalReq())
 			for range seq {
 			}
 			return errf()

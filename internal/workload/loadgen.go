@@ -19,6 +19,7 @@ const (
 	OpPrepare OpKind = iota
 	OpEval
 	OpStream
+	OpRegisterDB
 	numOpKinds
 )
 
@@ -30,18 +31,26 @@ func (k OpKind) String() string {
 		return "eval"
 	case OpStream:
 		return "stream"
+	case OpRegisterDB:
+		return "register_db"
 	default:
 		return fmt.Sprintf("OpKind(%d)", int(k))
 	}
 }
 
 // Op is one operation of a mixed workload: a query (with its target
-// class) and, for evaluations, a database.
+// class) and, for evaluations, a database. DBName names a database the
+// generator registered up front (see LoadGen.RegisteredShare): an
+// executor should evaluate by that name instead of shipping DB — DB
+// stays populated so engine-direct executors can resolve it however
+// they like. For OpRegisterDB (emitted once per pool database before
+// the mixed traffic), both fields are set and Query is nil.
 type Op struct {
-	Kind  OpKind
-	Query *cq.Query
-	Class string // class name, e.g. "TW1" (empty = exact)
-	DB    *relstr.Structure
+	Kind   OpKind
+	Query  *cq.Query
+	Class  string // class name, e.g. "TW1" (empty = exact)
+	DB     *relstr.Structure
+	DBName string
 }
 
 // LoadGen generates mixed prepare/eval/stream traffic over a fixed
@@ -68,6 +77,15 @@ type LoadGen struct {
 	// Databases is the database pool; empty means three small random
 	// digraphs (request-sized, the regime the service targets).
 	Databases []*relstr.Structure
+
+	// RegisteredShare is the fraction (0..1) of eval/stream ops that
+	// reference a pool database by its registered name ("db0", "db1",
+	// …) instead of carrying it inline — the register-once traffic
+	// shape. When positive, Run first emits one OpRegisterDB per pool
+	// database (sequentially, before the workers start, so by-name ops
+	// never race their registration). Zero keeps the op sequence
+	// bit-identical to pre-registry generators.
+	RegisteredShare float64
 
 	// Concurrency is the number of worker goroutines Run uses
 	// (default 8).
@@ -182,10 +200,17 @@ func (g *LoadGen) op(rng *rand.Rand) Op {
 		Class: g.Classes[qi%len(g.Classes)],
 	}
 	if kind != OpPrepare {
-		op.DB = g.Databases[rng.Intn(len(g.Databases))]
+		di := rng.Intn(len(g.Databases))
+		op.DB = g.Databases[di]
+		if g.RegisteredShare > 0 && rng.Float64() < g.RegisteredShare {
+			op.DBName = dbName(di)
+		}
 	}
 	return op
 }
+
+// dbName is the registry name of pool database i.
+func dbName(i int) string { return fmt.Sprintf("db%d", i) }
 
 // Run executes n mixed operations across the configured worker count,
 // calling do for each one, and aggregates the outcome. The n ops are
@@ -210,6 +235,23 @@ func (g *LoadGen) Run(ctx context.Context, n int, do func(ctx context.Context, o
 		wg       sync.WaitGroup
 	)
 	start := time.Now()
+	if cfg.RegisteredShare > 0 {
+		// Register the pool before any worker can evaluate by name.
+		for i, db := range cfg.Databases {
+			if ctx.Err() != nil {
+				break
+			}
+			op := Op{Kind: OpRegisterDB, DB: db, DBName: dbName(i)}
+			t0 := time.Now()
+			err := do(ctx, op)
+			latency[OpRegisterDB].Add(int64(time.Since(t0)))
+			ops[OpRegisterDB].Add(1)
+			if err != nil {
+				fails[OpRegisterDB].Add(1)
+				firstErr[OpRegisterDB].CompareAndSwap(nil, &err)
+			}
+		}
+	}
 	for w := 0; w < cfg.Concurrency; w++ {
 		wg.Add(1)
 		go func() {

@@ -160,3 +160,61 @@ func (p *PreparedQuery) Answers(ctx context.Context, db *Structure) iter.Seq[Tup
 func (p *PreparedQuery) AnswersErr(ctx context.Context, db *Structure) (iter.Seq[Tuple], func() error) {
 	return p.plan.StreamErr(ctx, db)
 }
+
+// Bind pairs the prepared query with a database snapshot, yielding the
+// evaluation surface over the snapshot's persistent shared indexes:
+//
+//	d, _, _ := engine.RegisterDB("social", structure) // index once
+//	b := p.Bind(d)
+//	ans, err := b.Eval(ctx)     // probe-only once the cache is warm
+//	ok, err := b.EvalBool(ctx)
+//	for t := range b.Answers(ctx) { … }
+//
+// Where Eval(ctx, *Structure) re-derives hash indexes per call, a
+// bound evaluation probes indexes owned by the snapshot — built on
+// first use, then reused by every prepared query and every call that
+// binds the same snapshot. Bind itself does no work; a BoundQuery is
+// immutable and safe for concurrent use.
+func (p *PreparedQuery) Bind(db *Database) *BoundQuery {
+	return &BoundQuery{p: p, db: db}
+}
+
+// BoundQuery is a PreparedQuery bound to a Database snapshot: the
+// fully static pairing of a compiled plan with indexed data. Both
+// halves are immutable, so a BoundQuery may serve concurrent
+// evaluations from many goroutines.
+type BoundQuery struct {
+	p  *PreparedQuery
+	db *Database
+}
+
+// Prepared returns the prepared query half of the binding.
+func (b *BoundQuery) Prepared() *PreparedQuery { return b.p }
+
+// Database returns the snapshot half of the binding.
+func (b *BoundQuery) Database() *Database { return b.db }
+
+// Eval evaluates the bound query, returning the full deduplicated
+// answer set in sorted order — identical to p.Eval against the
+// equivalent structure, minus the per-call index builds.
+func (b *BoundQuery) Eval(ctx context.Context) (Answers, error) {
+	return b.p.plan.EvalSnap(ctx, b.db.snap)
+}
+
+// EvalBool reports whether the bound query has at least one answer
+// (a single probe-only semijoin pass for acyclic plans).
+func (b *BoundQuery) EvalBool(ctx context.Context) (bool, error) {
+	return b.p.plan.EvalBoolSnap(ctx, b.db.snap)
+}
+
+// Answers streams the distinct answers of the bound query; see
+// PreparedQuery.Answers for the contract.
+func (b *BoundQuery) Answers(ctx context.Context) iter.Seq[Tuple] {
+	return b.p.plan.StreamSnap(ctx, b.db.snap)
+}
+
+// AnswersErr is Answers plus the terminal-error accessor; see
+// PreparedQuery.AnswersErr.
+func (b *BoundQuery) AnswersErr(ctx context.Context) (iter.Seq[Tuple], func() error) {
+	return b.p.plan.StreamSnapErr(ctx, b.db.snap)
+}
