@@ -166,14 +166,24 @@ type RegisterDBResponse struct {
 // via POST /v1/db — evaluation then runs against the registered
 // snapshot's persistent indexes); the two are mutually exclusive.
 type EvalRequest struct {
-	Key       string   `json:"key,omitempty"`
-	Query     string   `json:"query,omitempty"`
-	Class     string   `json:"class,omitempty"`
-	Exact     bool     `json:"exact,omitempty"`
-	Options   *Options `json:"options,omitempty"`
-	Database  Database `json:"database,omitempty"`
-	DB        string   `json:"db,omitempty"`
-	TimeoutMS int64    `json:"timeout_ms,omitempty"`
+	Key      string   `json:"key,omitempty"`
+	Query    string   `json:"query,omitempty"`
+	Class    string   `json:"class,omitempty"`
+	Exact    bool     `json:"exact,omitempty"`
+	Options  *Options `json:"options,omitempty"`
+	Database Database `json:"database,omitempty"`
+	DB       string   `json:"db,omitempty"`
+
+	// Parallelism asks the server to evaluate morsel-driven parallel on
+	// up to this many workers. 0 inherits the server's configured
+	// default (serial unless its engine opted into parallelism); 1
+	// forces serial. A budget helps latency for single large
+	// evaluations; under concurrent traffic serial is usually right.
+	// Whatever the origin, the effective budget is clamped to the
+	// server's cap (see StatsResponse.Server.MaxParallelism); answers
+	// are identical at any setting.
+	Parallelism int   `json:"parallelism,omitempty"`
+	TimeoutMS   int64 `json:"timeout_ms,omitempty"`
 }
 
 // EvalResponse is the body of a successful POST /v1/eval.
@@ -206,6 +216,9 @@ type CacheStats struct {
 	IndexBuilds  uint64 `json:"index_builds"`
 	IndexProbes  uint64 `json:"index_probes"`
 	IndexedEvals uint64 `json:"indexed_evals"`
+	// ParallelEvals counts the evaluations that ran with a parallel
+	// worker budget (requests whose clamped parallelism exceeded one).
+	ParallelEvals uint64 `json:"parallel_evals"`
 }
 
 // EndpointStats are the per-endpoint request counters of GET /v1/stats.
@@ -234,10 +247,22 @@ type DBRegistryStats struct {
 	IndexHits     uint64 `json:"index_hits"`
 }
 
+// ServerLimits reports the server's effective concurrency
+// configuration: the admission-control semaphore sizes (defaulted from
+// the host's GOMAXPROCS when not set explicitly; 0 means unbounded)
+// and the per-request parallelism cap EvalRequest.Parallelism is
+// clamped to.
+type ServerLimits struct {
+	MaxInflightPrepare int `json:"max_inflight_prepare"`
+	MaxInflightEval    int `json:"max_inflight_eval"`
+	MaxParallelism     int `json:"max_parallelism"`
+}
+
 // StatsResponse is the body of GET /v1/stats.
 type StatsResponse struct {
 	Cache     CacheStats               `json:"cache"`
 	DBs       DBRegistryStats          `json:"dbs"`
+	Server    ServerLimits             `json:"server"`
 	Endpoints map[string]EndpointStats `json:"endpoints"`
 }
 

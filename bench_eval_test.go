@@ -11,6 +11,7 @@ package cqapprox
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"testing"
 
 	"cqapprox/internal/workload"
@@ -73,6 +74,42 @@ func BenchmarkIndexedJoinBool(b *testing.B) {
 		}
 		if !ok {
 			b.Fatal("expected answers")
+		}
+	}
+}
+
+// E21: morsel-driven parallel evaluation. BenchmarkParallelEval
+// measures warm BoundQuery.Eval over registered snapshots with a
+// GOMAXPROCS worker budget — against BenchmarkIndexedJoin's serial
+// numbers this is the parallel executor's headline. (On single-core
+// hosts the budget degenerates to ~serial; the committed baseline is
+// regenerated per machine class via cmd/experiments -run parallel
+// -bench-out or benchcheck -update.)
+func BenchmarkParallelEval(b *testing.B) {
+	ctx := context.Background()
+	engine := NewEngine()
+	workers := runtime.GOMAXPROCS(0)
+	for _, c := range workload.EvalBenchSuite() {
+		p := preparedBenchCase(b, engine, c)
+		for _, n := range c.Sizes {
+			if n != c.Sizes[len(c.Sizes)-1] {
+				continue // the largest size is where parallelism matters
+			}
+			d, _, err := engine.RegisterDB(fmt.Sprintf("par%d", n), workload.EvalBenchDB(n))
+			if err != nil {
+				b.Fatal(err)
+			}
+			bound := p.Bind(d).Parallel(workers)
+			if _, err := bound.Eval(ctx); err != nil { // warm the snapshot caches
+				b.Fatal(err)
+			}
+			b.Run(fmt.Sprintf("%s/N%d", c.Name, n), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := bound.Eval(ctx); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
 		}
 	}
 }

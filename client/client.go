@@ -121,7 +121,9 @@ func (c *Client) RegisterDB(ctx context.Context, req api.RegisterDBRequest) (*ap
 
 // Eval evaluates a prepared (by Key) or inline query on the request's
 // database (inline, or registered by name via req.DB) and returns the
-// materialized answer set.
+// materialized answer set. Set req.Parallelism to ask for a
+// morsel-driven parallel evaluation (clamped server-side to its
+// max-parallelism cap; answers identical at any setting).
 func (c *Client) Eval(ctx context.Context, req api.EvalRequest) (*api.EvalResponse, error) {
 	var out api.EvalResponse
 	if err := c.do(ctx, http.MethodPost, "/v1/eval", req, &out); err != nil {

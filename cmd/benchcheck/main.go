@@ -1,21 +1,25 @@
 // Command benchcheck is the benchmark-regression gate: it compares
 // `go test -bench` output against a committed BENCH_*.json baseline
 // and fails (exit 1) when any benchmark regressed beyond the allowed
-// percentage in ns/op. With -update it (re)writes the baseline from
-// the measured numbers instead.
+// percentage in ns/op — or, for baselines carrying allocs/op (recorded
+// from -benchmem runs), in allocations per op. With -update it
+// (re)writes the baseline (both metrics) from the measured numbers
+// instead.
 //
 // Usage:
 //
 //	go test -bench='PreparedReuse|ServerThroughput|IndexedJoin' \
-//	    -benchtime=500ms -count=5 . | tee bench.txt
+//	    -benchmem -benchtime=500ms -count=5 . | tee bench.txt
 //	go run ./cmd/benchcheck -baseline BENCH_eval.json bench.txt
 //	go run ./cmd/benchcheck -baseline BENCH_eval.json -update bench.txt
 //
 // The input is a file argument or stdin ("-"). Under -count=N the
 // minimum of the samples is compared — the fastest run is the least
-// noise-disturbed one. Benchmarks present in the output but missing
-// from the baseline are reported (and added by -update); baseline
-// entries that did not run are skipped.
+// noise-disturbed one. The allocation gate only fires where both sides
+// report the metric: baseline entries without allocs_per_op, and runs
+// without -benchmem, skip it. Benchmarks present in the output but
+// missing from the baseline are reported (and added by -update);
+// baseline entries that did not run are skipped.
 package main
 
 import (
@@ -64,7 +68,11 @@ func main() {
 			rep.Note = *note
 		}
 		for name, s := range samples {
-			rep.Benchmarks[name] = benchfmt.Entry{NsPerOp: benchfmt.Best(s)}
+			e := benchfmt.Entry{NsPerOp: benchfmt.Best(s.Ns)}
+			if len(s.Allocs) > 0 {
+				e.AllocsPerOp = benchfmt.Allocs(benchfmt.Best(s.Allocs))
+			}
+			rep.Benchmarks[name] = e
 		}
 		if err := rep.Save(*baselinePath); err != nil {
 			fatal(err)
@@ -86,7 +94,7 @@ func main() {
 		}
 		compared++
 		base := rep.Benchmarks[name].NsPerOp
-		best := benchfmt.Best(s)
+		best := benchfmt.Best(s.Ns)
 		delta := 100 * (best - base) / base
 		switch {
 		case delta > *maxRegress:
@@ -100,11 +108,29 @@ func main() {
 			fmt.Printf("ok         %-52s %12.0f ns/op vs baseline %12.0f (%+.1f%%)\n",
 				name, best, base, delta)
 		}
+		// Allocation gate: only where the baseline recorded allocs/op
+		// and this run reported them (-benchmem). A zero baseline is a
+		// promise — any allocation at all regresses it.
+		if base := rep.Benchmarks[name].AllocsPerOp; base != nil && len(s.Allocs) > 0 {
+			baseAllocs := *base
+			bestAllocs := benchfmt.Best(s.Allocs)
+			regressed := false
+			if baseAllocs == 0 {
+				regressed = bestAllocs > 0
+			} else {
+				regressed = 100*(bestAllocs-baseAllocs)/baseAllocs > *maxRegress
+			}
+			if regressed {
+				regressions++
+				fmt.Printf("REGRESSION %-52s %12.0f allocs/op vs baseline %9.0f (> %.0f%%)\n",
+					name, bestAllocs, baseAllocs, *maxRegress)
+			}
+		}
 	}
 	for name, s := range samples {
 		if _, known := rep.Benchmarks[name]; !known {
 			fmt.Printf("new        %-52s %12.0f ns/op (not in baseline; add with -update)\n",
-				name, benchfmt.Best(s))
+				name, benchfmt.Best(s.Ns))
 		}
 	}
 	if compared == 0 {

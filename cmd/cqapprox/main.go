@@ -9,7 +9,8 @@
 //	cqapprox approx   -q "..." -class TW1 [-all] [-timeout 30s] [-json]
 //	cqapprox check    -q "..." -cand "..." -class AC
 //	cqapprox eval     -q "..." -db graph.txt [-engine auto|naive|yannakakis|td]
-//	                  [-class TW1] [-db-register name] [-stream] [-timeout 30s] [-json]
+//	                  [-class TW1] [-db-register name] [-stream] [-parallel 8]
+//	                  [-timeout 30s] [-json]
 //
 // The approx and eval commands run on a cqapprox.Engine: queries are
 // prepared once (minimize → approximate → plan) and evaluated through
@@ -100,7 +101,8 @@ commands:
   check     decide whether -cand is a C-approximation of -q
   eval      evaluate a query on a database file (one fact per line: "E 1 2")
             [-class TW1] evaluates its approximation; [-stream] streams answers;
-            [-db-register name] evaluates via a registered snapshot`)
+            [-db-register name] evaluates via a registered snapshot;
+            [-parallel N] evaluates morsel-driven parallel on N workers`)
 }
 
 // classFromName resolves a class name; the accepted names are the wire
@@ -276,6 +278,7 @@ func cmdEval(args []string) error {
 	engineName := fs.String("engine", "auto", "auto|naive|yannakakis|td")
 	className := fs.String("class", "", "evaluate the query's C-approximation instead (e.g. TW1, AC)")
 	stream := fs.Bool("stream", false, "print answers as they are found (discovery order)")
+	parallel := fs.Int("parallel", 1, "evaluation worker budget (morsel-driven parallel eval; <= 1 serial)")
 	timeout := fs.Duration("timeout", 0, "abort after this long (0 = no limit)")
 	jsonOut := fs.Bool("json", false, "machine-readable output (api.EvalResponse; with -stream, NDJSON answer lines)")
 	fs.Parse(args)
@@ -292,6 +295,9 @@ func cmdEval(args []string) error {
 	}
 	if *dbRegister != "" && *engineName != "auto" {
 		return fmt.Errorf("-db-register requires -engine auto (snapshot evaluation runs through the prepared plan)")
+	}
+	if *parallel > 1 && *engineName != "auto" {
+		return fmt.Errorf("-parallel requires -engine auto (parallel evaluation runs through the prepared plan)")
 	}
 	if *stream && q.IsBoolean() {
 		return fmt.Errorf("-stream requires a non-Boolean query (a Boolean query has a single true/false answer)")
@@ -352,6 +358,7 @@ func cmdEval(args []string) error {
 			return err
 		}
 	}
+	p = p.Parallel(*parallel)
 	// -db-register snapshots the file into the engine's registry and
 	// evaluates through the snapshot's persistent indexes — the same
 	// path cqapproxd's eval-by-name requests take.

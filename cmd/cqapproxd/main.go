@@ -7,7 +7,14 @@
 //
 //	cqapproxd -addr :8080 -cache-capacity 1024 \
 //	          -max-inflight-prepare 4 -max-inflight-eval 64 \
+//	          -max-parallelism 8 \
 //	          -default-timeout 30s -max-timeout 2m
+//
+// Concurrency limits default from the host's GOMAXPROCS: the prepare
+// pool to max(2, GOMAXPROCS/2), the eval pool to 8×GOMAXPROCS, and the
+// per-request parallel-evaluation cap (clamping the "parallelism"
+// field of eval/stream requests) to GOMAXPROCS. GET /v1/stats reports
+// the effective values under "server".
 //
 // Endpoints: POST /v1/prepare, /v1/db (register a named database
 // snapshot with persistent shared indexes; eval requests may then pass
@@ -45,8 +52,9 @@ func run() error {
 	var (
 		addr       = flag.String("addr", ":8080", "listen address")
 		cacheCap   = flag.Int("cache-capacity", cqapprox.DefaultCacheCapacity, "prepared-query cache capacity (<= 0 unbounded)")
-		maxPrepare = flag.Int("max-inflight-prepare", 0, "concurrent prepare bound (0 default, < 0 unbounded)")
-		maxEval    = flag.Int("max-inflight-eval", 0, "concurrent eval/stream bound (0 default, < 0 unbounded)")
+		maxPrepare = flag.Int("max-inflight-prepare", 0, "concurrent prepare bound (0 = max(2, GOMAXPROCS/2), < 0 unbounded)")
+		maxEval    = flag.Int("max-inflight-eval", 0, "concurrent eval/stream bound (0 = 8*GOMAXPROCS, < 0 unbounded)")
+		maxPar     = flag.Int("max-parallelism", 0, "cap on per-request evaluation workers (0 = GOMAXPROCS, < 0 serial only)")
 		defTimeout = flag.Duration("default-timeout", 0, "deadline for requests without timeout_ms (0 default, < 0 none)")
 		maxTimeout = flag.Duration("max-timeout", 0, "clamp on client timeout_ms (0 default, < 0 none)")
 		grace      = flag.Duration("grace", 10*time.Second, "shutdown drain period")
@@ -67,6 +75,7 @@ func run() error {
 	srv := server.New(eng, server.Config{
 		MaxInflightPrepare: *maxPrepare,
 		MaxInflightEval:    *maxEval,
+		MaxParallelism:     *maxPar,
 		DefaultTimeout:     *defTimeout,
 		MaxTimeout:         *maxTimeout,
 	})

@@ -1,10 +1,10 @@
 // Command experiments regenerates every experiment in DESIGN.md's
-// experiment index (E1–E20): the Figure 1 summary table, the
+// experiment index (E1–E21): the Figure 1 summary table, the
 // quantitative content of the paper's propositions, theorems and
 // examples, and the repo's own engineering experiments (E19: the
-// indexed join runtime; E20: the registered database snapshot API).
-// Each experiment prints a table comparing the expected outcome
-// against the measured one.
+// indexed join runtime; E20: the registered database snapshot API;
+// E21: morsel-driven parallel evaluation). Each experiment prints a
+// table comparing the expected outcome against the measured one.
 //
 // Usage:
 //
@@ -15,6 +15,8 @@
 //	                         # refresh the E19 benchmark baselines
 //	experiments -run registereddb -bench-out BENCH_eval.json
 //	                         # refresh the E20 benchmark baselines
+//	experiments -run parallel -bench-out BENCH_eval.json
+//	                         # refresh the E21 benchmark baselines
 package main
 
 import (
@@ -56,6 +58,7 @@ func main() {
 		{"cor65", "Cor 6.3/6.5: hypergraph-based sizes", false, expCor65},
 		{"indexedjoin", "E19: indexed join runtime speedup", true, expIndexedJoin},
 		{"registereddb", "E20: registered-snapshot eval speedup", true, expRegisteredDB},
+		{"parallel", "E21: morsel-driven parallel eval speedup", true, expParallel},
 	}
 
 	ran := 0

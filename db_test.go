@@ -288,3 +288,83 @@ func TestConcurrentSnapshotEvalAndUpdate(t *testing.T) {
 	close(stop)
 	wg.Wait()
 }
+
+// One BoundQuery with a parallel worker budget, hammered from many
+// goroutines while UpdateDB keeps forking new snapshot versions — the
+// -race proof for the morsel-driven executor: per-call forests are
+// independent, the shared snapshot index cache tolerates concurrent
+// parallel probes, and answers never waver. (CI runs this under -race
+// with GOMAXPROCS=4 in the dedicated eval job.)
+func TestParallelBoundQueryRaceWithUpdates(t *testing.T) {
+	engine := NewEngine()
+	ctx := context.Background()
+	d, _, err := engine.RegisterDB("par", workload.EvalBenchDB(200))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := engine.PrepareExact(ctx, MustParse("Q(a) :- E(a,b), E(b,c), E(c,d)"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := p.Bind(d).Parallel(4)
+	want, err := b.Eval(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, err := p.Bind(d).Eval(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameAnswerSets(want, serial) {
+		t.Fatalf("parallel bound answers differ from serial: %d vs %d", len(want), len(serial))
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				switch g % 3 {
+				case 0:
+					ans, err := b.Eval(ctx)
+					if err != nil || !sameAnswerSets(ans, want) {
+						t.Errorf("parallel eval diverged under updates (err %v, %d answers)", err, len(ans))
+						return
+					}
+				case 1:
+					if ok, err := b.EvalBool(ctx); err != nil || ok != (len(want) > 0) {
+						t.Errorf("parallel bool diverged: %v, %v", ok, err)
+						return
+					}
+				default:
+					n := 0
+					for range b.Answers(ctx) {
+						n++
+					}
+					if n != len(want) {
+						t.Errorf("parallel stream yielded %d answers, want %d", n, len(want))
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	for k := 0; k < 20; k++ {
+		delta := NewDelta().Insert("E", 50_000+k, 50_001+k).Insert("R1", 50_000+k, 50_001+k)
+		if _, err := engine.UpdateDB("par", delta); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if st := p.IndexStats(); st.ParallelEvals == 0 {
+		t.Fatalf("parallel evaluations not counted: %+v", st)
+	}
+}

@@ -27,6 +27,7 @@ import (
 type Engine struct {
 	opt        Options // search defaults used by Prepare
 	maxEntries int     // cache capacity; least-recently-used evicted beyond it
+	par        int     // default evaluation worker budget (≤1 = serial); see WithParallelism
 
 	mu      sync.Mutex
 	cache   map[string]*list.Element // key → element in lru (Value: *cacheEntry)
@@ -96,6 +97,18 @@ func WithCacheCapacity(n int) EngineOption {
 	return func(e *Engine) { e.maxEntries = n }
 }
 
+// WithParallelism sets the engine's default evaluation worker budget:
+// every PreparedQuery the engine hands out evaluates morsel-driven
+// parallel on up to n workers unless overridden per query with
+// PreparedQuery.Parallel (or per binding with BoundQuery.Parallel).
+// n <= 1 (the NewEngine default) keeps evaluations serial — the right
+// choice for servers running many evaluations concurrently; a budget
+// helps latency when single evaluations over large databases have
+// cores to themselves. Answers are identical either way.
+func WithParallelism(n int) EngineOption {
+	return func(e *Engine) { e.par = n }
+}
+
 // DefaultCacheCapacity is the prepared-query cache bound of NewEngine
 // unless overridden with WithCacheCapacity.
 const DefaultCacheCapacity = 1024
@@ -156,6 +169,7 @@ func (e *Engine) CacheStats() CacheStats {
 		s.Indexes.IndexBuilds += is.IndexBuilds
 		s.Indexes.IndexProbes += is.IndexProbes
 		s.Indexes.Evals += is.Evals
+		s.Indexes.ParallelEvals += is.ParallelEvals
 	}
 	return s
 }
@@ -437,7 +451,7 @@ func (e *Engine) build(ctx context.Context, q *Query, c Class, opt Options) (*Pr
 		}
 		min := q.Rename() // canonical variable names, like the normal path
 		min.Name = q.Name
-		p := &PreparedQuery{src: q.Clone(), min: min, opt: opt}
+		p := &PreparedQuery{src: q.Clone(), min: min, opt: opt, par: e.par}
 		p.chosen = p.min
 		p.plan = eval.NewPlan(p.chosen)
 		return p, nil
@@ -457,6 +471,7 @@ func (e *Engine) build(ctx context.Context, q *Query, c Class, opt Options) (*Pr
 		min:   min,
 		class: c,
 		opt:   opt,
+		par:   e.par,
 	}
 	target := min
 	if c != nil {

@@ -16,9 +16,23 @@ import (
 	"strconv"
 )
 
-// Entry is one benchmark's baseline record.
+// Entry is one benchmark's baseline record. AllocsPerOp is a pointer
+// so a recorded 0 allocs/op baseline (which the gate protects — a
+// regression from zero is the one it must catch) stays distinguishable
+// from "allocations never measured" (nil; the gate skips those).
 type Entry struct {
-	NsPerOp float64 `json:"ns_per_op"`
+	NsPerOp     float64  `json:"ns_per_op"`
+	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
+}
+
+// Allocs wraps a measured allocs/op value for Entry.AllocsPerOp.
+func Allocs(v float64) *float64 { return &v }
+
+// Samples are one benchmark's measurements across -count repetitions.
+// Allocs is empty when the run did not report allocations.
+type Samples struct {
+	Ns     []float64
+	Allocs []float64
 }
 
 // Report is the on-disk shape of a BENCH_*.json file.
@@ -62,16 +76,20 @@ func (r *Report) Save(path string) error {
 
 // benchLine matches one result line of `go test -bench` output:
 //
-//	BenchmarkIndexedJoin/chain6/N300-8   237   1443496 ns/op
+//	BenchmarkIndexedJoin/chain6/N300-8   237   1443496 ns/op   12 allocs/op
 //
-// The trailing -<procs> is stripped from the name; extra metrics after
-// ns/op (B/op, custom units) are ignored.
+// The trailing -<procs> is stripped from the name; metrics other than
+// ns/op and allocs/op (B/op, custom units) are ignored.
 var benchLine = regexp.MustCompile(`^(Benchmark\S*?)(?:-\d+)?\s+\d+\s+([0-9.]+(?:e[+-]?\d+)?) ns/op`)
 
-// ParseGoBench collects the ns/op samples per benchmark name from
-// `go test -bench` output (multiple samples under -count=N).
-func ParseGoBench(r io.Reader) (map[string][]float64, error) {
-	out := map[string][]float64{}
+// allocsField matches the allocs/op metric anywhere in the line tail.
+var allocsField = regexp.MustCompile(`\s([0-9.]+(?:e[+-]?\d+)?) allocs/op`)
+
+// ParseGoBench collects the ns/op (and, when reported under -benchmem,
+// allocs/op) samples per benchmark name from `go test -bench` output
+// (multiple samples under -count=N).
+func ParseGoBench(r io.Reader) (map[string]*Samples, error) {
+	out := map[string]*Samples{}
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {
@@ -83,7 +101,19 @@ func ParseGoBench(r io.Reader) (map[string][]float64, error) {
 		if err != nil {
 			return nil, fmt.Errorf("parsing %q: %w", sc.Text(), err)
 		}
-		out[m[1]] = append(out[m[1]], v)
+		s := out[m[1]]
+		if s == nil {
+			s = &Samples{}
+			out[m[1]] = s
+		}
+		s.Ns = append(s.Ns, v)
+		if am := allocsField.FindStringSubmatch(sc.Text()); am != nil {
+			a, err := strconv.ParseFloat(am[1], 64)
+			if err != nil {
+				return nil, fmt.Errorf("parsing %q: %w", sc.Text(), err)
+			}
+			s.Allocs = append(s.Allocs, a)
+		}
 	}
 	return out, sc.Err()
 }

@@ -28,22 +28,33 @@ func TestParseGoBench(t *testing.T) {
 		t.Fatalf("parsed %d benchmarks: %v", len(got), got)
 	}
 	chain := got["BenchmarkIndexedJoin/chain6/N300"]
-	if len(chain) != 2 || Best(chain) != 1401210 {
-		t.Fatalf("chain samples = %v", chain)
+	if len(chain.Ns) != 2 || Best(chain.Ns) != 1401210 {
+		t.Fatalf("chain samples = %v", chain.Ns)
 	}
-	if v := got["BenchmarkPreparedReuse_Warm/OLTP"]; len(v) != 1 || v[0] != 7521 {
-		t.Fatalf("warm sample = %v (B/op suffix must not confuse the parser)", v)
+	if len(chain.Allocs) != 0 {
+		t.Fatalf("chain allocs = %v (no -benchmem on that line)", chain.Allocs)
 	}
-	if v := got["BenchmarkServerThroughput"]; len(v) != 1 || v[0] != 211000 {
-		t.Fatalf("throughput sample = %v (custom metrics must not confuse the parser)", v)
+	warm := got["BenchmarkPreparedReuse_Warm/OLTP"]
+	if len(warm.Ns) != 1 || warm.Ns[0] != 7521 {
+		t.Fatalf("warm sample = %v (B/op suffix must not confuse the parser)", warm.Ns)
+	}
+	if len(warm.Allocs) != 1 || warm.Allocs[0] != 12 {
+		t.Fatalf("warm allocs = %v, want [12]", warm.Allocs)
+	}
+	if v := got["BenchmarkServerThroughput"]; len(v.Ns) != 1 || v.Ns[0] != 211000 {
+		t.Fatalf("throughput sample = %v (custom metrics must not confuse the parser)", v.Ns)
+	}
+	if v := got["BenchmarkServerThroughput"]; len(v.Allocs) != 0 {
+		t.Fatalf("throughput allocs = %v (evals/s must not parse as allocs)", v.Allocs)
 	}
 }
 
 func TestReportRoundtrip(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "BENCH_test.json")
 	r := &Report{Note: "test", Benchmarks: map[string]Entry{
-		"BenchmarkA": {NsPerOp: 123},
+		"BenchmarkA": {NsPerOp: 123, AllocsPerOp: Allocs(17)},
 		"BenchmarkB": {NsPerOp: 4.5e6},
+		"BenchmarkC": {NsPerOp: 9, AllocsPerOp: Allocs(0)}, // zero is a recorded promise, not absence
 	}}
 	if err := r.Save(path); err != nil {
 		t.Fatal(err)
@@ -52,8 +63,17 @@ func TestReportRoundtrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got.Note != "test" || len(got.Benchmarks) != 2 || got.Benchmarks["BenchmarkB"].NsPerOp != 4.5e6 {
+	if got.Note != "test" || len(got.Benchmarks) != 3 || got.Benchmarks["BenchmarkB"].NsPerOp != 4.5e6 {
 		t.Fatalf("roundtrip = %+v", got)
+	}
+	if a := got.Benchmarks["BenchmarkA"].AllocsPerOp; a == nil || *a != 17 {
+		t.Fatalf("allocs roundtrip = %+v", got.Benchmarks)
+	}
+	if got.Benchmarks["BenchmarkB"].AllocsPerOp != nil {
+		t.Fatalf("absent allocs decoded non-nil: %+v", got.Benchmarks)
+	}
+	if a := got.Benchmarks["BenchmarkC"].AllocsPerOp; a == nil || *a != 0 {
+		t.Fatalf("zero-alloc baseline lost: %+v", got.Benchmarks)
 	}
 	if names := got.Names(); names[0] != "BenchmarkA" || names[1] != "BenchmarkB" {
 		t.Fatalf("names = %v", names)

@@ -12,16 +12,24 @@
 // All engines return the same answer sets; the test suite
 // cross-validates them on random instances.
 //
-// The relational operators at the heart of the Yannakakis and
-// tree-decomposition pipelines (semijoin, join, project) run on an
-// indexed, allocation-light runtime: relations are probed through
-// per-relation hash indexes keyed on integer column prefixes
-// (relstr.HashCols — no string keys anywhere on the hot path), index
-// tables and row storage come from a scratch arena reused across tree
-// nodes, and all column mappings are precomputed in a schedule (see
-// schedule.go) that Plans build once at prepare time. The string-keyed
-// operators this runtime replaced survive in ref.go as differential
-// oracles and as the benchmark baseline.
+// The Yannakakis and tree-decomposition pipelines run on one unified,
+// backend-agnostic executor (exec.go): all column mappings are
+// precomputed in a schedule (schedule.go) that Plans build once at
+// prepare time, and the executor replays it against any storage
+// backend through the Source interface (source.go) — a per-call
+// materialisation of a plain *Structure, or a registered
+// relstr.Snapshot whose views and hash indexes persist across calls.
+// Row liveness is a per-node bitmap (backing rows are shared with the
+// backend and never mutated), probes go through hash indexes keyed on
+// integer column prefixes (relstr.HashCols — no string keys anywhere
+// on the hot path), and the solve phase's derived relations allocate
+// from pooled scratch arenas. The executor is morsel-driven parallel:
+// with a worker budget above one, semijoin probe loops, solve joins
+// and head projections split into fixed-size row chunks fanned out to
+// workers, and the reduction passes additionally parallelize across
+// independent sibling subtrees — with answers byte-identical to a
+// serial run. The string-keyed operators this runtime replaced survive
+// in ref.go as differential oracles and as the benchmark baseline.
 package eval
 
 import (
@@ -302,29 +310,6 @@ func (ix *hashIndex) nextMatch(id int32, probe []int, probeCols []int) int32 {
 	return -1
 }
 
-// semijoin filters l's rows in place, keeping those that agree with
-// some row of r on the aligned column pairs (lCols[k] ↔ rCols[k]).
-// Empty column lists mean no shared variables: l survives unchanged
-// iff r is non-empty.
-func (sc *scratch) semijoin(l, r *rel, lCols, rCols []int) {
-	if len(r.rows) == 0 {
-		l.rows = l.rows[:0]
-		return
-	}
-	if len(lCols) == 0 {
-		return
-	}
-	ix := sc.buildIndex(r.rows, rCols)
-	sc.stats.probes += uint64(len(l.rows))
-	out := l.rows[:0]
-	for _, row := range l.rows {
-		if ix.lookup(row, lCols) >= 0 {
-			out = append(out, row)
-		}
-	}
-	l.rows = out
-}
-
 // join computes the natural join of l and r under the precomputed step
 // mapping: r is indexed on st.rCols, every l row probes with st.lCols,
 // and matches append r's st.rExtra columns to the l row. Join inputs
@@ -426,34 +411,14 @@ rows:
 // variables, then a cross product across components, finally projecting
 // onto the head. Answers are deduplicated and sorted. head lists
 // element ids (with possible repeats). The schedule is derived from
-// the forest; Plan-based callers use their prepare-time schedule via
-// solveScheduled instead. ctx is polled between per-node relational
-// operations (each O(|D|) work, bounding cancellation latency by one
-// semijoin/join).
+// the forest and replayed by the unified executor; Plan-based callers
+// use their prepare-time schedule through Plan.EvalOn instead. ctx is
+// polled between per-node relational operations (each O(|D|) work,
+// bounding cancellation latency by one semijoin/join).
 func solveTreeCtx(ctx context.Context, nodes []node, head []int) (Answers, error) {
 	sc := getScratch()
 	defer putScratch(sc)
-	return solveScheduled(ctx, newScheduleFromNodes(nodes, head), nodes, sc)
-}
-
-// solveScheduled executes a precomputed schedule over a freshly built
-// forest: both semijoin passes, the emptiness short-circuit, then the
-// scheduled join/projection solve.
-func solveScheduled(ctx context.Context, sched *schedule, nodes []node, sc *scratch) (Answers, error) {
-	if err := runSemijoinPasses(ctx, sched, nodes, sc); err != nil {
-		return nil, err
-	}
-	for i := range nodes {
-		if len(nodes[i].rows) == 0 {
-			return Answers{}, nil
-		}
-	}
-	ans, empty, err := runSolve(ctx, sched, nodes, sc)
-	if err != nil {
-		return nil, err
-	}
-	if empty {
-		return Answers{}, nil
-	}
-	return ans, nil
+	f := forestFromRels(nodes, sc, 1)
+	defer f.release()
+	return evalForest(ctx, newScheduleFromNodes(nodes, head), f)
 }

@@ -102,11 +102,22 @@ func decodeRels(data []byte) (l, r rel, ok bool) {
 	return l, r, true
 }
 
-// snapSemijoinRows runs the snapshot path's bitmap semijoin of l
-// against r: r's rows become a snapshot relation whose index the step
-// probes, l's rows get an all-alive bitmap that the step filters. The
-// surviving rows are returned.
-func snapSemijoinRows(sc *scratch, l, r rel, lCols, rCols []int) [][]int {
+// pairForest builds a two-node executor forest over l (node 0, the
+// semijoin target) and r (node 1, the source), with the given backend
+// indexer over r's rows and an all-alive bitmap on both sides. The
+// tuning fields force the morsel machinery on tiny inputs when par>1.
+func pairForest(sc *scratch, l, r rel, ix Indexer, par int) *forest {
+	f := &forest{nodes: make([]execNode, 2), sc: sc, par: par, minPar: 1, morsel: 2}
+	f.nodes[0] = execNode{rows: l.rows, vars: l.vars, ix: &memoIndexer{rows: l.rows}, words: allAlive(len(l.rows)), live: len(l.rows)}
+	f.nodes[1] = execNode{rows: r.rows, vars: r.vars, ix: ix, words: allAlive(len(r.rows)), live: len(r.rows)}
+	f.initSlots()
+	return f
+}
+
+// snapIndexer wraps r's rows as a genuine snapshot view, so the
+// semijoin probes the snapshot's persistent index cache — the
+// registered-database backend.
+func snapIndexer(r rel) Indexer {
 	sdb := relstr.New()
 	if len(r.rows) == 0 {
 		sdb.Declare("R", len(r.vars))
@@ -119,33 +130,28 @@ func snapSemijoinRows(sc *scratch, l, r rel, lCols, rCols []int) [][]int {
 	for i := range pat {
 		pat[i] = i
 	}
-	view := snap.View("R", pat)
-	f := &snapForest{nodes: make([]snapNode, 2), sc: sc}
-	f.nodes[0] = fullAliveNode(nil, l.rows)
-	f.nodes[1] = fullAliveNode(view, view.Rows())
+	return snap.View("R", pat)
+}
+
+// semijoinVia runs one scheduled semijoin of l against r through the
+// unified executor with the given source indexer and worker budget,
+// returning the surviving rows.
+func semijoinVia(sc *scratch, l, r rel, lCols, rCols []int, ix Indexer, par int) [][]int {
+	f := pairForest(sc, l, r, ix, par)
+	defer f.release()
 	f.semijoin(sjStep{target: 0, source: 1, tCols: lCols, sCols: rCols})
 	return f.nodes[0].aliveRows()
 }
 
-// fullAliveNode builds a snapNode over rows with every row alive.
-func fullAliveNode(view *relstr.View, rows [][]int) snapNode {
-	n := len(rows)
-	words := make([]uint64, (n+63)/64)
-	for w := range words {
-		words[w] = ^uint64(0)
-	}
-	if n%64 != 0 && len(words) > 0 {
-		words[len(words)-1] = (1 << uint(n%64)) - 1
-	}
-	return snapNode{view: view, rows: rows, words: words, live: n}
-}
-
-// FuzzJoinEquivalence asserts the indexed semijoin/join/project agree
-// with the string-keyed reference implementations they replaced, on
-// arbitrary relation pairs (including empty relations, disjoint
-// variable sets, and tiny value domains that force bucket collisions).
-// The snapshot runtime's bitmap semijoin (the registered-database
-// path) is held to the same oracle.
+// FuzzJoinEquivalence asserts the unified executor's semijoin and the
+// scratch join/project agree with the string-keyed reference
+// implementations they replaced, on arbitrary relation pairs
+// (including empty relations, disjoint variable sets, and tiny value
+// domains that force bucket collisions). The semijoin is held to the
+// oracle through three backends: a per-call memo indexer (the plain
+// *Structure path), a snapshot view (the registered-database path),
+// and the memo indexer again under a parallel worker budget with the
+// morsel size forced down to two rows.
 func FuzzJoinEquivalence(f *testing.F) {
 	f.Add([]byte{0, 0, 0})                                  // empty relations
 	f.Add([]byte{1, 1, 1, 1, 2, 2, 1, 3, 3})                // small overlap
@@ -160,23 +166,27 @@ func FuzzJoinEquivalence(f *testing.F) {
 		sc := getScratch()
 		defer putScratch(sc)
 
-		// Semijoin (the indexed one filters in place; feed it a copy).
-		li := cloneRel(l)
 		lCols, rCols := sharedCols(l.vars, r.vars)
-		sc.semijoin(&li, &r, lCols, rCols)
 		want := sortedRows(semijoinRef(cloneRel(l), r))
-		if got := sortedRows(li); !equalRows(got, want) {
-			t.Fatalf("semijoin mismatch:\n  indexed %v\n  reference %v\n  l=%v r=%v", got, want, l, r)
+		legs := []struct {
+			name string
+			ix   Indexer
+			par  int
+		}{
+			{"memo", &memoIndexer{rows: r.rows}, 1},
+			{"snapshot", snapIndexer(r), 1},
+			{"parallel", &memoIndexer{rows: r.rows}, 4},
+		}
+		for _, leg := range legs {
+			got := sortedRows(rel{vars: l.vars, rows: semijoinVia(sc, l, r, lCols, rCols, leg.ix, leg.par)})
+			if !equalRows(got, want) {
+				t.Fatalf("%s semijoin mismatch:\n  executor %v\n  reference %v\n  l=%v r=%v", leg.name, got, want, l, r)
+			}
 		}
 
-		// Snapshot-backed semijoin: the same filter through a
-		// snapshot-owned index plus liveness bitmaps — the registered-
-		// database path — must agree with both.
-		if got := sortedRows(rel{vars: l.vars, rows: snapSemijoinRows(sc, l, r, lCols, rCols)}); !equalRows(got, want) {
-			t.Fatalf("snapshot semijoin mismatch:\n  snapshot %v\n  reference %v\n  l=%v r=%v", got, want, l, r)
-		}
-
-		// Join.
+		// Join: the serial scratch join against the reference, then the
+		// forest's parallel join against the serial one — which must
+		// match row-for-row, order included (chunk-ordered concat).
 		st := joinStepFor(l, r)
 		gotJ := sc.join(cloneRel(l), r, st)
 		refJ := joinRef(cloneRel(l), r)
@@ -185,6 +195,23 @@ func FuzzJoinEquivalence(f *testing.F) {
 		}
 		if got, want := sortedRows(gotJ), sortedRows(refJ); !equalRows(got, want) {
 			t.Fatalf("join mismatch:\n  indexed %v\n  reference %v\n  l=%v r=%v", got, want, l, r)
+		}
+		if len(st.rCols) > 0 && len(r.rows) > 0 {
+			pf := pairForest(sc, l, r, &memoIndexer{rows: r.rows}, 4)
+			parJ := pf.join(cloneRel(l), r, st)
+			// parJ.rows live in pf's worker arenas: compare before
+			// release returns them to the pool.
+			if len(parJ.rows) != len(gotJ.rows) {
+				pf.release()
+				t.Fatalf("parallel join row count %d, serial %d", len(parJ.rows), len(gotJ.rows))
+			}
+			for i := range parJ.rows {
+				if !relstr.Tuple(parJ.rows[i]).Equal(gotJ.rows[i]) {
+					pf.release()
+					t.Fatalf("parallel join order diverges at row %d: %v vs %v", i, parJ.rows[i], gotJ.rows[i])
+				}
+			}
+			pf.release()
 		}
 
 		// Project the join result onto a subset of its variables chosen
@@ -209,10 +236,91 @@ func FuzzJoinEquivalence(f *testing.F) {
 	})
 }
 
-// The full pipelines agree three ways: Plan.EvalBaseline (string-keyed
-// reference), Plan.Eval (per-call indexed), and Plan.EvalSnap (shared
-// snapshot indexes) return identical answers on random acyclic queries
-// and databases — and so do the Boolean variants.
+// evalTuned runs the plan through the unified executor with the
+// parallel thresholds forced down, so even request-sized fuzz inputs
+// drive the morsel fan-out, the chunk merges and the per-worker
+// arenas.
+func (p *Plan) evalTuned(ctx context.Context, src Source, par int) (Answers, error) {
+	if p.mode != PlanYannakakis {
+		return naiveEval(ctx, p.tb, src.Structure())
+	}
+	sc := getScratch()
+	defer p.flush(sc)
+	f := p.newForest(src, sc, par)
+	f.minPar, f.morsel = 1, 2
+	defer f.release()
+	return evalForest(ctx, p.sched, f)
+}
+
+// evalBoolTuned is evalTuned for answer existence.
+func (p *Plan) evalBoolTuned(ctx context.Context, src Source, par int) (bool, error) {
+	if p.mode != PlanYannakakis {
+		return naiveBool(ctx, p.tb, src.Structure())
+	}
+	sc := getScratch()
+	defer p.flush(sc)
+	f := p.newForest(src, sc, par)
+	f.minPar, f.morsel = 1, 2
+	defer f.release()
+	return f.runBool(ctx, p.sched)
+}
+
+// FuzzParallelEquivalence asserts the parallel executor returns
+// byte-identical answers to the serial one and to the string-keyed
+// reference pipeline, across both storage backends (per-call structure
+// and snapshot) and for both full and Boolean evaluation, on random
+// acyclic queries and databases derived from the fuzz seed.
+func FuzzParallelEquivalence(f *testing.F) {
+	f.Add(int64(1))
+	f.Add(int64(42))
+	f.Add(int64(-7))
+	f.Fuzz(func(t *testing.T, seed int64) {
+		ctx := context.Background()
+		rng := rand.New(rand.NewSource(seed))
+		q := randomQuery(rng, true)
+		db := randomDB(rng, 5, 9)
+		p := NewPlan(q)
+		want, err := p.EvalBaseline(ctx, db)
+		if err != nil {
+			t.Fatal(err)
+		}
+		serial, err := p.Eval(ctx, db)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sameAnswers(serial, want) {
+			t.Fatalf("serial answers diverge from reference:\n  serial %v\n  reference %v\n  q=%v", serial, want, q)
+		}
+		snap := relstr.NewSnapshot(db)
+		for _, par := range []int{2, 4} {
+			for _, src := range []struct {
+				name string
+				s    Source
+			}{{"struct", NewSource(db)}, {"snapshot", NewSnapshotSource(snap)}} {
+				got, err := p.evalTuned(ctx, src.s, par)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !sameAnswers(got, want) {
+					t.Fatalf("parallel(%d)/%s answers diverge:\n  got %v\n  want %v\n  q=%v", par, src.name, got, want, q)
+				}
+				ok, err := p.evalBoolTuned(ctx, src.s, par)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if ok != (len(want) > 0) {
+					t.Fatalf("parallel(%d)/%s bool = %v with %d answers, q=%v", par, src.name, ok, len(want), q)
+				}
+			}
+		}
+	})
+}
+
+// The full pipelines agree across the table of storage backends ×
+// worker budgets, against Plan.EvalBaseline (the string-keyed
+// reference) as the oracle — and so do the Boolean variants. This is
+// the one quickcheck covering every execution configuration the
+// unified executor serves.
 func TestQuickIndexedMatchesBaseline(t *testing.T) {
 	ctx := context.Background()
 	f := func(seed int64) bool {
@@ -220,27 +328,29 @@ func TestQuickIndexedMatchesBaseline(t *testing.T) {
 		q := randomQuery(rng, true)
 		db := randomDB(rng, 5, 9)
 		p := NewPlan(q)
-		got, err := p.Eval(ctx, db)
-		if err != nil {
-			return false
-		}
 		want, err := p.EvalBaseline(ctx, db)
 		if err != nil {
 			return false
 		}
-		if !sameAnswers(got, want) {
-			return false
-		}
 		snap := relstr.NewSnapshot(db)
-		snapAns, err := p.EvalSnap(ctx, snap)
-		if err != nil || !sameAnswers(snapAns, want) {
-			return false
+		sources := func() []Source {
+			return []Source{NewSource(db), NewSnapshotSource(snap)}
 		}
-		okPlain, err1 := p.EvalBool(ctx, db)
-		okSnap, err2 := p.EvalBoolSnap(ctx, snap)
-		return err1 == nil && err2 == nil && okPlain == okSnap && okPlain == (len(want) > 0)
+		for _, par := range []int{1, 4} {
+			for _, src := range sources() {
+				got, err := p.evalTuned(ctx, src, par)
+				if err != nil || !sameAnswers(got, want) {
+					return false
+				}
+				ok, err := p.evalBoolTuned(ctx, src, par)
+				if err != nil || ok != (len(want) > 0) {
+					return false
+				}
+			}
+		}
+		return true
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
 		t.Fatal(err)
 	}
 }

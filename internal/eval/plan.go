@@ -56,27 +56,31 @@ type Plan struct {
 // updated once per evaluation (not per probe) and shared across every
 // caller of a cached PreparedQuery.
 type planStats struct {
-	builds atomic.Uint64
-	probes atomic.Uint64
-	evals  atomic.Uint64
+	builds   atomic.Uint64
+	probes   atomic.Uint64
+	evals    atomic.Uint64
+	parEvals atomic.Uint64
 }
 
 // IndexStats is a snapshot of the indexed runtime's counters for one
 // plan: how many per-relation hash indexes its evaluations built, how
-// many rows were driven through index probes, and how many evaluations
-// (Eval/EvalBool/stream reductions) ran.
+// many rows were driven through index probes, how many evaluations
+// (Eval/EvalBool/stream reductions) ran, and how many of those ran
+// with a parallel worker budget.
 type IndexStats struct {
-	IndexBuilds uint64
-	IndexProbes uint64
-	Evals       uint64
+	IndexBuilds   uint64
+	IndexProbes   uint64
+	Evals         uint64
+	ParallelEvals uint64
 }
 
 // IndexStats returns the plan's cumulative indexed-runtime counters.
 func (p *Plan) IndexStats() IndexStats {
 	return IndexStats{
-		IndexBuilds: p.stats.builds.Load(),
-		IndexProbes: p.stats.probes.Load(),
-		Evals:       p.stats.evals.Load(),
+		IndexBuilds:   p.stats.builds.Load(),
+		IndexProbes:   p.stats.probes.Load(),
+		Evals:         p.stats.evals.Load(),
+		ParallelEvals: p.stats.parEvals.Load(),
 	}
 }
 
@@ -112,13 +116,7 @@ func NewPlan(q *cq.Query) *Plan {
 		// which the semijoin reduction already did) — the difference
 		// between a per-eval join pipeline and a single head projection.
 		p.jt.Parent = rerootForHead(jt.Parent, vars, p.tb.Dist)
-		children := make([][]int, len(p.atoms))
-		for i, par := range p.jt.Parent {
-			if par >= 0 {
-				children[par] = append(children[par], i)
-			}
-		}
-		p.sched = newSchedule(vars, p.jt.Parent, children, p.tb.Dist)
+		p.sched = scheduleForAtoms(p.atoms, p.jt.Parent, p.tb.Dist)
 	}
 	return p
 }
@@ -213,29 +211,66 @@ func (p *Plan) Query() *cq.Query { return p.q }
 // Mode returns the selected strategy.
 func (p *Plan) Mode() PlanMode { return p.mode }
 
-// Eval evaluates the plan's query on db, materialising the full
-// deduplicated, sorted answer set.
-func (p *Plan) Eval(ctx context.Context, db *relstr.Structure) (Answers, error) {
-	if p.mode == PlanYannakakis {
-		nodes := buildJoinForest(p.atoms, p.jt, db)
-		sc := getScratch()
-		defer p.flush(sc)
-		return solveScheduled(ctx, p.sched, nodes, sc)
+// normPar resolves a worker budget: anything below two means serial.
+func normPar(parallel int) int {
+	if parallel < 1 {
+		return 1
 	}
-	return naiveEval(ctx, p.tb, db)
+	return parallel
+}
+
+// newForest builds the plan's per-call evaluation state against src.
+func (p *Plan) newForest(src Source, sc *scratch, parallel int) *forest {
+	f := newForest(p.atoms, src, sc, normPar(parallel))
+	if f.par > 1 {
+		p.stats.parEvals.Add(1)
+	}
+	return f
+}
+
+// Eval evaluates the plan's query on db, materialising the full
+// deduplicated, sorted answer set. Serial; use EvalOn for an explicit
+// backend and worker budget.
+func (p *Plan) Eval(ctx context.Context, db *relstr.Structure) (Answers, error) {
+	return p.EvalOn(ctx, NewSource(db), 1)
+}
+
+// EvalOn evaluates the plan's query against an explicit storage
+// backend with the given worker budget (values below two mean serial).
+// Answers — content and order — are identical across backends and
+// budgets; what varies is where indexes come from (per call vs the
+// snapshot's persistent cache) and how many cores the evaluation uses.
+// Naive (cyclic) plans run the backtracking engine on the backend's
+// structure and ignore the budget.
+func (p *Plan) EvalOn(ctx context.Context, src Source, parallel int) (Answers, error) {
+	if p.mode != PlanYannakakis {
+		return naiveEval(ctx, p.tb, src.Structure())
+	}
+	sc := getScratch()
+	defer p.flush(sc)
+	f := p.newForest(src, sc, parallel)
+	defer f.release()
+	return evalForest(ctx, p.sched, f)
 }
 
 // EvalBool reports whether the query has at least one answer on db
 // (Boolean evaluation / answer existence). For acyclic plans this is
 // the single leaves→root semijoin pass, O(|D|·|Q|).
 func (p *Plan) EvalBool(ctx context.Context, db *relstr.Structure) (bool, error) {
-	if p.mode == PlanYannakakis {
-		nodes := buildJoinForest(p.atoms, p.jt, db)
-		sc := getScratch()
-		defer p.flush(sc)
-		return runSolveBool(ctx, p.sched, nodes, sc)
+	return p.EvalBoolOn(ctx, NewSource(db), 1)
+}
+
+// EvalBoolOn is EvalBool against an explicit backend and worker budget;
+// see EvalOn.
+func (p *Plan) EvalBoolOn(ctx context.Context, src Source, parallel int) (bool, error) {
+	if p.mode != PlanYannakakis {
+		return naiveBool(ctx, p.tb, src.Structure())
 	}
-	return naiveBool(ctx, p.tb, db)
+	sc := getScratch()
+	defer p.flush(sc)
+	f := p.newForest(src, sc, parallel)
+	defer f.release()
+	return f.runBool(ctx, p.sched)
 }
 
 // Stream enumerates distinct answers one at a time without
@@ -261,11 +296,25 @@ func (p *Plan) Stream(ctx context.Context, db *relstr.Structure) iter.Seq[relstr
 // cancellation error if the search was cut short — an empty cancelled
 // stream is thereby distinguishable from a genuinely empty answer set.
 func (p *Plan) StreamErr(ctx context.Context, db *relstr.Structure) (iter.Seq[relstr.Tuple], func() error) {
+	return p.StreamOnErr(ctx, NewSource(db), 1)
+}
+
+// StreamOn is Stream against an explicit backend and worker budget
+// (the budget applies to the semijoin pre-reduction; the enumeration
+// itself is inherently sequential).
+func (p *Plan) StreamOn(ctx context.Context, src Source, parallel int) iter.Seq[relstr.Tuple] {
+	seq, _ := p.StreamOnErr(ctx, src, parallel)
+	return seq
+}
+
+// StreamOnErr is StreamOn plus the terminal-error accessor; see
+// StreamErr.
+func (p *Plan) StreamOnErr(ctx context.Context, src Source, parallel int) (iter.Seq[relstr.Tuple], func() error) {
 	var terminal error
 	seq := func(yield func(relstr.Tuple) bool) {
-		target := db
+		target := src.Structure()
 		if p.mode == PlanYannakakis {
-			reduced, empty, err := p.reduce(ctx, db)
+			reduced, empty, err := p.reduceOn(ctx, src, parallel)
 			if err != nil {
 				terminal = err
 				return
@@ -285,37 +334,20 @@ func (p *Plan) StreamErr(ctx context.Context, db *relstr.Structure) (iter.Seq[re
 	return seq, func() error { return terminal }
 }
 
-// reduce runs both semijoin passes over the join forest and rebuilds a
-// database containing only the surviving tuples. Answers of the query
-// on the reduced database equal those on db: reduction only removes
-// tuples that cannot take part in a global assignment. empty reports
-// that some relation became empty, i.e. the answer set is empty.
-func (p *Plan) reduce(ctx context.Context, db *relstr.Structure) (_ *relstr.Structure, empty bool, _ error) {
-	nodes := buildJoinForest(p.atoms, p.jt, db)
+// reduceOn runs both semijoin passes against the backend and rebuilds a
+// structure containing only the surviving tuples. Answers of the query
+// on the reduced database equal those on the original: reduction only
+// removes tuples that cannot take part in a global assignment. empty
+// reports that some relation became empty, i.e. the answer set is
+// empty.
+func (p *Plan) reduceOn(ctx context.Context, src Source, parallel int) (_ *relstr.Structure, empty bool, _ error) {
 	sc := getScratch()
 	defer p.flush(sc)
-	if err := runSemijoinPasses(ctx, p.sched, nodes, sc); err != nil {
+	f := p.newForest(src, sc, parallel)
+	defer f.release()
+	if err := f.runPasses(ctx, p.sched); err != nil {
 		return nil, false, err
 	}
-	out := db.CloneSchema()
-	for i, a := range p.atoms {
-		if len(nodes[i].rows) == 0 {
-			return nil, true, nil
-		}
-		// Rebuild the db tuples backing each surviving assignment row:
-		// position j of the tuple holds the row value of the variable
-		// at position j (repeated variables repeat the value).
-		varIdx := make([]int, len(a.args))
-		for j, v := range a.args {
-			varIdx[j] = indexOf(nodes[i].vars, v)
-		}
-		for _, row := range nodes[i].rows {
-			t := make([]int, len(a.args))
-			for j, vi := range varIdx {
-				t[j] = row[vi]
-			}
-			out.Add(a.rel, t...)
-		}
-	}
-	return out, false, nil
+	out, empty := f.reduce(p.atoms, src.Structure())
+	return out, empty, nil
 }

@@ -1,12 +1,5 @@
 package eval
 
-import (
-	"context"
-
-	"cqapprox/internal/cqerr"
-	"cqapprox/internal/relstr"
-)
-
 // The schedule is the static half of the indexed join runtime: every
 // column mapping the Yannakakis pipeline needs — which columns key
 // each semijoin probe, which columns a join copies, what each node
@@ -57,6 +50,7 @@ type nodeSched struct {
 type schedule struct {
 	postorder []int
 	preorder  []int
+	children  [][]int    // forest shape, for the executor's subtree fan-out
 	downOf    [][]sjStep // bottom-up steps, applied visiting postorder
 	upOf      [][]sjStep // top-down steps, applied visiting preorder
 	nodes     []nodeSched
@@ -104,10 +98,11 @@ func sharedCols(a, b []int) (aCols, bCols []int) {
 // per-node variable lists, parent/children links, and head.
 func newSchedule(vars [][]int, parent []int, children [][]int, head []int) *schedule {
 	sc := &schedule{
-		downOf: make([][]sjStep, len(vars)),
-		upOf:   make([][]sjStep, len(vars)),
-		nodes:  make([]nodeSched, len(vars)),
-		head:   append([]int{}, head...),
+		children: children,
+		downOf:   make([][]sjStep, len(vars)),
+		upOf:     make([][]sjStep, len(vars)),
+		nodes:    make([]nodeSched, len(vars)),
+		head:     append([]int{}, head...),
 	}
 	freeSet := map[int]bool{}
 	for _, v := range head {
@@ -299,113 +294,4 @@ func indexOfOrNeg(vars []int, v int) int {
 		}
 	}
 	return -1
-}
-
-// runSemijoinPasses executes the schedule's two reduction passes in
-// place over the forest, probing per-node hash indexes built in sc.
-func runSemijoinPasses(ctx context.Context, sched *schedule, nodes []node, sc *scratch) error {
-	for _, i := range sched.postorder {
-		if err := cqerr.Check(ctx); err != nil {
-			return err
-		}
-		for _, st := range sched.downOf[i] {
-			sc.semijoin(&nodes[st.target].rel, &nodes[st.source].rel, st.tCols, st.sCols)
-		}
-	}
-	for _, i := range sched.preorder {
-		if err := cqerr.Check(ctx); err != nil {
-			return err
-		}
-		for _, st := range sched.upOf[i] {
-			sc.semijoin(&nodes[st.target].rel, &nodes[st.source].rel, st.tCols, st.sCols)
-		}
-	}
-	return nil
-}
-
-// runSolve executes the scheduled bottom-up join, cross product and
-// head projection over a forest that already went through
-// runSemijoinPasses (callers must also have verified every node keeps
-// at least one row — the skip analysis relies on it). empty reports an
-// empty answer set discovered mid-way.
-func runSolve(ctx context.Context, sched *schedule, nodes []node, sc *scratch) (_ Answers, empty bool, _ error) {
-	if sched.directNode != -1 {
-		rows := [][]int{{}} // unitNode: the Boolean unit relation
-		if sched.directNode >= 0 {
-			rows = nodes[sched.directNode].rows
-		}
-		return projectHead(rows, len(sched.head), sched.directCols), false, nil
-	}
-	upRel := make([]rel, len(nodes))
-	for _, i := range sched.postorder {
-		if !sched.needed[i] {
-			continue
-		}
-		if err := cqerr.Check(ctx); err != nil {
-			return nil, false, err
-		}
-		acc := nodes[i].rel
-		for _, st := range sched.nodes[i].joins {
-			if st.skip {
-				continue
-			}
-			acc = sc.join(acc, upRel[st.child], st)
-		}
-		if sched.nodes[i].projCols != nil {
-			acc = sc.project(acc, sched.nodes[i].projCols, sched.nodes[i].vars)
-		}
-		upRel[i] = acc
-	}
-	total := rel{vars: nil, rows: [][]int{{}}}
-	for _, st := range sched.rootJoins {
-		if st.skip {
-			continue
-		}
-		if err := cqerr.Check(ctx); err != nil {
-			return nil, false, err
-		}
-		if len(upRel[st.child].rows) == 0 {
-			return Answers{}, true, nil
-		}
-		if len(total.vars) == 0 && len(total.rows) == 1 {
-			// Cross product with the unit relation: adopt the component's
-			// relation as-is (outVars is exactly its variable list).
-			total = rel{vars: st.outVars, rows: upRel[st.child].rows}
-			continue
-		}
-		total = sc.join(total, upRel[st.child], st)
-	}
-	return projectHead(total.rows, len(sched.head), sched.headCols), false, nil
-}
-
-// projectHead projects rows onto the head (the head may repeat
-// variables), deduplicating via the integer-hashed TupleSet — no
-// string keys on the answer path — and sorting.
-func projectHead(rows [][]int, width int, cols []int) Answers {
-	var seen relstr.TupleSet
-	for _, row := range rows {
-		vals := make(relstr.Tuple, width)
-		for i, j := range cols {
-			vals[i] = row[j]
-		}
-		seen.Add(vals)
-	}
-	return sortAnswers(append([]relstr.Tuple{}, seen.Rows()...))
-}
-
-// runSolveBool executes only the bottom-up reduction pass, reporting
-// whether every node keeps at least one row (answer existence).
-func runSolveBool(ctx context.Context, sched *schedule, nodes []node, sc *scratch) (bool, error) {
-	for _, i := range sched.postorder {
-		if err := cqerr.Check(ctx); err != nil {
-			return false, err
-		}
-		for _, st := range sched.downOf[i] {
-			sc.semijoin(&nodes[st.target].rel, &nodes[st.source].rel, st.tCols, st.sCols)
-		}
-		if len(nodes[i].rows) == 0 {
-			return false, nil
-		}
-	}
-	return true, nil
 }

@@ -103,36 +103,21 @@ func patternSig(a patom) string {
 	return string(sig)
 }
 
-// buildJoinForest converts a hypergraph join tree into rooted nodes
-// with materialised atom relations. Atoms sharing a pattern signature
-// (same symbol, same repetition pattern — e.g. every edge atom of a
-// chain query) materialise once; the other nodes get fresh row-header
-// slices over the same row storage, safe under the in-place semijoin
-// filtering because individual rows are never mutated.
-func buildJoinForest(atoms []patom, jt hypergraph.JoinTree, db *relstr.Structure) []node {
-	nodes := make([]node, len(atoms))
-	var cache map[string][][]int
+// scheduleForAtoms derives the static program for a join forest of
+// atoms with the given parent links (the free functions' path; Plans
+// do the same work once in NewPlan).
+func scheduleForAtoms(atoms []patom, parent []int, head []int) *schedule {
+	vars := make([][]int, len(atoms))
 	for i, a := range atoms {
-		sig := patternSig(a)
-		if rows, ok := cache[sig]; ok {
-			nodes[i].rel = rel{vars: a.distinctVars(), rows: append([][]int{}, rows...)}
-		} else {
-			r := atomRelation(a, db)
-			if cache == nil {
-				cache = map[string][][]int{}
-			}
-			cache[sig] = r.rows
-			r.rows = append([][]int{}, r.rows...)
-			nodes[i].rel = r
-		}
-		nodes[i].parent = jt.Parent[i]
+		vars[i] = a.distinctVars()
 	}
-	for i, p := range jt.Parent {
+	children := make([][]int, len(atoms))
+	for i, p := range parent {
 		if p >= 0 {
-			nodes[p].children = append(nodes[p].children, i)
+			children[p] = append(children[p], i)
 		}
 	}
-	return nodes
+	return newSchedule(vars, parent, children, head)
 }
 
 // Yannakakis evaluates an acyclic CQ with the classical semijoin
@@ -152,8 +137,11 @@ func YannakakisCtx(ctx context.Context, q *cq.Query, db *relstr.Structure) (Answ
 		return nil, ErrNotAcyclic
 	}
 	atoms := atomList(tb.S)
-	nodes := buildJoinForest(atoms, jt, db)
-	return solveTreeCtx(ctx, nodes, tb.Dist)
+	sc := getScratch()
+	defer putScratch(sc)
+	f := newForest(atoms, NewSource(db), sc, 1)
+	defer f.release()
+	return evalForest(ctx, scheduleForAtoms(atoms, jt.Parent, tb.Dist), f)
 }
 
 // YannakakisBool evaluates a Boolean acyclic CQ with only the
@@ -173,17 +161,11 @@ func YannakakisBoolCtx(ctx context.Context, q *cq.Query, db *relstr.Structure) (
 		return false, ErrNotAcyclic
 	}
 	atoms := atomList(tb.S)
-	return solveBoolForest(ctx, buildJoinForest(atoms, jt, db))
-}
-
-// solveBoolForest runs the single leaves→roots semijoin pass over a
-// join forest, reporting whether every node keeps at least one row
-// (i.e. the query has an answer). Plan-based callers run the same pass
-// through their prepare-time schedule instead (runSolveBool).
-func solveBoolForest(ctx context.Context, nodes []node) (bool, error) {
 	sc := getScratch()
 	defer putScratch(sc)
-	return runSolveBool(ctx, newScheduleFromNodes(nodes, nil), nodes, sc)
+	f := newForest(atoms, NewSource(db), sc, 1)
+	defer f.release()
+	return f.runBool(ctx, scheduleForAtoms(atoms, jt.Parent, nil))
 }
 
 // SemijoinProgram describes the reduction schedule Yannakakis runs —

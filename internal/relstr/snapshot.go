@@ -270,6 +270,13 @@ func (v *View) Index(cols []int) (ix *Index, built bool) {
 	return ix, true
 }
 
+// NewIndex constructs a standalone bucket-chained index over rows
+// keyed on cols — the same structure View.Index caches, for callers
+// that manage their own row storage (the evaluation runtime's
+// per-call structure backend). The index is immutable once built and
+// safe for concurrent probes.
+func NewIndex(rows [][]int, cols []int) *Index { return buildIndex(rows, cols) }
+
 // buildIndex constructs a bucket-chained index over rows keyed on cols.
 func buildIndex(rows [][]int, cols []int) *Index {
 	n := 8

@@ -218,11 +218,23 @@ func (s *Server) resolveDB(req api.EvalRequest) (dbSource, *apiError) {
 	return dbSource{inline: db}, nil
 }
 
+// clampParallelism resolves a request's evaluation worker budget
+// against the configured cap: absent (or ≤1) stays serial, anything
+// above MaxParallelism is clamped rather than rejected — the budget is
+// advisory, answers are identical at any setting.
+func (s *Server) clampParallelism(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	return min(n, s.cfg.MaxParallelism)
+}
+
 // evalCommon factors the shared shape of the three evaluation
 // endpoints: decode and validate the whole request (including the
 // database half), then take an eval admission slot, then resolve the
-// prepared query under the request deadline, and hand off to the
-// endpoint's terminal action. run owns the response on success.
+// prepared query under the request deadline, apply the clamped
+// per-request worker budget, and hand off to the endpoint's terminal
+// action. run owns the response on success.
 func (s *Server) evalCommon(w http.ResponseWriter, r *http.Request, run func(ctx context.Context, p *cqapprox.PreparedQuery, db dbSource)) {
 	var req api.EvalRequest
 	if !s.decodeJSON(w, r, &req) {
@@ -244,7 +256,14 @@ func (s *Server) evalCommon(w http.ResponseWriter, r *http.Request, run func(ctx
 		writeError(w, apiErr)
 		return
 	}
-	run(ctx, p, db)
+	par := req.Parallelism
+	if par <= 0 {
+		// Absent budgets inherit the engine's configured default —
+		// which the per-request cap still bounds, exactly like an
+		// explicit budget.
+		par = p.Parallelism()
+	}
+	run(ctx, p.Parallel(s.clampParallelism(par)), db)
 }
 
 func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) {

@@ -21,6 +21,7 @@ package server
 import (
 	"context"
 	"net/http"
+	"runtime"
 	"time"
 
 	"cqapprox"
@@ -28,19 +29,30 @@ import (
 )
 
 // Config tunes a Server. The zero value selects the documented
-// defaults.
+// defaults, which scale with the host: the admission semaphores are
+// sized from runtime.GOMAXPROCS(0) so a bigger box admits more
+// concurrent work without retuning flags.
 type Config struct {
 	// MaxInflightPrepare bounds concurrently running preparations —
 	// each one a potentially exponential search. The bound applies
 	// wherever an uncached preparation runs, including inline queries
-	// on the eval endpoints; cache hits bypass it. Default 4; negative
-	// means unbounded.
+	// on the eval endpoints; cache hits bypass it. Default
+	// max(2, GOMAXPROCS/2) — half the cores, so a burst of searches
+	// cannot starve evaluation traffic. Negative means unbounded.
 	MaxInflightPrepare int
 
 	// MaxInflightEval bounds concurrently running evaluations and
 	// streams (a stream holds its slot until the last answer is
-	// written). Default 64; negative means unbounded.
+	// written). Default 8×GOMAXPROCS — evaluations are short and
+	// IO-interleaved, so moderate oversubscription keeps cores busy
+	// without unbounded queueing. Negative means unbounded.
 	MaxInflightEval int
+
+	// MaxParallelism caps the per-request evaluation worker budget
+	// (EvalRequest.Parallelism is clamped to it). Default GOMAXPROCS;
+	// negative disables parallel evaluation (every request runs
+	// serial).
+	MaxParallelism int
 
 	// DefaultTimeout applies to requests that carry no timeout_ms.
 	// Default 30s; negative means no deadline.
@@ -56,26 +68,42 @@ type Config struct {
 }
 
 const (
-	defaultMaxInflightPrepare = 4
-	defaultMaxInflightEval    = 64
-	defaultTimeout            = 30 * time.Second
-	defaultMaxTimeout         = 2 * time.Minute
-	defaultMaxBodyBytes       = 64 << 20
+	defaultTimeout      = 30 * time.Second
+	defaultMaxTimeout   = 2 * time.Minute
+	defaultMaxBodyBytes = 64 << 20
 )
+
+// defaultMaxInflightPrepare sizes the prepare pool from the host's
+// GOMAXPROCS: half the cores, minimum two.
+func defaultMaxInflightPrepare() int {
+	return max(2, runtime.GOMAXPROCS(0)/2)
+}
+
+// defaultMaxInflightEval sizes the eval pool from the host's
+// GOMAXPROCS.
+func defaultMaxInflightEval() int {
+	return 8 * runtime.GOMAXPROCS(0)
+}
 
 // withDefaults resolves the zero/negative conventions of Config.
 func (c Config) withDefaults() Config {
 	switch {
 	case c.MaxInflightPrepare == 0:
-		c.MaxInflightPrepare = defaultMaxInflightPrepare
+		c.MaxInflightPrepare = defaultMaxInflightPrepare()
 	case c.MaxInflightPrepare < 0:
 		c.MaxInflightPrepare = 0 // 0 semaphore = unbounded below
 	}
 	switch {
 	case c.MaxInflightEval == 0:
-		c.MaxInflightEval = defaultMaxInflightEval
+		c.MaxInflightEval = defaultMaxInflightEval()
 	case c.MaxInflightEval < 0:
 		c.MaxInflightEval = 0
+	}
+	switch {
+	case c.MaxParallelism == 0:
+		c.MaxParallelism = runtime.GOMAXPROCS(0)
+	case c.MaxParallelism < 0:
+		c.MaxParallelism = 1
 	}
 	switch {
 	case c.DefaultTimeout == 0:
@@ -158,12 +186,18 @@ func (s *Server) Stats() api.StatsResponse {
 	ds := s.eng.DBStats()
 	return api.StatsResponse{
 		Cache: api.CacheStats{
-			Hits:         cs.Hits,
-			Misses:       cs.Misses,
-			Entries:      cs.Entries,
-			IndexBuilds:  cs.Indexes.IndexBuilds,
-			IndexProbes:  cs.Indexes.IndexProbes,
-			IndexedEvals: cs.Indexes.Evals,
+			Hits:          cs.Hits,
+			Misses:        cs.Misses,
+			Entries:       cs.Entries,
+			IndexBuilds:   cs.Indexes.IndexBuilds,
+			IndexProbes:   cs.Indexes.IndexProbes,
+			IndexedEvals:  cs.Indexes.Evals,
+			ParallelEvals: cs.Indexes.ParallelEvals,
+		},
+		Server: api.ServerLimits{
+			MaxInflightPrepare: s.cfg.MaxInflightPrepare,
+			MaxInflightEval:    s.cfg.MaxInflightEval,
+			MaxParallelism:     s.cfg.MaxParallelism,
 		},
 		DBs: api.DBRegistryStats{
 			Entries:       ds.Entries,

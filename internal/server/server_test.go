@@ -8,6 +8,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"runtime"
 	"strings"
 	"testing"
 	"time"
@@ -447,5 +448,94 @@ func TestRegisterDBFlow(t *testing.T) {
 	ep := stats.Endpoints["/v1/db"]
 	if ep.Requests != 3 || ep.Errors != 1 {
 		t.Fatalf("/v1/db endpoint stats = %+v", ep)
+	}
+}
+
+// The parallelism knob end to end: an explicit request budget is
+// clamped to the configured cap and recorded in the engine's
+// parallel-eval counter; /v1/stats reports the effective server
+// limits. Answers are identical at any budget.
+func TestParallelismClampAndStats(t *testing.T) {
+	s, ts := newTestServer(t, Config{MaxParallelism: 2, MaxInflightPrepare: 4, MaxInflightEval: 8})
+	eval := `{"query":"Q(x) :- E(x,y), E(y,z)","exact":true,"database":{"E":[[1,2],[2,3]]},"parallelism":%d}`
+
+	status, _, serialBody := post(t, ts, "/v1/eval", fmt.Sprintf(eval, 0))
+	if status != http.StatusOK {
+		t.Fatalf("serial eval: %d %s", status, serialBody)
+	}
+	if got := s.Stats().Cache.ParallelEvals; got != 0 {
+		t.Fatalf("serial eval counted as parallel: %d", got)
+	}
+
+	// A budget far above the cap is clamped (to 2 > 1), not rejected.
+	status, _, parBody := post(t, ts, "/v1/eval", fmt.Sprintf(eval, 64))
+	if status != http.StatusOK {
+		t.Fatalf("parallel eval: %d %s", status, parBody)
+	}
+	if parBody != serialBody {
+		t.Fatalf("parallel answers differ:\n  serial   %s\n  parallel %s", serialBody, parBody)
+	}
+	stats := s.Stats()
+	if stats.Cache.ParallelEvals != 1 {
+		t.Fatalf("parallel_evals = %d, want 1", stats.Cache.ParallelEvals)
+	}
+	if stats.Server.MaxParallelism != 2 || stats.Server.MaxInflightPrepare != 4 || stats.Server.MaxInflightEval != 8 {
+		t.Fatalf("server limits = %+v", stats.Server)
+	}
+
+	// The same stats shape arrives over the wire.
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var wire api.StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&wire); err != nil {
+		t.Fatal(err)
+	}
+	if wire.Server != stats.Server || wire.Cache.ParallelEvals != 1 {
+		t.Fatalf("wire stats = %+v", wire)
+	}
+}
+
+// GOMAXPROCS-derived admission defaults: the zero Config sizes both
+// pools from the host's core count and caps request parallelism at
+// GOMAXPROCS.
+func TestConfigDefaultsFromGOMAXPROCS(t *testing.T) {
+	cfg := Config{}.withDefaults()
+	procs := runtime.GOMAXPROCS(0)
+	if want := max(2, procs/2); cfg.MaxInflightPrepare != want {
+		t.Fatalf("MaxInflightPrepare = %d, want %d", cfg.MaxInflightPrepare, want)
+	}
+	if want := 8 * procs; cfg.MaxInflightEval != want {
+		t.Fatalf("MaxInflightEval = %d, want %d", cfg.MaxInflightEval, want)
+	}
+	if cfg.MaxParallelism != procs {
+		t.Fatalf("MaxParallelism = %d, want %d", cfg.MaxParallelism, procs)
+	}
+	// Negative values still mean unbounded pools / serial-only eval.
+	cfg = Config{MaxInflightPrepare: -1, MaxInflightEval: -1, MaxParallelism: -1}.withDefaults()
+	if cfg.MaxInflightPrepare != 0 || cfg.MaxInflightEval != 0 || cfg.MaxParallelism != 1 {
+		t.Fatalf("negative config = %+v", cfg)
+	}
+}
+
+// An engine-wide parallelism default is inherited by requests that
+// carry no explicit budget — and still bounded by the server cap.
+func TestParallelismEngineDefaultClamped(t *testing.T) {
+	eng := cqapprox.NewEngine(cqapprox.WithParallelism(8))
+	s := New(eng, Config{MaxParallelism: 2})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	status, _, body := post(t, ts, "/v1/eval",
+		`{"query":"Q(x) :- E(x,y), E(y,z)","exact":true,"database":{"E":[[1,2],[2,3]]}}`)
+	if status != http.StatusOK {
+		t.Fatalf("eval: %d %s", status, body)
+	}
+	// The inherited budget (8, clamped to 2) still counts as parallel;
+	// had the clamp been bypassed or the default dropped to serial,
+	// the counter would read 0 — or the budget 8 would exceed the cap.
+	if got := s.Stats().Cache.ParallelEvals; got != 1 {
+		t.Fatalf("parallel_evals = %d, want 1 (engine default inherited + clamped)", got)
 	}
 }

@@ -37,7 +37,7 @@ func WireDB(s *relstr.Structure) api.Database {
 func Executor(c *client.Client) func(ctx context.Context, op workload.Op) error {
 	return func(ctx context.Context, op workload.Op) error {
 		evalReq := func() api.EvalRequest {
-			req := api.EvalRequest{Query: op.Query.String(), Class: op.Class}
+			req := api.EvalRequest{Query: op.Query.String(), Class: op.Class, Parallelism: op.Parallelism}
 			if op.DBName != "" {
 				req.DB = op.DBName
 			} else {

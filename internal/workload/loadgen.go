@@ -51,6 +51,10 @@ type Op struct {
 	Class  string // class name, e.g. "TW1" (empty = exact)
 	DB     *relstr.Structure
 	DBName string
+	// Parallelism is the evaluation worker budget the op requests
+	// (0 = serial); executors pass it through as
+	// api.EvalRequest.Parallelism.
+	Parallelism int
 }
 
 // LoadGen generates mixed prepare/eval/stream traffic over a fixed
@@ -86,6 +90,17 @@ type LoadGen struct {
 	// never race their registration). Zero keeps the op sequence
 	// bit-identical to pre-registry generators.
 	RegisteredShare float64
+
+	// ParallelShare is the fraction (0..1) of eval/stream ops that
+	// request a parallel evaluation worker budget of Parallelism —
+	// traffic exercising the server's morsel-driven parallel path.
+	// Zero keeps every op serial (and the op sequence bit-identical to
+	// pre-parallelism generators).
+	ParallelShare float64
+
+	// Parallelism is the worker budget parallel ops request
+	// (default 4 when ParallelShare is positive).
+	Parallelism int
 
 	// Concurrency is the number of worker goroutines Run uses
 	// (default 8).
@@ -158,6 +173,9 @@ func (g *LoadGen) withDefaults() LoadGen {
 			LayeredDAG(rng, 4, 5, 2),
 		}
 	}
+	if c.ParallelShare > 0 && c.Parallelism <= 0 {
+		c.Parallelism = 4
+	}
 	if c.Concurrency <= 0 {
 		c.Concurrency = 8
 	}
@@ -204,6 +222,9 @@ func (g *LoadGen) op(rng *rand.Rand) Op {
 		op.DB = g.Databases[di]
 		if g.RegisteredShare > 0 && rng.Float64() < g.RegisteredShare {
 			op.DBName = dbName(di)
+		}
+		if g.ParallelShare > 0 && rng.Float64() < g.ParallelShare {
+			op.Parallelism = g.Parallelism
 		}
 	}
 	return op

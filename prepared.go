@@ -20,9 +20,45 @@ type PreparedQuery struct {
 	approxes  []*Query // all minimized C-approximations; nil for exact
 	chosen    *Query   // the query the plan evaluates
 	plan      *eval.Plan
+	par       int  // evaluation worker budget (≤1 = serial); see Parallel
 	inspected int  // candidates inspected by the search (0 for exact)
 	fromCache bool // true when Prepare served this from the cache (see CacheHit)
 }
+
+// Parallel returns a view of the prepared query whose evaluations run
+// morsel-driven parallel on up to n workers (n ≤ 1 restores serial
+// evaluation). The underlying plan and its statistics stay shared —
+// only the worker budget differs — so the view is as cheap, immutable
+// and goroutine-safe as the original, and answers are byte-identical
+// to serial evaluation. The budget is inherited by Bind; naive
+// (cyclic) plans ignore it.
+//
+// The engine-wide default budget (WithParallelism) applies when
+// Parallel is never called.
+func (p *PreparedQuery) Parallel(n int) *PreparedQuery {
+	if n < 1 {
+		n = 1
+	}
+	if n == p.parallelism() {
+		return p
+	}
+	cp := *p
+	cp.par = n
+	return &cp
+}
+
+// Parallelism reports the effective evaluation worker budget: 1 for
+// serial (the default), or whatever Parallel / the engine's
+// WithParallelism set.
+func (p *PreparedQuery) Parallelism() int {
+	if p.par < 1 {
+		return 1
+	}
+	return p.par
+}
+
+// parallelism is the internal alias of Parallelism.
+func (p *PreparedQuery) parallelism() int { return p.Parallelism() }
 
 // Query returns a copy of the original query this PreparedQuery was
 // requested for. On cache hits the engine rebinds this to the caller's
@@ -122,14 +158,16 @@ func (p *PreparedQuery) IndexStats() IndexStats { return p.plan.IndexStats() }
 // Eval evaluates the prepared (approximated) query on db, returning
 // the full deduplicated answer set in sorted order. Only per-database
 // work happens here: O(|D|·|Q'|) plus output cost for acyclic plans.
+// With a worker budget (see Parallel), the evaluation's semijoin,
+// join and projection loops fan out in fixed-size morsels.
 func (p *PreparedQuery) Eval(ctx context.Context, db *Structure) (Answers, error) {
-	return p.plan.Eval(ctx, db)
+	return p.plan.EvalOn(ctx, eval.NewSource(db), p.parallelism())
 }
 
 // EvalBool reports whether the prepared query has at least one answer
 // on db. For acyclic plans this is a single semijoin pass, O(|D|·|Q'|).
 func (p *PreparedQuery) EvalBool(ctx context.Context, db *Structure) (bool, error) {
-	return p.plan.EvalBool(ctx, db)
+	return p.plan.EvalBoolOn(ctx, eval.NewSource(db), p.parallelism())
 }
 
 // Answers streams the distinct answers of the prepared query on db one
@@ -146,7 +184,7 @@ func (p *PreparedQuery) EvalBool(ctx context.Context, db *Structure) (bool, erro
 // tuple is a correct answer regardless. To distinguish a cancelled
 // (truncated) stream from an exhausted one, use AnswersErr.
 func (p *PreparedQuery) Answers(ctx context.Context, db *Structure) iter.Seq[Tuple] {
-	return p.plan.Stream(ctx, db)
+	return p.plan.StreamOn(ctx, eval.NewSource(db), p.parallelism())
 }
 
 // AnswersErr is Answers plus a terminal-error accessor: call the
@@ -158,7 +196,7 @@ func (p *PreparedQuery) Answers(ctx context.Context, db *Structure) iter.Seq[Tup
 //	for t := range seq { process(t) }
 //	if err := errf(); err != nil { /* truncated */ }
 func (p *PreparedQuery) AnswersErr(ctx context.Context, db *Structure) (iter.Seq[Tuple], func() error) {
-	return p.plan.StreamErr(ctx, db)
+	return p.plan.StreamOnErr(ctx, eval.NewSource(db), p.parallelism())
 }
 
 // Bind pairs the prepared query with a database snapshot, yielding the
@@ -182,7 +220,10 @@ func (p *PreparedQuery) Bind(db *Database) *BoundQuery {
 // BoundQuery is a PreparedQuery bound to a Database snapshot: the
 // fully static pairing of a compiled plan with indexed data. Both
 // halves are immutable, so a BoundQuery may serve concurrent
-// evaluations from many goroutines.
+// evaluations from many goroutines. Evaluations run through the same
+// unified executor as the unbound forms — the only difference is the
+// storage backend: views and hash indexes come from the snapshot's
+// persistent shared cache instead of being derived per call.
 type BoundQuery struct {
 	p  *PreparedQuery
 	db *Database
@@ -194,27 +235,43 @@ func (b *BoundQuery) Prepared() *PreparedQuery { return b.p }
 // Database returns the snapshot half of the binding.
 func (b *BoundQuery) Database() *Database { return b.db }
 
+// Parallel returns a view of the bound query evaluating on up to n
+// workers; see PreparedQuery.Parallel. The binding inherits its
+// prepared query's budget until overridden here.
+func (b *BoundQuery) Parallel(n int) *BoundQuery {
+	p := b.p.Parallel(n)
+	if p == b.p {
+		return b
+	}
+	return &BoundQuery{p: p, db: b.db}
+}
+
+// source returns the snapshot-backed storage backend of the binding.
+func (b *BoundQuery) source() eval.Source {
+	return eval.NewSnapshotSource(b.db.snap)
+}
+
 // Eval evaluates the bound query, returning the full deduplicated
 // answer set in sorted order — identical to p.Eval against the
 // equivalent structure, minus the per-call index builds.
 func (b *BoundQuery) Eval(ctx context.Context) (Answers, error) {
-	return b.p.plan.EvalSnap(ctx, b.db.snap)
+	return b.p.plan.EvalOn(ctx, b.source(), b.p.parallelism())
 }
 
 // EvalBool reports whether the bound query has at least one answer
 // (a single probe-only semijoin pass for acyclic plans).
 func (b *BoundQuery) EvalBool(ctx context.Context) (bool, error) {
-	return b.p.plan.EvalBoolSnap(ctx, b.db.snap)
+	return b.p.plan.EvalBoolOn(ctx, b.source(), b.p.parallelism())
 }
 
 // Answers streams the distinct answers of the bound query; see
 // PreparedQuery.Answers for the contract.
 func (b *BoundQuery) Answers(ctx context.Context) iter.Seq[Tuple] {
-	return b.p.plan.StreamSnap(ctx, b.db.snap)
+	return b.p.plan.StreamOn(ctx, b.source(), b.p.parallelism())
 }
 
 // AnswersErr is Answers plus the terminal-error accessor; see
 // PreparedQuery.AnswersErr.
 func (b *BoundQuery) AnswersErr(ctx context.Context) (iter.Seq[Tuple], func() error) {
-	return b.p.plan.StreamSnapErr(ctx, b.db.snap)
+	return b.p.plan.StreamOnErr(ctx, b.source(), b.p.parallelism())
 }
