@@ -197,6 +197,44 @@ type EvalBoolResponse struct {
 	Result bool `json:"result"`
 }
 
+// CountRequest is the body of POST /v1/count: an EvalRequest (same
+// query/database addressing, admission and parallelism semantics as
+// /v1/eval) plus the counting knobs. With Estimate false the count is
+// exact; with Estimate true the server may sample, and Epsilon/Delta
+// set the (1±ε, 1-δ) accuracy target (server defaults: 0.1, 0.05).
+// Seed pins the estimator's randomness for reproducible runs (absent
+// means the default seed); MaxSamples caps the sampling effort.
+type CountRequest struct {
+	EvalRequest
+	Estimate   bool    `json:"estimate,omitempty"`
+	Epsilon    float64 `json:"epsilon,omitempty"`
+	Delta      float64 `json:"delta,omitempty"`
+	Seed       *int64  `json:"seed,omitempty"`
+	MaxSamples int     `json:"max_samples,omitempty"`
+}
+
+// CountResponse is the body of a successful POST /v1/count.
+type CountResponse struct {
+	// Count is the answer count: exact when Estimated is false, the
+	// rounded estimate otherwise.
+	Count uint64 `json:"count"`
+	// Estimate is the raw (possibly fractional) estimate; equals
+	// float64(Count) for exact results.
+	Estimate float64 `json:"estimate"`
+	// Estimated reports whether sampling produced the result.
+	Estimated bool `json:"estimated"`
+	// Mode names the counting path: "exact-dp", "exact-eval",
+	// "exact-enum" or "estimate".
+	Mode string `json:"mode"`
+	// Samples and Batches report the estimator's effort (zero when
+	// exact).
+	Samples int `json:"samples,omitempty"`
+	Batches int `json:"batches,omitempty"`
+	// Epsilon and Delta echo the accuracy target of an estimate.
+	Epsilon float64 `json:"epsilon,omitempty"`
+	Delta   float64 `json:"delta,omitempty"`
+}
+
 // ClassifyResponse is the -json output of cqapprox classify (the
 // Theorem 5.1 trichotomy); the service may grow a matching endpoint.
 type ClassifyResponse struct {
@@ -219,6 +257,12 @@ type CacheStats struct {
 	// ParallelEvals counts the evaluations that ran with a parallel
 	// worker budget (requests whose clamped parallelism exceeded one).
 	ParallelEvals uint64 `json:"parallel_evals"`
+	// The counting subsystem's activity: counts answered exactly,
+	// counts answered by the sampling estimator, and the total
+	// median-of-means batches those estimates ran.
+	ExactCounts     uint64 `json:"exact_counts"`
+	EstimatedCounts uint64 `json:"estimated_counts"`
+	SampleBatches   uint64 `json:"sample_batches"`
 }
 
 // EndpointStats are the per-endpoint request counters of GET /v1/stats.

@@ -22,7 +22,7 @@ import (
 )
 
 func BenchmarkServerThroughput(b *testing.B) {
-	benchServerThroughput(b, 0)
+	benchServerThroughput(b, 0, 0)
 }
 
 // BenchmarkServerThroughputRegistered runs the same mixed workload
@@ -30,10 +30,16 @@ func BenchmarkServerThroughput(b *testing.B) {
 // name (POST /v1/db up front, then eval-by-name) — the register-once
 // traffic shape the snapshot API targets.
 func BenchmarkServerThroughputRegistered(b *testing.B) {
-	benchServerThroughput(b, 0.5)
+	benchServerThroughput(b, 0.5, 0)
 }
 
-func benchServerThroughput(b *testing.B, registeredShare float64) {
+// BenchmarkServerThroughputCounting additionally turns a quarter of
+// the eval traffic into /v1/count requests (half of those estimating).
+func BenchmarkServerThroughputCounting(b *testing.B) {
+	benchServerThroughput(b, 0.5, 0.25)
+}
+
+func benchServerThroughput(b *testing.B, registeredShare, countShare float64) {
 	eng := cqapprox.NewEngine()
 	srv := server.New(eng, server.Config{MaxInflightPrepare: 16, MaxInflightEval: 256})
 	ts := httptest.NewServer(srv.Handler())
@@ -41,7 +47,12 @@ func benchServerThroughput(b *testing.B, registeredShare float64) {
 	c := client.New(ts.URL).WithHTTPClient(ts.Client())
 	exec := httpdrive.Executor(c)
 	ctx := context.Background()
-	gen := &workload.LoadGen{Seed: 7, Concurrency: runtime.GOMAXPROCS(0), RegisteredShare: registeredShare}
+	gen := &workload.LoadGen{
+		Seed:            7,
+		Concurrency:     runtime.GOMAXPROCS(0),
+		RegisteredShare: registeredShare,
+		CountShare:      countShare,
+	}
 
 	// Warm the cache: every suite query's search is paid here, outside
 	// the timer, so the measured regime is the service's steady state.
@@ -63,4 +74,11 @@ func benchServerThroughput(b *testing.B, registeredShare float64) {
 	b.ReportMetric(rep.PerSecond(), "req/s")
 	b.ReportMetric(rep.KindPerSecond(workload.OpEval), "eval-req/s")
 	b.ReportMetric(hitRate, "cache-hit-rate")
+	b.ReportMetric(rep.P50[workload.OpEval].Seconds()*1e3, "eval-p50-ms")
+	b.ReportMetric(rep.P95[workload.OpEval].Seconds()*1e3, "eval-p95-ms")
+	b.ReportMetric(rep.P99[workload.OpEval].Seconds()*1e3, "eval-p99-ms")
+	if countShare > 0 {
+		b.ReportMetric(rep.KindPerSecond(workload.OpCount), "count-req/s")
+		b.ReportMetric(rep.P95[workload.OpCount].Seconds()*1e3, "count-p95-ms")
+	}
 }

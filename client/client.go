@@ -132,6 +132,19 @@ func (c *Client) Eval(ctx context.Context, req api.EvalRequest) (*api.EvalRespon
 	return &out, nil
 }
 
+// Count returns the number of answers without materializing them.
+// With req.Estimate the server runs the sampling estimator under the
+// request's epsilon/delta/seed knobs instead of exact counting; the
+// response says which mode actually ran (exact shortcuts apply when
+// the plan counts exactly for free).
+func (c *Client) Count(ctx context.Context, req api.CountRequest) (*api.CountResponse, error) {
+	var out api.CountResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/count", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
 // EvalBool reports answer existence only.
 func (c *Client) EvalBool(ctx context.Context, req api.EvalRequest) (bool, error) {
 	var out api.EvalBoolResponse

@@ -11,6 +11,9 @@
 //	cqapprox eval     -q "..." -db graph.txt [-engine auto|naive|yannakakis|td]
 //	                  [-class TW1] [-db-register name] [-stream] [-parallel 8]
 //	                  [-timeout 30s] [-json]
+//	cqapprox count    -q "..." -db graph.txt [-class TW1] [-db-register name]
+//	                  [-estimate] [-epsilon 0.1] [-delta 0.05] [-seed 7]
+//	                  [-max-samples N] [-parallel 8] [-timeout 30s] [-json]
 //
 // The approx and eval commands run on a cqapprox.Engine: queries are
 // prepared once (minimize → approximate → plan) and evaluated through
@@ -77,6 +80,8 @@ func main() {
 		err = cmdCheck(os.Args[2:])
 	case "eval":
 		err = cmdEval(os.Args[2:])
+	case "count":
+		err = cmdCount(os.Args[2:])
 	case "help", "-h", "--help":
 		usage()
 	default:
@@ -102,7 +107,10 @@ commands:
   eval      evaluate a query on a database file (one fact per line: "E 1 2")
             [-class TW1] evaluates its approximation; [-stream] streams answers;
             [-db-register name] evaluates via a registered snapshot;
-            [-parallel N] evaluates morsel-driven parallel on N workers`)
+            [-parallel N] evaluates morsel-driven parallel on N workers
+  count     count answers without materializing them; [-estimate] runs the
+            (1±ε, 1-δ) sampling estimator ([-epsilon] [-delta] [-seed]
+            [-max-samples]); other flags as for eval`)
 }
 
 // classFromName resolves a class name; the accepted names are the wire
@@ -425,6 +433,119 @@ func cmdEval(args []string) error {
 		return err
 	}
 	return printAnswers(q, ans, *jsonOut)
+}
+
+// cmdCount counts answers through the prepared plan without
+// materializing them: the exact multiplicity DP where the head
+// structure allows, or — with -estimate — the sampling estimator
+// under -epsilon/-delta/-seed. The database, -class, -db-register,
+// -parallel and -timeout flags behave exactly as in eval.
+func cmdCount(args []string) error {
+	fs := flag.NewFlagSet("count", flag.ExitOnError)
+	src := fs.String("q", "", "query in rule notation")
+	dbPath := fs.String("db", "", "database file (one fact per line)")
+	dbRegister := fs.String("db-register", "", "register the database under this name and count against the registered snapshot")
+	className := fs.String("class", "", "count the query's C-approximation instead (e.g. TW1, AC)")
+	estimate := fs.Bool("estimate", false, "run the sampling estimator instead of exact counting")
+	epsilon := fs.Float64("epsilon", 0, "estimator relative error target in (0,1] (0 = library default)")
+	delta := fs.Float64("delta", 0, "estimator failure probability in (0,1) (0 = library default)")
+	seed := fs.Int64("seed", 0, "estimator seed for reproducible runs")
+	maxSamples := fs.Int("max-samples", 0, "estimator sample budget cap (0 = library default)")
+	parallel := fs.Int("parallel", 1, "worker budget for the counting passes (<= 1 serial)")
+	timeout := fs.Duration("timeout", 0, "abort after this long (0 = no limit)")
+	jsonOut := fs.Bool("json", false, "machine-readable output (api.CountResponse, as the server emits)")
+	fs.Parse(args)
+	q, err := cqapprox.Parse(*src)
+	if err != nil {
+		return err
+	}
+	db, err := LoadDB(*dbPath)
+	if err != nil {
+		return err
+	}
+	// Only flags the user actually set become options, so the library
+	// defaults (and the default seed) apply otherwise — same convention
+	// as the server's omitted-knob handling.
+	var opts []cqapprox.CountOption
+	fs.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "epsilon":
+			opts = append(opts, cqapprox.WithEpsilon(*epsilon))
+		case "delta":
+			opts = append(opts, cqapprox.WithDelta(*delta))
+		case "seed":
+			opts = append(opts, cqapprox.WithSeed(*seed))
+		case "max-samples":
+			opts = append(opts, cqapprox.WithMaxSamples(*maxSamples))
+		}
+	})
+	if len(opts) > 0 && !*estimate {
+		return fmt.Errorf("-epsilon, -delta, -seed and -max-samples require -estimate")
+	}
+	ctx, cancel := withTimeout(*timeout)
+	defer cancel()
+
+	var p *cqapprox.PreparedQuery
+	if *className != "" {
+		c, err := classFromName(*className)
+		if err != nil {
+			return err
+		}
+		if p, err = engine.Prepare(ctx, q, c); err != nil {
+			return err
+		}
+		if !*jsonOut {
+			fmt.Printf("# counting %s-approximation %v (plan: %s)\n", c.Name(), p.Approx(), p.PlanMode())
+		}
+	} else if p, err = engine.PrepareExact(ctx, q); err != nil {
+		return err
+	}
+	p = p.Parallel(*parallel)
+
+	var res *cqapprox.CountResult
+	if *dbRegister != "" {
+		d, _, err := engine.RegisterDB(*dbRegister, db)
+		if err != nil {
+			return err
+		}
+		b := p.Bind(d)
+		if *estimate {
+			res, err = b.EstimateCount(ctx, opts...)
+		} else {
+			res, err = b.Count(ctx)
+		}
+		if err != nil {
+			return err
+		}
+	} else {
+		if *estimate {
+			res, err = p.EstimateCount(ctx, db, opts...)
+		} else {
+			res, err = p.Count(ctx, db)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	if *jsonOut {
+		return emitJSON(api.CountResponse{
+			Count:     res.Count,
+			Estimate:  res.Estimate,
+			Estimated: res.Estimated,
+			Mode:      res.Mode,
+			Samples:   res.Samples,
+			Batches:   res.Batches,
+			Epsilon:   res.Epsilon,
+			Delta:     res.Delta,
+		})
+	}
+	if res.Estimated {
+		fmt.Printf("%.1f (estimated; %d samples in %d batches, ε=%g δ=%g)\n",
+			res.Estimate, res.Samples, res.Batches, res.Epsilon, res.Delta)
+		return nil
+	}
+	fmt.Printf("%d (%s)\n", res.Count, res.Mode)
+	return nil
 }
 
 // printAnswers renders an answer set the way eval always has: one

@@ -140,6 +140,54 @@ func TestJSONOutput(t *testing.T) {
 	}
 }
 
+// The count subcommand in both modes, against plain and registered
+// databases, with -json emitting the server's api.CountResponse shape.
+func TestCountCommand(t *testing.T) {
+	dir := t.TempDir()
+	dbPath := filepath.Join(dir, "path.txt")
+	if err := os.WriteFile(dbPath, []byte("E 1 2\nE 2 3\nE 3 4\nE 4 5\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	out := captureStdout(t, func() error {
+		return cmdCount([]string{"-q", "Q(x,y,z) :- E(x,y), E(y,z)", "-db", dbPath, "-json"})
+	})
+	var res api.CountResponse
+	if err := json.Unmarshal([]byte(out), &res); err != nil {
+		t.Fatalf("count -json output undecodable: %v\n%s", err, out)
+	}
+	if res.Count != 3 || res.Estimated || res.Mode != "exact-dp" {
+		t.Fatalf("count -json = %+v", res)
+	}
+
+	out = captureStdout(t, func() error {
+		return cmdCount([]string{"-q", "Q(x,y,z) :- E(x,y), E(y,z)", "-db", dbPath,
+			"-db-register", "path", "-parallel", "2"})
+	})
+	if !strings.HasPrefix(out, "3 (exact-dp)") {
+		t.Fatalf("registered count output = %q", out)
+	}
+
+	out = captureStdout(t, func() error {
+		return cmdCount([]string{"-q", "Q(x,z) :- E(x,y), E(y,z)", "-db", dbPath,
+			"-estimate", "-epsilon", "0.25", "-seed", "7", "-json"})
+	})
+	var est api.CountResponse
+	if err := json.Unmarshal([]byte(out), &est); err != nil {
+		t.Fatalf("count -estimate -json output undecodable: %v\n%s", err, out)
+	}
+	if !est.Estimated || est.Mode != "estimate" || est.Samples == 0 {
+		t.Fatalf("count -estimate -json = %+v", est)
+	}
+	if rel := est.Estimate/3 - 1; rel > 0.25 || rel < -0.25 {
+		t.Fatalf("estimate %v for true count 3 misses ε=0.25", est.Estimate)
+	}
+
+	if err := cmdCount([]string{"-q", "Q(x) :- E(x,y)", "-db", dbPath, "-epsilon", "0.1"}); err == nil {
+		t.Fatal("estimator knobs without -estimate accepted")
+	}
+}
+
 func TestLoadDBErrors(t *testing.T) {
 	dir := t.TempDir()
 	bad := filepath.Join(dir, "bad.txt")

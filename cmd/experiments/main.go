@@ -1,10 +1,11 @@
 // Command experiments regenerates every experiment in DESIGN.md's
-// experiment index (E1–E21): the Figure 1 summary table, the
+// experiment index (E1–E22): the Figure 1 summary table, the
 // quantitative content of the paper's propositions, theorems and
 // examples, and the repo's own engineering experiments (E19: the
 // indexed join runtime; E20: the registered database snapshot API;
-// E21: morsel-driven parallel evaluation). Each experiment prints a
-// table comparing the expected outcome against the measured one.
+// E21: morsel-driven parallel evaluation; E22: the answer counting
+// subsystem). Each experiment prints a table comparing the expected
+// outcome against the measured one.
 //
 // Usage:
 //
@@ -17,6 +18,8 @@
 //	                         # refresh the E20 benchmark baselines
 //	experiments -run parallel -bench-out BENCH_eval.json
 //	                         # refresh the E21 benchmark baselines
+//	experiments -run count -bench-out BENCH_eval.json
+//	                         # refresh the E22 benchmark baselines
 package main
 
 import (
@@ -59,6 +62,7 @@ func main() {
 		{"indexedjoin", "E19: indexed join runtime speedup", true, expIndexedJoin},
 		{"registereddb", "E20: registered-snapshot eval speedup", true, expRegisteredDB},
 		{"parallel", "E21: morsel-driven parallel eval speedup", true, expParallel},
+		{"count", "E22: exact counting vs evaluation", true, expCount},
 	}
 
 	ran := 0

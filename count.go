@@ -1,0 +1,139 @@
+package cqapprox
+
+import (
+	"context"
+
+	"cqapprox/internal/count"
+	"cqapprox/internal/eval"
+)
+
+// CountResult is the outcome of Count or EstimateCount: the answer
+// count (exact, or the rounded estimate), how it was obtained, and —
+// for estimates — the sampling effort and the accuracy knobs in
+// effect.
+type CountResult struct {
+	// Count is the number of distinct answers; exact when Estimated is
+	// false, the rounded Estimate otherwise.
+	Count uint64
+	// Estimate is the raw, possibly fractional estimate (float64(Count)
+	// for exact results).
+	Estimate float64
+	// Estimated reports whether sampling produced the result.
+	Estimated bool
+	// Mode names the path taken: "exact-dp" (multiplicity DP over the
+	// reduced forest, no answer materialisation), "exact-eval" (full
+	// evaluation, counted), "exact-enum" (backtracking enumeration,
+	// cyclic plans), or "estimate" (the sampling estimator).
+	Mode string
+	// Samples and Batches report the estimator's effort (zero when
+	// exact).
+	Samples int
+	Batches int
+	// Epsilon and Delta echo the accuracy target of an estimate.
+	Epsilon float64
+	Delta   float64
+}
+
+func fromCount(r count.Result) *CountResult {
+	return &CountResult{
+		Count:     r.Count,
+		Estimate:  r.Estimate,
+		Estimated: r.Estimated,
+		Mode:      r.Mode,
+		Samples:   r.Samples,
+		Batches:   r.Batches,
+		Epsilon:   r.Epsilon,
+		Delta:     r.Delta,
+	}
+}
+
+// CountOption tunes EstimateCount.
+type CountOption func(*count.Options)
+
+// WithEpsilon sets the estimator's relative error target ε
+// (default 0.1): with probability at least 1-δ the estimate is within
+// a (1±ε) factor of the true count.
+func WithEpsilon(eps float64) CountOption {
+	return func(o *count.Options) { o.Epsilon = eps }
+}
+
+// WithDelta sets the estimator's failure probability δ (default 0.05).
+func WithDelta(delta float64) CountOption {
+	return func(o *count.Options) { o.Delta = delta }
+}
+
+// WithSeed fixes the estimator's random seed (default 1): identical
+// prepared query, database, options and seed reproduce the estimate
+// bit for bit.
+func WithSeed(seed int64) CountOption {
+	return func(o *count.Options) { o.Seed = seed }
+}
+
+// WithMaxSamples caps the total samples one EstimateCount may draw
+// (default 200000); batch sizes shrink to fit the cap.
+func WithMaxSamples(n int) CountOption {
+	return func(o *count.Options) { o.MaxSamples = n }
+}
+
+func countOptions(opts []CountOption) count.Options {
+	var o count.Options
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return o
+}
+
+// Count returns the exact number of distinct answers of the prepared
+// (approximated) query on db — without materialising them when the
+// plan permits. Acyclic plans whose head structure is free-connex-like
+// count by a multiplicity DP over the Yannakakis-reduced forest in
+// O(|D|·|Q'|); other acyclic plans fall back to a counted evaluation,
+// cyclic plans to counted enumeration (see CountResult.Mode). The
+// prepared query's worker budget (Parallel) applies to the reduction
+// and DP passes. The error is ErrCountOverflow when the count exceeds
+// uint64.
+func (p *PreparedQuery) Count(ctx context.Context, db *Structure) (*CountResult, error) {
+	res, err := count.Exact(ctx, p.plan, eval.NewSource(db), p.parallelism())
+	if err != nil {
+		return nil, err
+	}
+	return fromCount(res), nil
+}
+
+// EstimateCount returns the number of distinct answers on db, using
+// the FPRAS-style sampling estimator exactly where exact counting
+// would have to materialise answers: with probability at least 1-δ
+// the estimate is within a (1±ε) factor of the true count. Plans that
+// count exactly for free return the exact count (Estimated false) —
+// estimation never makes a cheap count worse.
+//
+//	res, err := p.EstimateCount(ctx, db,
+//		cqapprox.WithEpsilon(0.05), cqapprox.WithSeed(7))
+func (p *PreparedQuery) EstimateCount(ctx context.Context, db *Structure, opts ...CountOption) (*CountResult, error) {
+	res, err := count.Estimate(ctx, p.plan, eval.NewSource(db), p.parallelism(), countOptions(opts))
+	if err != nil {
+		return nil, err
+	}
+	return fromCount(res), nil
+}
+
+// Count is PreparedQuery.Count over the binding's snapshot: reduction
+// and DP probe the snapshot's persistent shared indexes instead of
+// deriving per-call ones.
+func (b *BoundQuery) Count(ctx context.Context) (*CountResult, error) {
+	res, err := count.Exact(ctx, b.p.plan, b.source(), b.p.parallelism())
+	if err != nil {
+		return nil, err
+	}
+	return fromCount(res), nil
+}
+
+// EstimateCount is PreparedQuery.EstimateCount over the binding's
+// snapshot; see BoundQuery.Count.
+func (b *BoundQuery) EstimateCount(ctx context.Context, opts ...CountOption) (*CountResult, error) {
+	res, err := count.Estimate(ctx, b.p.plan, b.source(), b.p.parallelism(), countOptions(opts))
+	if err != nil {
+		return nil, err
+	}
+	return fromCount(res), nil
+}

@@ -170,6 +170,9 @@ func (e *Engine) CacheStats() CacheStats {
 		s.Indexes.IndexProbes += is.IndexProbes
 		s.Indexes.Evals += is.Evals
 		s.Indexes.ParallelEvals += is.ParallelEvals
+		s.Indexes.ExactCounts += is.ExactCounts
+		s.Indexes.EstimatedCounts += is.EstimatedCounts
+		s.Indexes.SampleBatches += is.SampleBatches
 	}
 	return s
 }

@@ -33,6 +33,9 @@ var (
 
 	// ErrNotAcyclic: Yannakakis was invoked on a cyclic query.
 	ErrNotAcyclic = eval.ErrNotAcyclic
+
+	// ErrCountOverflow: an exact answer count does not fit in uint64.
+	ErrCountOverflow = eval.ErrCountOverflow
 )
 
 // ParseError is the positional syntax error returned by Parse: Offset

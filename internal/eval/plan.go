@@ -45,9 +45,10 @@ type Plan struct {
 	tb   *cq.Tableau
 	mode PlanMode
 	// Yannakakis mode only:
-	atoms []patom
-	jt    hypergraph.JoinTree
-	sched *schedule // prepare-time index/probe program, reused per Eval
+	atoms  []patom
+	jt     hypergraph.JoinTree
+	sched  *schedule      // prepare-time index/probe program, reused per Eval
+	csched *countSchedule // prepare-time counting classification (see count.go)
 
 	stats planStats
 }
@@ -60,27 +61,53 @@ type planStats struct {
 	probes   atomic.Uint64
 	evals    atomic.Uint64
 	parEvals atomic.Uint64
+
+	exactCounts   atomic.Uint64
+	estCounts     atomic.Uint64
+	sampleBatches atomic.Uint64
 }
 
 // IndexStats is a snapshot of the indexed runtime's counters for one
 // plan: how many per-relation hash indexes its evaluations built, how
 // many rows were driven through index probes, how many evaluations
 // (Eval/EvalBool/stream reductions) ran, and how many of those ran
-// with a parallel worker budget.
+// with a parallel worker budget. The count counters track the answer
+// counting subsystem: counts answered exactly (DP, dedup or
+// enumeration), counts answered by the sampling estimator, and the
+// median-of-means batches those estimates ran.
 type IndexStats struct {
 	IndexBuilds   uint64
 	IndexProbes   uint64
 	Evals         uint64
 	ParallelEvals uint64
+
+	ExactCounts     uint64
+	EstimatedCounts uint64
+	SampleBatches   uint64
 }
 
 // IndexStats returns the plan's cumulative indexed-runtime counters.
 func (p *Plan) IndexStats() IndexStats {
 	return IndexStats{
-		IndexBuilds:   p.stats.builds.Load(),
-		IndexProbes:   p.stats.probes.Load(),
-		Evals:         p.stats.evals.Load(),
-		ParallelEvals: p.stats.parEvals.Load(),
+		IndexBuilds:     p.stats.builds.Load(),
+		IndexProbes:     p.stats.probes.Load(),
+		Evals:           p.stats.evals.Load(),
+		ParallelEvals:   p.stats.parEvals.Load(),
+		ExactCounts:     p.stats.exactCounts.Load(),
+		EstimatedCounts: p.stats.estCounts.Load(),
+		SampleBatches:   p.stats.sampleBatches.Load(),
+	}
+}
+
+// RecordCount folds one finished counting call into the plan totals:
+// an exact count, or an estimated one with the number of
+// median-of-means batches it ran.
+func (p *Plan) RecordCount(estimated bool, batches uint64) {
+	if estimated {
+		p.stats.estCounts.Add(1)
+		p.stats.sampleBatches.Add(batches)
+	} else {
+		p.stats.exactCounts.Add(1)
 	}
 }
 
@@ -117,6 +144,7 @@ func NewPlan(q *cq.Query) *Plan {
 		// between a per-eval join pipeline and a single head projection.
 		p.jt.Parent = rerootForHead(jt.Parent, vars, p.tb.Dist)
 		p.sched = scheduleForAtoms(p.atoms, p.jt.Parent, p.tb.Dist)
+		p.csched = newCountSchedule(vars, p.jt.Parent, p.sched, p.tb.Dist)
 	}
 	return p
 }

@@ -196,6 +196,20 @@ func (d dbSource) answersErr(ctx context.Context, p *cqapprox.PreparedQuery) (it
 	return d.bind(p).AnswersErr(ctx)
 }
 
+func (d dbSource) count(ctx context.Context, p *cqapprox.PreparedQuery) (*cqapprox.CountResult, error) {
+	if d.inline != nil {
+		return p.Count(ctx, d.inline)
+	}
+	return d.bind(p).Count(ctx)
+}
+
+func (d dbSource) estimateCount(ctx context.Context, p *cqapprox.PreparedQuery, opts []cqapprox.CountOption) (*cqapprox.CountResult, error) {
+	if d.inline != nil {
+		return p.EstimateCount(ctx, d.inline, opts...)
+	}
+	return d.bind(p).EstimateCount(ctx, opts...)
+}
+
 // resolveDB turns the request's database half into a dbSource: a
 // registered snapshot when DB names one, the inline structure
 // otherwise. Naming and shipping at once is rejected rather than
@@ -240,6 +254,13 @@ func (s *Server) evalCommon(w http.ResponseWriter, r *http.Request, run func(ctx
 	if !s.decodeJSON(w, r, &req) {
 		return
 	}
+	s.evalWith(w, r, req, run)
+}
+
+// evalWith is evalCommon after the decode: endpoints with extended
+// request types (/v1/count embeds EvalRequest) decode themselves and
+// join the shared path here.
+func (s *Server) evalWith(w http.ResponseWriter, r *http.Request, req api.EvalRequest, run func(ctx context.Context, p *cqapprox.PreparedQuery, db dbSource)) {
 	db, apiErr := s.resolveDB(req)
 	if apiErr != nil {
 		writeError(w, apiErr)
@@ -285,6 +306,71 @@ func (s *Server) handleEvalBool(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		writeJSON(w, http.StatusOK, api.EvalBoolResponse{Result: res})
+	})
+}
+
+// handleCount answers POST /v1/count: the exact answer count, or —
+// with estimate:true — the sampling estimator's (1±ε, 1-δ) count for
+// plans where exact counting would materialise answers. Admission,
+// query/database addressing, parallelism clamping and the error
+// taxonomy are exactly /v1/eval's; the extra knobs are validated up
+// front so a bad ε fails before any work runs.
+func (s *Server) handleCount(w http.ResponseWriter, r *http.Request) {
+	var req api.CountRequest
+	if !s.decodeJSON(w, r, &req) {
+		return
+	}
+	if !req.Estimate && (req.Epsilon != 0 || req.Delta != 0 || req.Seed != nil || req.MaxSamples != 0) {
+		writeError(w, errBadRequest("epsilon, delta, seed and max_samples apply to estimate requests only"))
+		return
+	}
+	if req.Epsilon < 0 || req.Epsilon > 1 {
+		writeError(w, errBadRequest("epsilon must be in (0, 1] (0 means the server default)"))
+		return
+	}
+	if req.Delta < 0 || req.Delta >= 1 {
+		writeError(w, errBadRequest("delta must be in (0, 1) (0 means the server default)"))
+		return
+	}
+	if req.MaxSamples < 0 {
+		writeError(w, errBadRequest("max_samples must be positive (0 means the server default)"))
+		return
+	}
+	var opts []cqapprox.CountOption
+	if req.Epsilon > 0 {
+		opts = append(opts, cqapprox.WithEpsilon(req.Epsilon))
+	}
+	if req.Delta > 0 {
+		opts = append(opts, cqapprox.WithDelta(req.Delta))
+	}
+	if req.Seed != nil {
+		opts = append(opts, cqapprox.WithSeed(*req.Seed))
+	}
+	if req.MaxSamples > 0 {
+		opts = append(opts, cqapprox.WithMaxSamples(req.MaxSamples))
+	}
+	s.evalWith(w, r, req.EvalRequest, func(ctx context.Context, p *cqapprox.PreparedQuery, db dbSource) {
+		var res *cqapprox.CountResult
+		var err error
+		if req.Estimate {
+			res, err = db.estimateCount(ctx, p, opts)
+		} else {
+			res, err = db.count(ctx, p)
+		}
+		if err != nil {
+			writeError(w, mapError(err))
+			return
+		}
+		writeJSON(w, http.StatusOK, api.CountResponse{
+			Count:     res.Count,
+			Estimate:  res.Estimate,
+			Estimated: res.Estimated,
+			Mode:      res.Mode,
+			Samples:   res.Samples,
+			Batches:   res.Batches,
+			Epsilon:   res.Epsilon,
+			Delta:     res.Delta,
+		})
 	})
 }
 

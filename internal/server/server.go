@@ -9,6 +9,7 @@
 //	POST /v1/prepare    run (or hit the cache for) the static pipeline
 //	POST /v1/eval       evaluate a prepared or inline query on a database
 //	POST /v1/eval/bool  answer existence only
+//	POST /v1/count      answer count, exact or estimated, no materialization
 //	POST /v1/stream     NDJSON answers, first answer flushed immediately
 //	GET  /v1/stats      engine cache stats + per-endpoint counters
 //
@@ -129,6 +130,7 @@ const (
 	epDB       = "/v1/db"
 	epEval     = "/v1/eval"
 	epEvalBool = "/v1/eval/bool"
+	epCount    = "/v1/count"
 	epStream   = "/v1/stream"
 	epStats    = "/v1/stats"
 )
@@ -156,7 +158,7 @@ func New(eng *cqapprox.Engine, cfg Config) *Server {
 	s := &Server{
 		eng:     eng,
 		cfg:     cfg.withDefaults(),
-		metrics: newMetrics(epPrepare, epDB, epEval, epEvalBool, epStream, epStats),
+		metrics: newMetrics(epPrepare, epDB, epEval, epEvalBool, epCount, epStream, epStats),
 	}
 	if n := s.cfg.MaxInflightPrepare; n > 0 {
 		s.prepareSem = make(chan struct{}, n)
@@ -169,6 +171,7 @@ func New(eng *cqapprox.Engine, cfg Config) *Server {
 	mux.HandleFunc("POST "+epDB, s.instrument(epDB, s.handleRegisterDB))
 	mux.HandleFunc("POST "+epEval, s.instrument(epEval, s.handleEval))
 	mux.HandleFunc("POST "+epEvalBool, s.instrument(epEvalBool, s.handleEvalBool))
+	mux.HandleFunc("POST "+epCount, s.instrument(epCount, s.handleCount))
 	mux.HandleFunc("POST "+epStream, s.instrument(epStream, s.handleStream))
 	mux.HandleFunc("GET "+epStats, s.instrument(epStats, s.handleStats))
 	s.mux = mux
@@ -186,13 +189,16 @@ func (s *Server) Stats() api.StatsResponse {
 	ds := s.eng.DBStats()
 	return api.StatsResponse{
 		Cache: api.CacheStats{
-			Hits:          cs.Hits,
-			Misses:        cs.Misses,
-			Entries:       cs.Entries,
-			IndexBuilds:   cs.Indexes.IndexBuilds,
-			IndexProbes:   cs.Indexes.IndexProbes,
-			IndexedEvals:  cs.Indexes.Evals,
-			ParallelEvals: cs.Indexes.ParallelEvals,
+			Hits:            cs.Hits,
+			Misses:          cs.Misses,
+			Entries:         cs.Entries,
+			IndexBuilds:     cs.Indexes.IndexBuilds,
+			IndexProbes:     cs.Indexes.IndexProbes,
+			IndexedEvals:    cs.Indexes.Evals,
+			ParallelEvals:   cs.Indexes.ParallelEvals,
+			ExactCounts:     cs.Indexes.ExactCounts,
+			EstimatedCounts: cs.Indexes.EstimatedCounts,
+			SampleBatches:   cs.Indexes.SampleBatches,
 		},
 		Server: api.ServerLimits{
 			MaxInflightPrepare: s.cfg.MaxInflightPrepare,

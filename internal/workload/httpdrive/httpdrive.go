@@ -33,7 +33,8 @@ func WireDB(s *relstr.Structure) api.Database {
 // Executor returns a LoadGen executor that performs each op as the
 // corresponding HTTP request via c, draining streams completely.
 // Ops carrying a DBName evaluate by registered name (the database is
-// not re-shipped); OpRegisterDB ops become POST /v1/db.
+// not re-shipped); OpRegisterDB ops become POST /v1/db and OpCount
+// ops POST /v1/count (estimating when the op says so).
 func Executor(c *client.Client) func(ctx context.Context, op workload.Op) error {
 	return func(ctx context.Context, op workload.Op) error {
 		evalReq := func() api.EvalRequest {
@@ -54,6 +55,9 @@ func Executor(c *client.Client) func(ctx context.Context, op workload.Op) error 
 			return err
 		case workload.OpEval:
 			_, err := c.Eval(ctx, evalReq())
+			return err
+		case workload.OpCount:
+			_, err := c.Count(ctx, api.CountRequest{EvalRequest: evalReq(), Estimate: op.Estimate})
 			return err
 		default: // OpStream
 			seq, errf := c.Stream(ctx, evalReq())

@@ -3,7 +3,9 @@ package workload
 import (
 	"context"
 	"fmt"
+	"math"
 	"math/rand"
+	"slices"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -20,6 +22,7 @@ const (
 	OpEval
 	OpStream
 	OpRegisterDB
+	OpCount
 	numOpKinds
 )
 
@@ -33,6 +36,8 @@ func (k OpKind) String() string {
 		return "stream"
 	case OpRegisterDB:
 		return "register_db"
+	case OpCount:
+		return "count"
 	default:
 		return fmt.Sprintf("OpKind(%d)", int(k))
 	}
@@ -55,6 +60,9 @@ type Op struct {
 	// (0 = serial); executors pass it through as
 	// api.EvalRequest.Parallelism.
 	Parallelism int
+	// Estimate, on an OpCount, asks for the sampling estimator instead
+	// of the exact count (api.CountRequest.Estimate).
+	Estimate bool
 }
 
 // LoadGen generates mixed prepare/eval/stream traffic over a fixed
@@ -102,19 +110,29 @@ type LoadGen struct {
 	// (default 4 when ParallelShare is positive).
 	Parallelism int
 
+	// CountShare is the fraction (0..1) of eval ops that become count
+	// requests instead — traffic exercising the server's /v1/count
+	// path. Half of the generated counts (by a further seeded draw) ask
+	// for the sampling estimator. Zero keeps the op sequence
+	// bit-identical to pre-counting generators.
+	CountShare float64
+
 	// Concurrency is the number of worker goroutines Run uses
 	// (default 8).
 	Concurrency int
 }
 
-// Report aggregates one Run: per-kind op counts and latency, failures,
-// and wall-clock.
+// Report aggregates one Run: per-kind op counts, latency totals and
+// quantiles, failures, and wall-clock.
 type Report struct {
-	Ops       [numOpKinds]int64         // completed ops per kind
-	Failures  [numOpKinds]int64         // ops whose executor returned an error
-	Latency   [numOpKinds]time.Duration // cumulative executor latency per kind
-	Elapsed   time.Duration             // wall-clock of the whole Run
-	FirstErrs []error                   // one representative error per kind (nil-free)
+	Ops      [numOpKinds]int64         // completed ops per kind
+	Failures [numOpKinds]int64         // ops whose executor returned an error
+	Latency  [numOpKinds]time.Duration // cumulative executor latency per kind
+	// P50/P95/P99 are per-op latency quantiles per kind (zero where no
+	// ops of the kind ran).
+	P50, P95, P99 [numOpKinds]time.Duration
+	Elapsed       time.Duration // wall-clock of the whole Run
+	FirstErrs     []error       // one representative error per kind (nil-free)
 }
 
 // Total returns the number of completed ops of all kinds.
@@ -227,6 +245,13 @@ func (g *LoadGen) op(rng *rand.Rand) Op {
 			op.Parallelism = g.Parallelism
 		}
 	}
+	// The count draws come last (and only when the knob is on) so
+	// CountShare == 0 reproduces the op sequences of older generators
+	// bit for bit.
+	if g.CountShare > 0 && kind == OpEval && rng.Float64() < g.CountShare {
+		op.Kind = OpCount
+		op.Estimate = rng.Float64() < 0.5
+	}
 	return op
 }
 
@@ -251,10 +276,20 @@ func (g *LoadGen) Run(ctx context.Context, n int, do func(ctx context.Context, o
 		ops      [numOpKinds]atomic.Int64
 		fails    [numOpKinds]atomic.Int64
 		latency  [numOpKinds]atomic.Int64
+		samples  [numOpKinds]latencySamples
 		firstErr [numOpKinds]atomic.Pointer[error]
 		next     atomic.Int64
 		wg       sync.WaitGroup
 	)
+	record := func(op Op, d time.Duration, err error) {
+		latency[op.Kind].Add(int64(d))
+		ops[op.Kind].Add(1)
+		samples[op.Kind].add(d)
+		if err != nil {
+			fails[op.Kind].Add(1)
+			firstErr[op.Kind].CompareAndSwap(nil, &err)
+		}
+	}
 	start := time.Now()
 	if cfg.RegisteredShare > 0 {
 		// Register the pool before any worker can evaluate by name.
@@ -265,12 +300,7 @@ func (g *LoadGen) Run(ctx context.Context, n int, do func(ctx context.Context, o
 			op := Op{Kind: OpRegisterDB, DB: db, DBName: dbName(i)}
 			t0 := time.Now()
 			err := do(ctx, op)
-			latency[OpRegisterDB].Add(int64(time.Since(t0)))
-			ops[OpRegisterDB].Add(1)
-			if err != nil {
-				fails[OpRegisterDB].Add(1)
-				firstErr[OpRegisterDB].CompareAndSwap(nil, &err)
-			}
+			record(op, time.Since(t0), err)
 		}
 	}
 	for w := 0; w < cfg.Concurrency; w++ {
@@ -285,12 +315,7 @@ func (g *LoadGen) Run(ctx context.Context, n int, do func(ctx context.Context, o
 				op := plan[i]
 				t0 := time.Now()
 				err := do(ctx, op)
-				latency[op.Kind].Add(int64(time.Since(t0)))
-				ops[op.Kind].Add(1)
-				if err != nil {
-					fails[op.Kind].Add(1)
-					firstErr[op.Kind].CompareAndSwap(nil, &err)
-				}
+				record(op, time.Since(t0), err)
 			}
 		}()
 	}
@@ -300,9 +325,38 @@ func (g *LoadGen) Run(ctx context.Context, n int, do func(ctx context.Context, o
 		rep.Ops[k] = ops[k].Load()
 		rep.Failures[k] = fails[k].Load()
 		rep.Latency[k] = time.Duration(latency[k].Load())
+		rep.P50[k], rep.P95[k], rep.P99[k] = samples[k].quantiles()
 		if p := firstErr[k].Load(); p != nil {
 			rep.FirstErrs = append(rep.FirstErrs, fmt.Errorf("%v: %w", OpKind(k), *p))
 		}
 	}
 	return &rep
+}
+
+// latencySamples collects per-op durations of one kind across workers.
+type latencySamples struct {
+	mu sync.Mutex
+	v  []time.Duration
+}
+
+func (s *latencySamples) add(d time.Duration) {
+	s.mu.Lock()
+	s.v = append(s.v, d)
+	s.mu.Unlock()
+}
+
+// quantiles returns the p50/p95/p99 of the collected samples (zeros
+// when none were collected). Nearest-rank on the sorted samples: the
+// smallest duration covering at least a q-fraction of the ops.
+func (s *latencySamples) quantiles() (p50, p95, p99 time.Duration) {
+	if len(s.v) == 0 {
+		return 0, 0, 0
+	}
+	sorted := append([]time.Duration(nil), s.v...)
+	slices.Sort(sorted)
+	at := func(q float64) time.Duration {
+		i := int(math.Ceil(q*float64(len(sorted)))) - 1
+		return sorted[max(0, min(i, len(sorted)-1))]
+	}
+	return at(0.50), at(0.95), at(0.99)
 }

@@ -227,6 +227,47 @@ func EvalBenchSuite() []EvalBenchCase {
 	}
 }
 
+// FullChainQuery returns the n-edge path query with every variable
+// free: Q(x0,…,xn) :- E(x0,x1), …, E(x_{n-1},x_n). The answer set is
+// the full join — the output regime where counting via the
+// multiplicity DP wins by the answer count itself, since evaluation
+// must materialize every tuple and counting materializes none.
+func FullChainQuery(n int) *cq.Query {
+	q := ChainQuery(n)
+	q.Name = fmt.Sprintf("FullChain%d", n)
+	q.Head = q.Head[:0]
+	for i := 0; i <= n; i++ {
+		q.Head = append(q.Head, fmt.Sprintf("x%d", i))
+	}
+	return q
+}
+
+// FullStarQuery returns the k-leaf star query with the center and all
+// leaves free — the full join of the star (see FullChainQuery).
+func FullStarQuery(k int) *cq.Query {
+	q := StarQuery(k)
+	q.Name = fmt.Sprintf("FullStar%d", k)
+	for i := 1; i <= k; i++ {
+		q.Head = append(q.Head, fmt.Sprintf("l%d", i))
+	}
+	return q
+}
+
+// CountBenchSuite returns the E22 counting workloads: full-join heads
+// (where exact counting avoids materializing hundreds of thousands of
+// answers) plus the free cycle (counting through its TW(1)
+// approximation). Shares EvalBenchDB and the E19 sizes; the names key
+// the BenchmarkCount entries in BENCH_eval.json like EvalBenchSuite's
+// key BenchmarkIndexedJoin.
+func CountBenchSuite() []EvalBenchCase {
+	sizes := []int{300, 1000, 3000}
+	return []EvalBenchCase{
+		{Name: "chain3-full", Query: FullChainQuery(3), Exact: true, Sizes: sizes},
+		{Name: "star5-full", Query: FullStarQuery(5), Exact: true, Sizes: sizes},
+		{Name: "cycle4-free", Query: CycleQueryFree(4), Exact: false, Sizes: sizes},
+	}
+}
+
 // EvalBenchDB returns the deterministic database the E19 benchmarks
 // evaluate against at size n: a social graph under E (chain/cycle
 // workloads) plus five follower graphs R1…R5 over the same nodes (the

@@ -1,8 +1,11 @@
 package workload
 
 import (
+	"context"
 	"math/rand"
+	"sync"
 	"testing"
+	"time"
 
 	"cqapprox/internal/hypergraph"
 	"cqapprox/internal/tw"
@@ -125,5 +128,94 @@ func TestQuerySuiteValid(t *testing.T) {
 		if q.NumVars() > 10 {
 			t.Fatalf("%v exceeds the approximation engine's default MaxVars", q)
 		}
+	}
+}
+
+func TestCountBenchSuiteValid(t *testing.T) {
+	for _, c := range CountBenchSuite() {
+		if err := c.Query.Validate(); err != nil {
+			t.Fatalf("%s: %v", c.Name, err)
+		}
+	}
+	if got := len(FullChainQuery(3).Head); got != 4 {
+		t.Fatalf("FullChain3 head arity = %d, want 4", got)
+	}
+	if got := len(FullStarQuery(5).Head); got != 6 {
+		t.Fatalf("FullStar5 head arity = %d, want 6", got)
+	}
+}
+
+// CountShare turns a fraction of eval ops into count ops — in both
+// exact and estimate flavours — while CountShare == 0 reproduces the
+// pre-counting op sequence bit for bit.
+func TestCountShareOps(t *testing.T) {
+	collect := func(g *LoadGen, n int) []Op {
+		var (
+			mu  sync.Mutex
+			ops []Op
+		)
+		g.Concurrency = 1
+		g.Run(context.Background(), n, func(_ context.Context, op Op) error {
+			mu.Lock()
+			ops = append(ops, op)
+			mu.Unlock()
+			return nil
+		})
+		return ops
+	}
+	base := collect(&LoadGen{Seed: 9}, 200)
+	same := collect(&LoadGen{Seed: 9, CountShare: 0}, 200)
+	for i := range base {
+		if base[i].Kind != same[i].Kind || base[i].Query.String() != same[i].Query.String() {
+			t.Fatalf("op %d diverges with CountShare=0: %+v vs %+v", i, base[i], same[i])
+		}
+	}
+	counted := collect(&LoadGen{Seed: 9, CountShare: 0.5}, 200)
+	var exact, est int
+	for _, op := range counted {
+		if op.Kind != OpCount {
+			if op.Estimate {
+				t.Fatalf("Estimate set on %v op", op.Kind)
+			}
+			continue
+		}
+		if op.Query == nil || op.DB == nil {
+			t.Fatalf("count op missing query or database: %+v", op)
+		}
+		if op.Estimate {
+			est++
+		} else {
+			exact++
+		}
+	}
+	if exact == 0 || est == 0 {
+		t.Fatalf("CountShare=0.5 over 200 ops: %d exact / %d estimated counts", exact, est)
+	}
+}
+
+// Run reports per-kind latency quantiles alongside the totals.
+func TestReportQuantiles(t *testing.T) {
+	g := &LoadGen{Seed: 3, Concurrency: 4, CountShare: 0.3}
+	rep := g.Run(context.Background(), 120, func(_ context.Context, op Op) error {
+		time.Sleep(100 * time.Microsecond)
+		return nil
+	})
+	if len(rep.FirstErrs) > 0 {
+		t.Fatal(rep.FirstErrs)
+	}
+	for _, k := range []OpKind{OpPrepare, OpEval, OpStream, OpCount} {
+		if rep.Ops[k] == 0 {
+			t.Fatalf("no %v ops in the mixed run", k)
+		}
+		if rep.P50[k] <= 0 || rep.P50[k] > rep.P95[k] || rep.P95[k] > rep.P99[k] {
+			t.Fatalf("%v quantiles unordered: p50=%v p95=%v p99=%v",
+				k, rep.P50[k], rep.P95[k], rep.P99[k])
+		}
+		if rep.P99[k] > rep.Latency[k] {
+			t.Fatalf("%v p99 %v exceeds the kind's total latency %v", k, rep.P99[k], rep.Latency[k])
+		}
+	}
+	if rep.P50[OpRegisterDB] != 0 {
+		t.Fatalf("quantiles reported for a kind that never ran: %v", rep.P50[OpRegisterDB])
 	}
 }
