@@ -184,17 +184,27 @@ type EvalRequest struct {
 	// are identical at any setting.
 	Parallelism int   `json:"parallelism,omitempty"`
 	TimeoutMS   int64 `json:"timeout_ms,omitempty"`
+
+	// Trace asks the server to attach an execution trace of this one
+	// evaluation (per-node semijoin rows, phase wall times, morsel and
+	// worker accounting) to the response. Off by default; untraced
+	// requests pay nothing. Ignored by /v1/stream.
+	Trace bool `json:"trace,omitempty"`
 }
 
 // EvalResponse is the body of a successful POST /v1/eval.
 type EvalResponse struct {
 	Answers [][]int `json:"answers"`
 	Count   int     `json:"count"`
+	// Trace is the execution trace, present only when the request set
+	// EvalRequest.Trace.
+	Trace *cqapprox.ExecTrace `json:"trace,omitempty"`
 }
 
 // EvalBoolResponse is the body of a successful POST /v1/eval/bool.
 type EvalBoolResponse struct {
-	Result bool `json:"result"`
+	Result bool                `json:"result"`
+	Trace  *cqapprox.ExecTrace `json:"trace,omitempty"`
 }
 
 // CountRequest is the body of POST /v1/count: an EvalRequest (same
@@ -233,6 +243,32 @@ type CountResponse struct {
 	// Epsilon and Delta echo the accuracy target of an estimate.
 	Epsilon float64 `json:"epsilon,omitempty"`
 	Delta   float64 `json:"delta,omitempty"`
+	// Trace is the execution trace, present only when the request set
+	// EvalRequest.Trace.
+	Trace *cqapprox.ExecTrace `json:"trace,omitempty"`
+}
+
+// ExplainRequest is the body of POST /v1/explain. The prepared query
+// is addressed exactly as in EvalRequest — by Key from a prior
+// prepare, or inline by Query plus Class/Exact/Options (Key wins when
+// both are present). Explaining an inline query prepares it (or hits
+// the prepare cache) and then renders the cached plan; no database is
+// involved.
+type ExplainRequest struct {
+	Key       string   `json:"key,omitempty"`
+	Query     string   `json:"query,omitempty"`
+	Class     string   `json:"class,omitempty"`
+	Exact     bool     `json:"exact,omitempty"`
+	Options   *Options `json:"options,omitempty"`
+	TimeoutMS int64    `json:"timeout_ms,omitempty"`
+}
+
+// ExplainResponse is the body of a successful POST /v1/explain: the
+// structured plan description plus its stable text rendering.
+type ExplainResponse struct {
+	Key     string                `json:"key"`
+	Explain *cqapprox.PlanExplain `json:"explain"`
+	Text    string                `json:"text"`
 }
 
 // ClassifyResponse is the -json output of cqapprox classify (the
@@ -266,12 +302,21 @@ type CacheStats struct {
 }
 
 // EndpointStats are the per-endpoint request counters of GET /v1/stats.
+// The latency distribution fields come from a fixed-bucket histogram
+// (see internal/server's metrics): Min/Max are exact, the quantiles are
+// nearest-rank upper bucket bounds. All are omitted until the endpoint
+// has served at least one request.
 type EndpointStats struct {
 	Requests       int64   `json:"requests"`
 	Errors         int64   `json:"errors"`
 	Rejected       int64   `json:"rejected"`
 	InFlight       int64   `json:"in_flight"`
 	LatencyTotalMS float64 `json:"latency_total_ms"`
+	LatencyMinMS   float64 `json:"latency_min_ms,omitempty"`
+	LatencyMaxMS   float64 `json:"latency_max_ms,omitempty"`
+	LatencyP50MS   float64 `json:"latency_p50_ms,omitempty"`
+	LatencyP95MS   float64 `json:"latency_p95_ms,omitempty"`
+	LatencyP99MS   float64 `json:"latency_p99_ms,omitempty"`
 }
 
 // DBRegistryStats mirrors cqapprox.DBStats on the wire: the engine's

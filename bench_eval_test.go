@@ -78,6 +78,50 @@ func BenchmarkIndexedJoinBool(b *testing.B) {
 	}
 }
 
+// Observability: the trace-off eval path must stay flat with tracing
+// compiled in. BenchmarkEvalTraceOff is the plain warm bound eval —
+// the executor runs with its (nil) trace hook present, paying only the
+// nil checks — and is benchcheck-gated against the committed baseline.
+// BenchmarkEvalTraceOn runs the identical evaluation with the trace
+// frame live, bounding what ANALYZE costs when a caller asks for it.
+func benchEvalTrace(b *testing.B, traced bool) {
+	ctx := context.Background()
+	engine := NewEngine()
+	suite := workload.EvalBenchSuite()
+	p := preparedBenchCase(b, engine, suite[1]) // star5: non-Boolean, all phases run
+	d, _, err := engine.RegisterDB("trace3000", workload.EvalBenchDB(3000))
+	if err != nil {
+		b.Fatal(err)
+	}
+	bound := p.Bind(d)
+	if _, err := bound.Eval(ctx); err != nil { // warm the snapshot caches
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if traced {
+			ans, tr, err := bound.EvalTrace(ctx)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(ans) == 0 || tr == nil || len(tr.Nodes) == 0 {
+				b.Fatal("traced eval returned no answers or an empty trace")
+			}
+		} else {
+			ans, err := bound.Eval(ctx)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(ans) == 0 {
+				b.Fatal("no answers")
+			}
+		}
+	}
+}
+
+func BenchmarkEvalTraceOff(b *testing.B) { benchEvalTrace(b, false) }
+func BenchmarkEvalTraceOn(b *testing.B)  { benchEvalTrace(b, true) }
+
 // E21: morsel-driven parallel evaluation. BenchmarkParallelEval
 // measures warm BoundQuery.Eval over registered snapshots with a
 // GOMAXPROCS worker budget — against BenchmarkIndexedJoin's serial

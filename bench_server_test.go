@@ -22,7 +22,7 @@ import (
 )
 
 func BenchmarkServerThroughput(b *testing.B) {
-	benchServerThroughput(b, 0, 0)
+	benchServerThroughput(b, 0, 0, 0)
 }
 
 // BenchmarkServerThroughputRegistered runs the same mixed workload
@@ -30,16 +30,23 @@ func BenchmarkServerThroughput(b *testing.B) {
 // name (POST /v1/db up front, then eval-by-name) — the register-once
 // traffic shape the snapshot API targets.
 func BenchmarkServerThroughputRegistered(b *testing.B) {
-	benchServerThroughput(b, 0.5, 0)
+	benchServerThroughput(b, 0.5, 0, 0)
 }
 
 // BenchmarkServerThroughputCounting additionally turns a quarter of
 // the eval traffic into /v1/count requests (half of those estimating).
 func BenchmarkServerThroughputCounting(b *testing.B) {
-	benchServerThroughput(b, 0.5, 0.25)
+	benchServerThroughput(b, 0.5, 0.25, 0)
 }
 
-func benchServerThroughput(b *testing.B, registeredShare, countShare float64) {
+// BenchmarkServerThroughputTraced samples an execution trace on a
+// tenth of the eval/count traffic — the deployed ANALYZE-sampling
+// shape — and reports the mean traced-vs-untraced eval latency.
+func BenchmarkServerThroughputTraced(b *testing.B) {
+	benchServerThroughput(b, 0.5, 0.25, 0.1)
+}
+
+func benchServerThroughput(b *testing.B, registeredShare, countShare, traceShare float64) {
 	eng := cqapprox.NewEngine()
 	srv := server.New(eng, server.Config{MaxInflightPrepare: 16, MaxInflightEval: 256})
 	ts := httptest.NewServer(srv.Handler())
@@ -52,6 +59,7 @@ func benchServerThroughput(b *testing.B, registeredShare, countShare float64) {
 		Concurrency:     runtime.GOMAXPROCS(0),
 		RegisteredShare: registeredShare,
 		CountShare:      countShare,
+		TraceShare:      traceShare,
 	}
 
 	// Warm the cache: every suite query's search is paid here, outside
@@ -80,5 +88,10 @@ func benchServerThroughput(b *testing.B, registeredShare, countShare float64) {
 	if countShare > 0 {
 		b.ReportMetric(rep.KindPerSecond(workload.OpCount), "count-req/s")
 		b.ReportMetric(rep.P95[workload.OpCount].Seconds()*1e3, "count-p95-ms")
+	}
+	if traceShare > 0 {
+		traced, untraced := rep.TraceOverhead(workload.OpEval)
+		b.ReportMetric(traced.Seconds()*1e3, "eval-traced-mean-ms")
+		b.ReportMetric(untraced.Seconds()*1e3, "eval-untraced-mean-ms")
 	}
 }

@@ -106,6 +106,18 @@ func (c *Client) Prepare(ctx context.Context, req api.PrepareRequest) (*api.Prep
 	return &out, nil
 }
 
+// Explain returns the server's EXPLAIN view of a prepared (by Key) or
+// inline query: the structured static plan plus its stable text
+// rendering. Explaining an inline query prepares it server-side (or
+// hits the prepare cache); no database is involved.
+func (c *Client) Explain(ctx context.Context, req api.ExplainRequest) (*api.ExplainResponse, error) {
+	var out api.ExplainResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/explain", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
 // RegisterDB registers (or replaces) a named database snapshot on the
 // server. Later Eval/EvalBool/Stream requests may name it via
 // api.EvalRequest.DB instead of shipping the database inline; those

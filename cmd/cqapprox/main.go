@@ -7,13 +7,14 @@
 //	cqapprox parse    -q "Q(x) :- E(x,y), E(y,z), E(z,x)"
 //	cqapprox classify -q "Q() :- E(x,y), E(y,z), E(z,x)" [-json]
 //	cqapprox approx   -q "..." -class TW1 [-all] [-timeout 30s] [-json]
+//	cqapprox explain  -q "..." [-class TW1] [-timeout 30s] [-json]
 //	cqapprox check    -q "..." -cand "..." -class AC
 //	cqapprox eval     -q "..." -db graph.txt [-engine auto|naive|yannakakis|td]
 //	                  [-class TW1] [-db-register name] [-stream] [-parallel 8]
-//	                  [-timeout 30s] [-json]
+//	                  [-trace] [-timeout 30s] [-json]
 //	cqapprox count    -q "..." -db graph.txt [-class TW1] [-db-register name]
 //	                  [-estimate] [-epsilon 0.1] [-delta 0.05] [-seed 7]
-//	                  [-max-samples N] [-parallel 8] [-timeout 30s] [-json]
+//	                  [-max-samples N] [-parallel 8] [-trace] [-timeout 30s] [-json]
 //
 // The approx and eval commands run on a cqapprox.Engine: queries are
 // prepared once (minimize → approximate → plan) and evaluated through
@@ -24,6 +25,14 @@
 // database into the engine's registry first and evaluates against the
 // snapshot's persistent indexes (the register-once path cqapproxd's
 // eval-by-name requests take).
+//
+// explain prints the prepared plan's structure without touching any
+// data: evaluation mode, per-tree join-forest shape, re-rooting and
+// dead-step decisions, the counting classification, and the prepare
+// phase timings. eval -trace and count -trace additionally print the
+// execution trace of the one evaluation that ran — per-node semijoin
+// row counts, survivor counts, index activity, phase wall times, and
+// morsel/worker accounting for parallel runs.
 //
 // -json switches classify/approx/eval to machine-readable output in
 // exactly the wire shapes the cqapproxd server emits (package api):
@@ -76,6 +85,8 @@ func main() {
 		err = cmdClassify(os.Args[2:])
 	case "approx":
 		err = cmdApprox(os.Args[2:])
+	case "explain":
+		err = cmdExplain(os.Args[2:])
 	case "check":
 		err = cmdCheck(os.Args[2:])
 	case "eval":
@@ -103,14 +114,19 @@ commands:
   classify  Theorem 5.1 trichotomy classification for graph queries
   approx    compute C-approximations (-class TW1|TW2|TW3|AC|HTW1|HTW2|GHTW1|GHTW2)
             [-all] [-timeout 30s] [-v]
+  explain   print the prepared plan's structure (EXPLAIN): join-forest shape,
+            re-rooting, dead steps, counting classification; [-class TW1]
+            explains the approximation's plan instead of the exact one
   check     decide whether -cand is a C-approximation of -q
   eval      evaluate a query on a database file (one fact per line: "E 1 2")
             [-class TW1] evaluates its approximation; [-stream] streams answers;
             [-db-register name] evaluates via a registered snapshot;
-            [-parallel N] evaluates morsel-driven parallel on N workers
+            [-parallel N] evaluates morsel-driven parallel on N workers;
+            [-trace] prints the execution trace (ANALYZE) of the run
   count     count answers without materializing them; [-estimate] runs the
             (1±ε, 1-δ) sampling estimator ([-epsilon] [-delta] [-seed]
-            [-max-samples]); other flags as for eval`)
+            [-max-samples]); [-trace] prints the counting pass's execution
+            trace; other flags as for eval`)
 }
 
 // classFromName resolves a class name; the accepted names are the wire
@@ -252,6 +268,53 @@ func cmdApprox(args []string) error {
 	return nil
 }
 
+// cmdExplain prepares the query (exactly, or its -class approximation)
+// and prints the plan's static structure — the same text and wire shape
+// the server's POST /v1/explain returns. No database is touched.
+func cmdExplain(args []string) error {
+	fs := flag.NewFlagSet("explain", flag.ExitOnError)
+	src := fs.String("q", "", "query in rule notation")
+	className := fs.String("class", "", "explain the plan of the query's C-approximation (empty = the exact query)")
+	timeout := fs.Duration("timeout", 0, "abort the preparation after this long (0 = no limit)")
+	jsonOut := fs.Bool("json", false, "machine-readable output (api.ExplainResponse, as the server emits)")
+	fs.Parse(args)
+	q, err := cqapprox.Parse(*src)
+	if err != nil {
+		return err
+	}
+	var c cqapprox.Class
+	if *className != "" {
+		if c, err = classFromName(*className); err != nil {
+			return err
+		}
+	}
+	ctx, cancel := withTimeout(*timeout)
+	defer cancel()
+	var p *cqapprox.PreparedQuery
+	if c != nil {
+		p, err = engine.Prepare(ctx, q, c)
+	} else {
+		p, err = engine.PrepareExact(ctx, q)
+	}
+	if err != nil {
+		return err
+	}
+	ex := p.Explain()
+	if *jsonOut {
+		key, err := engine.CacheKey(q, c, engine.Options())
+		if err != nil {
+			return err
+		}
+		return emitJSON(api.ExplainResponse{Key: api.EncodeKey(key), Explain: ex, Text: ex.Text()})
+	}
+	fmt.Printf("query: %v\n", q)
+	if m := ex.Minimized; m != "" && m != ex.Query {
+		fmt.Printf("minimized: %s\n", m)
+	}
+	fmt.Print(ex.Text())
+	return nil
+}
+
 func cmdCheck(args []string) error {
 	fs := flag.NewFlagSet("check", flag.ExitOnError)
 	src := fs.String("q", "", "query in rule notation")
@@ -287,6 +350,7 @@ func cmdEval(args []string) error {
 	className := fs.String("class", "", "evaluate the query's C-approximation instead (e.g. TW1, AC)")
 	stream := fs.Bool("stream", false, "print answers as they are found (discovery order)")
 	parallel := fs.Int("parallel", 1, "evaluation worker budget (morsel-driven parallel eval; <= 1 serial)")
+	trace := fs.Bool("trace", false, "print the execution trace (ANALYZE) of the evaluation")
 	timeout := fs.Duration("timeout", 0, "abort after this long (0 = no limit)")
 	jsonOut := fs.Bool("json", false, "machine-readable output (api.EvalResponse; with -stream, NDJSON answer lines)")
 	fs.Parse(args)
@@ -306,6 +370,12 @@ func cmdEval(args []string) error {
 	}
 	if *parallel > 1 && *engineName != "auto" {
 		return fmt.Errorf("-parallel requires -engine auto (parallel evaluation runs through the prepared plan)")
+	}
+	if *trace && *engineName != "auto" {
+		return fmt.Errorf("-trace requires -engine auto (tracing runs through the prepared plan)")
+	}
+	if *trace && *stream {
+		return fmt.Errorf("-trace is incompatible with -stream (the trace is complete only after the last answer)")
 	}
 	if *stream && q.IsBoolean() {
 		return fmt.Errorf("-stream requires a non-Boolean query (a Boolean query has a single true/false answer)")
@@ -408,31 +478,61 @@ func cmdEval(args []string) error {
 		return nil
 	}
 	if q.IsBoolean() {
-		var ok bool
-		if bound != nil {
+		var (
+			ok bool
+			tr *cqapprox.ExecTrace
+		)
+		switch {
+		case *trace && bound != nil:
+			ok, tr, err = bound.EvalBoolTrace(ctx)
+		case *trace:
+			ok, tr, err = p.EvalBoolTrace(ctx, db)
+		case bound != nil:
 			ok, err = bound.EvalBool(ctx)
-		} else {
+		default:
 			ok, err = p.EvalBool(ctx, db)
 		}
 		if err != nil {
 			return err
 		}
 		if *jsonOut {
-			return emitJSON(api.EvalBoolResponse{Result: ok})
+			return emitJSON(api.EvalBoolResponse{Result: ok, Trace: tr})
 		}
 		fmt.Println(ok)
+		if tr != nil {
+			fmt.Print(tr.Text())
+		}
 		return nil
 	}
-	var ans cqapprox.Answers
-	if bound != nil {
+	var (
+		ans cqapprox.Answers
+		tr  *cqapprox.ExecTrace
+	)
+	switch {
+	case *trace && bound != nil:
+		ans, tr, err = bound.EvalTrace(ctx)
+	case *trace:
+		ans, tr, err = p.EvalTrace(ctx, db)
+	case bound != nil:
 		ans, err = bound.Eval(ctx)
-	} else {
+	default:
 		ans, err = p.Eval(ctx, db)
 	}
 	if err != nil {
 		return err
 	}
-	return printAnswers(q, ans, *jsonOut)
+	if tr == nil {
+		return printAnswers(q, ans, *jsonOut)
+	}
+	if *jsonOut {
+		return emitJSON(api.EvalResponse{Answers: api.FromAnswers(ans), Count: len(ans), Trace: tr})
+	}
+	for _, t := range ans {
+		fmt.Println(t)
+	}
+	fmt.Printf("(%d answers)\n", len(ans))
+	fmt.Print(tr.Text())
+	return nil
 }
 
 // cmdCount counts answers through the prepared plan without
@@ -451,6 +551,7 @@ func cmdCount(args []string) error {
 	delta := fs.Float64("delta", 0, "estimator failure probability in (0,1) (0 = library default)")
 	seed := fs.Int64("seed", 0, "estimator seed for reproducible runs")
 	maxSamples := fs.Int("max-samples", 0, "estimator sample budget cap (0 = library default)")
+	trace := fs.Bool("trace", false, "print the execution trace (ANALYZE) of the counting pass")
 	parallel := fs.Int("parallel", 1, "worker budget for the counting passes (<= 1 serial)")
 	timeout := fs.Duration("timeout", 0, "abort after this long (0 = no limit)")
 	jsonOut := fs.Bool("json", false, "machine-readable output (api.CountResponse, as the server emits)")
@@ -482,6 +583,9 @@ func cmdCount(args []string) error {
 	if len(opts) > 0 && !*estimate {
 		return fmt.Errorf("-epsilon, -delta, -seed and -max-samples require -estimate")
 	}
+	if *trace {
+		opts = append(opts, cqapprox.WithTrace())
+	}
 	ctx, cancel := withTimeout(*timeout)
 	defer cancel()
 
@@ -512,7 +616,7 @@ func cmdCount(args []string) error {
 		if *estimate {
 			res, err = b.EstimateCount(ctx, opts...)
 		} else {
-			res, err = b.Count(ctx)
+			res, err = b.Count(ctx, opts...)
 		}
 		if err != nil {
 			return err
@@ -521,7 +625,7 @@ func cmdCount(args []string) error {
 		if *estimate {
 			res, err = p.EstimateCount(ctx, db, opts...)
 		} else {
-			res, err = p.Count(ctx, db)
+			res, err = p.Count(ctx, db, opts...)
 		}
 		if err != nil {
 			return err
@@ -537,14 +641,18 @@ func cmdCount(args []string) error {
 			Batches:   res.Batches,
 			Epsilon:   res.Epsilon,
 			Delta:     res.Delta,
+			Trace:     res.Trace,
 		})
 	}
 	if res.Estimated {
 		fmt.Printf("%.1f (estimated; %d samples in %d batches, ε=%g δ=%g)\n",
 			res.Estimate, res.Samples, res.Batches, res.Epsilon, res.Delta)
-		return nil
+	} else {
+		fmt.Printf("%d (%s)\n", res.Count, res.Mode)
 	}
-	fmt.Printf("%d (%s)\n", res.Count, res.Mode)
+	if res.Trace != nil {
+		fmt.Print(res.Trace.Text())
+	}
 	return nil
 }
 

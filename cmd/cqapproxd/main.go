@@ -16,12 +16,19 @@
 // field of eval/stream requests) to GOMAXPROCS. GET /v1/stats reports
 // the effective values under "server".
 //
-// Endpoints: POST /v1/prepare, /v1/db (register a named database
-// snapshot with persistent shared indexes; eval requests may then pass
-// "db" instead of shipping the data), /v1/eval, /v1/eval/bool,
-// /v1/stream (NDJSON); GET /v1/stats and /debug/vars (expvar,
-// including the same counters under "cqapproxd"). SIGINT/SIGTERM drain
-// in-flight requests for up to -grace before exiting.
+// Endpoints: POST /v1/prepare, /v1/explain (structured EXPLAIN of a
+// plan), /v1/db (register a named database snapshot with persistent
+// shared indexes; eval requests may then pass "db" instead of shipping
+// the data), /v1/eval, /v1/eval/bool, /v1/count, /v1/stream (NDJSON);
+// GET /v1/stats and /debug/vars (expvar, including the same counters
+// under "cqapproxd"). SIGINT/SIGTERM drain in-flight requests for up
+// to -grace before exiting.
+//
+// Observability: -log-requests emits one structured JSON line per
+// request; -slow-query-ms upgrades slow requests to warnings carrying
+// the execution trace when the request ran with "trace":true;
+// -debug-addr serves net/http/pprof and /debug/vars on a second
+// (normally loopback-only) listener.
 package main
 
 import (
@@ -31,7 +38,9 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"net/http"
+	_ "net/http/pprof" // profiling handlers on the -debug-addr listener
 	"os"
 	"os/signal"
 	"syscall"
@@ -61,6 +70,9 @@ func run() error {
 		maxVars    = flag.Int("maxvars", 0, "default search variable budget (0 = library default)")
 		extraAtoms = flag.Int("extras", 1, "default extra atoms for hypergraph-based classes")
 		freshVars  = flag.Int("fresh", 0, "default fresh variables per extra atom")
+		logReqs    = flag.Bool("log-requests", false, "structured (JSON) log line per request on stderr")
+		slowMS     = flag.Int64("slow-query-ms", 0, "warn-log requests at least this slow, with their trace when traced (0 off; implies -log-requests)")
+		debugAddr  = flag.String("debug-addr", "", "second listener for net/http/pprof and /debug/vars (e.g. localhost:6060; empty = off)")
 	)
 	flag.Parse()
 
@@ -72,13 +84,18 @@ func run() error {
 			FreshVars:     *freshVars,
 		}.WithDefaults()),
 	)
-	srv := server.New(eng, server.Config{
+	cfg := server.Config{
 		MaxInflightPrepare: *maxPrepare,
 		MaxInflightEval:    *maxEval,
 		MaxParallelism:     *maxPar,
 		DefaultTimeout:     *defTimeout,
 		MaxTimeout:         *maxTimeout,
-	})
+	}
+	if *logReqs || *slowMS > 0 {
+		cfg.Logger = slog.New(slog.NewJSONHandler(os.Stderr, nil))
+		cfg.SlowQuery = time.Duration(*slowMS) * time.Millisecond
+	}
+	srv := server.New(eng, cfg)
 
 	// The /v1/stats payload and raw counters, via the standard expvar
 	// surface (alongside Go runtime vars at /debug/vars).
@@ -93,6 +110,21 @@ func run() error {
 		Addr:              *addr,
 		Handler:           mux,
 		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	// The optional debug listener: net/http/pprof and expvar both
+	// register on http.DefaultServeMux at import time, so serving the
+	// default mux on a second (normally loopback-only) address exposes
+	// /debug/pprof/* and /debug/vars without putting profiling on the
+	// service port.
+	if *debugAddr != "" {
+		go func() {
+			dbg := &http.Server{Addr: *debugAddr, Handler: http.DefaultServeMux, ReadHeaderTimeout: 10 * time.Second}
+			log.Printf("cqapproxd debug listener (pprof, expvar) on %s", *debugAddr)
+			if err := dbg.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Printf("cqapproxd debug listener: %v", err)
+			}
+		}()
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

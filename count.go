@@ -32,6 +32,9 @@ type CountResult struct {
 	// Epsilon and Delta echo the accuracy target of an estimate.
 	Epsilon float64
 	Delta   float64
+	// Trace is the execution trace of this count, present only when the
+	// call opted in with WithTrace; nil otherwise.
+	Trace *ExecTrace `json:"trace,omitempty"`
 }
 
 func fromCount(r count.Result) *CountResult {
@@ -47,40 +50,82 @@ func fromCount(r count.Result) *CountResult {
 	}
 }
 
-// CountOption tunes EstimateCount.
-type CountOption func(*count.Options)
+// CountOption tunes Count and EstimateCount.
+type CountOption func(*countConfig)
+
+// countConfig is the resolved option set of one counting call: the
+// estimator knobs plus the tracing opt-in.
+type countConfig struct {
+	opts  count.Options
+	trace bool
+}
 
 // WithEpsilon sets the estimator's relative error target ε
 // (default 0.1): with probability at least 1-δ the estimate is within
 // a (1±ε) factor of the true count.
 func WithEpsilon(eps float64) CountOption {
-	return func(o *count.Options) { o.Epsilon = eps }
+	return func(c *countConfig) { c.opts.Epsilon = eps }
 }
 
 // WithDelta sets the estimator's failure probability δ (default 0.05).
 func WithDelta(delta float64) CountOption {
-	return func(o *count.Options) { o.Delta = delta }
+	return func(c *countConfig) { c.opts.Delta = delta }
 }
 
 // WithSeed fixes the estimator's random seed (default 1): identical
 // prepared query, database, options and seed reproduce the estimate
 // bit for bit.
 func WithSeed(seed int64) CountOption {
-	return func(o *count.Options) { o.Seed = seed }
+	return func(c *countConfig) { c.opts.Seed = seed }
 }
 
 // WithMaxSamples caps the total samples one EstimateCount may draw
 // (default 200000); batch sizes shrink to fit the cap.
 func WithMaxSamples(n int) CountOption {
-	return func(o *count.Options) { o.MaxSamples = n }
+	return func(c *countConfig) { c.opts.MaxSamples = n }
 }
 
-func countOptions(opts []CountOption) count.Options {
-	var o count.Options
+// WithTrace attaches an execution trace to the count: the result's
+// Trace field reports the reduction's per-node counters and the
+// counting phase's wall time. Off by default; untraced counts pay
+// nothing for the machinery.
+func WithTrace() CountOption {
+	return func(c *countConfig) { c.trace = true }
+}
+
+func countConfigOf(opts []CountOption) countConfig {
+	var c countConfig
 	for _, opt := range opts {
-		opt(&o)
+		opt(&c)
 	}
-	return o
+	return c
+}
+
+// countOn dispatches one counting call to the exact or estimating
+// subsystem entry point, traced or not.
+func countOn(ctx context.Context, pl *eval.Plan, src eval.Source, par int, estimate bool, opts []CountOption) (*CountResult, error) {
+	cfg := countConfigOf(opts)
+	var (
+		res count.Result
+		tr  *ExecTrace
+		err error
+	)
+	switch {
+	case estimate && cfg.trace:
+		res, tr, err = count.EstimateTrace(ctx, pl, src, par, cfg.opts)
+	case estimate:
+		res, err = count.Estimate(ctx, pl, src, par, cfg.opts)
+	case cfg.trace:
+		res, tr, err = count.ExactTrace(ctx, pl, src, par)
+	default:
+		res, err = count.Exact(ctx, pl, src, par)
+	}
+	if err != nil {
+		return nil, err
+	}
+	out := fromCount(res)
+	out.Trace = tr
+	return out, nil
 }
 
 // Count returns the exact number of distinct answers of the prepared
@@ -92,12 +137,8 @@ func countOptions(opts []CountOption) count.Options {
 // prepared query's worker budget (Parallel) applies to the reduction
 // and DP passes. The error is ErrCountOverflow when the count exceeds
 // uint64.
-func (p *PreparedQuery) Count(ctx context.Context, db *Structure) (*CountResult, error) {
-	res, err := count.Exact(ctx, p.plan, eval.NewSource(db), p.parallelism())
-	if err != nil {
-		return nil, err
-	}
-	return fromCount(res), nil
+func (p *PreparedQuery) Count(ctx context.Context, db *Structure, opts ...CountOption) (*CountResult, error) {
+	return countOn(ctx, p.plan, eval.NewSource(db), p.parallelism(), false, opts)
 }
 
 // EstimateCount returns the number of distinct answers on db, using
@@ -110,30 +151,18 @@ func (p *PreparedQuery) Count(ctx context.Context, db *Structure) (*CountResult,
 //	res, err := p.EstimateCount(ctx, db,
 //		cqapprox.WithEpsilon(0.05), cqapprox.WithSeed(7))
 func (p *PreparedQuery) EstimateCount(ctx context.Context, db *Structure, opts ...CountOption) (*CountResult, error) {
-	res, err := count.Estimate(ctx, p.plan, eval.NewSource(db), p.parallelism(), countOptions(opts))
-	if err != nil {
-		return nil, err
-	}
-	return fromCount(res), nil
+	return countOn(ctx, p.plan, eval.NewSource(db), p.parallelism(), true, opts)
 }
 
 // Count is PreparedQuery.Count over the binding's snapshot: reduction
 // and DP probe the snapshot's persistent shared indexes instead of
 // deriving per-call ones.
-func (b *BoundQuery) Count(ctx context.Context) (*CountResult, error) {
-	res, err := count.Exact(ctx, b.p.plan, b.source(), b.p.parallelism())
-	if err != nil {
-		return nil, err
-	}
-	return fromCount(res), nil
+func (b *BoundQuery) Count(ctx context.Context, opts ...CountOption) (*CountResult, error) {
+	return countOn(ctx, b.p.plan, b.source(), b.p.parallelism(), false, opts)
 }
 
 // EstimateCount is PreparedQuery.EstimateCount over the binding's
 // snapshot; see BoundQuery.Count.
 func (b *BoundQuery) EstimateCount(ctx context.Context, opts ...CountOption) (*CountResult, error) {
-	res, err := count.Estimate(ctx, b.p.plan, b.source(), b.p.parallelism(), countOptions(opts))
-	if err != nil {
-		return nil, err
-	}
-	return fromCount(res), nil
+	return countOn(ctx, b.p.plan, b.source(), b.p.parallelism(), true, opts)
 }

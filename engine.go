@@ -6,11 +6,13 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"cqapprox/internal/core"
 	"cqapprox/internal/cqerr"
 	"cqapprox/internal/eval"
 	"cqapprox/internal/hom"
+	"cqapprox/internal/obs"
 )
 
 // Engine is the long-lived entry point for services: it owns a cache of
@@ -456,13 +458,17 @@ func (e *Engine) build(ctx context.Context, q *Query, c Class, opt Options) (*Pr
 		min.Name = q.Name
 		p := &PreparedQuery{src: q.Clone(), min: min, opt: opt, par: e.par}
 		p.chosen = p.min
+		t0 := time.Now()
 		p.plan = eval.NewPlan(p.chosen)
+		p.prep = []obs.Phase{{Name: "plan", NS: time.Since(t0).Nanoseconds()}}
 		return p, nil
 	}
+	t0 := time.Now()
 	min, err := hom.MinimizeCtx(ctx, q)
 	if err != nil {
 		return nil, err
 	}
+	minimizeNS := time.Since(t0).Nanoseconds()
 	// Canonicalize the minimized query's variable names so a cached
 	// entry carries nothing of the first preparer's identity: every
 	// caller (after forCaller rebinds the head name) sees the same
@@ -476,8 +482,10 @@ func (e *Engine) build(ctx context.Context, q *Query, c Class, opt Options) (*Pr
 		opt:   opt,
 		par:   e.par,
 	}
+	p.prep = []obs.Phase{{Name: "minimize", NS: minimizeNS}}
 	target := min
 	if c != nil {
+		t0 = time.Now()
 		res, err := core.ApproximationsWithStatsCtx(ctx, min, c, opt)
 		if err != nil {
 			return nil, err
@@ -485,12 +493,15 @@ func (e *Engine) build(ctx context.Context, q *Query, c Class, opt Options) (*Pr
 		if len(res.Queries) == 0 {
 			return nil, fmt.Errorf("cqapprox: no %s-query is contained in %v: %w", c.Name(), q, cqerr.ErrNotInClass)
 		}
+		p.prep = append(p.prep, obs.Phase{Name: "search", NS: time.Since(t0).Nanoseconds()})
 		p.approxes = res.Queries
 		p.inspected = res.CandidatesInspected
 		target = res.Queries[0]
 	}
 	p.chosen = target
+	t0 = time.Now()
 	p.plan = eval.NewPlan(target)
+	p.prep = append(p.prep, obs.Phase{Name: "plan", NS: time.Since(t0).Nanoseconds()})
 	return p, nil
 }
 

@@ -28,8 +28,10 @@ import (
 	"math"
 	"math/bits"
 	"math/rand"
+	"time"
 
 	"cqapprox/internal/eval"
+	"cqapprox/internal/obs"
 )
 
 // Result modes.
@@ -116,6 +118,45 @@ func Exact(ctx context.Context, p *eval.Plan, src eval.Source, parallel int) (Re
 		p.RecordCount(false, 0)
 	}
 	return res, err
+}
+
+// ExactTrace is Exact with an execution trace of the run attached:
+// the reduction counters from the forest plus a caller-timed "count"
+// phase around the DP product. Naive plans trace total time only.
+func ExactTrace(ctx context.Context, p *eval.Plan, src eval.Source, parallel int) (Result, *obs.ExecTrace, error) {
+	start := time.Now()
+	if p.Mode() != eval.PlanYannakakis {
+		n, err := p.CountEnum(ctx, src)
+		if err != nil {
+			return Result{}, nil, err
+		}
+		p.RecordCount(false, 0)
+		tr := &obs.ExecTrace{Mode: p.Mode().String(), Parallelism: 1,
+			TotalNS: time.Since(start).Nanoseconds()}
+		return exactResult(n, ModeExactEnum), tr, nil
+	}
+	if !p.ExactCountable() {
+		ans, tr, err := p.EvalTraceOn(ctx, src, parallel)
+		if err != nil {
+			return Result{}, nil, err
+		}
+		p.RecordCount(false, 0)
+		return exactResult(uint64(len(ans)), ModeExactEval), tr, nil
+	}
+	run, err := p.PrepareCountTrace(ctx, src, parallel)
+	if err != nil {
+		return Result{}, nil, err
+	}
+	defer run.Close()
+	t0 := time.Now()
+	n, err := exactProduct(ctx, run)
+	if err != nil {
+		return Result{}, nil, err
+	}
+	run.TracePhase("count", time.Since(t0))
+	tr := run.TraceSnapshot(time.Since(start))
+	p.RecordCount(false, 0)
+	return exactResult(n, ModeExactDP), tr, nil
 }
 
 func exact(ctx context.Context, p *eval.Plan, src eval.Source, parallel int) (Result, error) {
@@ -234,6 +275,72 @@ func Estimate(ctx context.Context, p *eval.Plan, src eval.Source, parallel int, 
 		Epsilon:   opts.Epsilon,
 		Delta:     opts.Delta,
 	}, nil
+}
+
+// EstimateTrace is Estimate with an execution trace of the run
+// attached; the sampling effort lands in a "count-estimate" phase.
+// Plans that short-circuit to an exact count trace that path instead.
+func EstimateTrace(ctx context.Context, p *eval.Plan, src eval.Source, parallel int, opts Options) (Result, *obs.ExecTrace, error) {
+	opts = opts.withDefaults()
+	if p.Mode() != eval.PlanYannakakis || p.ExactCountable() {
+		return ExactTrace(ctx, p, src, parallel)
+	}
+	start := time.Now()
+	run, err := p.PrepareCountTrace(ctx, src, parallel)
+	if err != nil {
+		return Result{}, nil, err
+	}
+	defer run.Close()
+	if run.Empty() {
+		p.RecordCount(false, 0)
+		return exactResult(0, ModeExactDP), run.TraceSnapshot(time.Since(start)), nil
+	}
+
+	t0 := time.Now()
+	var sampleTrees []int
+	exactPart := 1.0
+	for t := 0; t < run.Trees(); t++ {
+		if !run.TreeExactOK(t) {
+			sampleTrees = append(sampleTrees, t)
+			continue
+		}
+		n, _, err := run.TreeExact(ctx, t)
+		if err != nil {
+			return Result{}, nil, err
+		}
+		if n == 0 {
+			p.RecordCount(false, 0)
+			run.TracePhase("count", time.Since(t0))
+			return exactResult(0, ModeExactDP), run.TraceSnapshot(time.Since(start)), nil
+		}
+		exactPart *= float64(n)
+	}
+
+	k := len(sampleTrees)
+	rng := rand.New(rand.NewSource(opts.Seed))
+	est := exactPart
+	samples, batches := 0, 0
+	for _, t := range sampleTrees {
+		te, err := estimateTree(ctx, run, t, rng, opts.Epsilon/float64(k), opts.Delta/float64(k), opts.MaxSamples/k)
+		if err != nil {
+			return Result{}, nil, err
+		}
+		est *= te.mean
+		samples += te.samples
+		batches += te.batches
+	}
+	run.TracePhase("count-estimate", time.Since(t0))
+	p.RecordCount(true, uint64(batches))
+	return Result{
+		Count:     uint64(math.Round(est)),
+		Estimate:  est,
+		Estimated: true,
+		Mode:      ModeEstimate,
+		Samples:   samples,
+		Batches:   batches,
+		Epsilon:   opts.Epsilon,
+		Delta:     opts.Delta,
+	}, run.TraceSnapshot(time.Since(start)), nil
 }
 
 type treeEstimate struct {

@@ -298,11 +298,12 @@ type CountRun struct {
 // with ErrNotAcyclic on naive plans (counting those goes through
 // CountEnum instead).
 func (p *Plan) PrepareCount(ctx context.Context, src Source, parallel int) (*CountRun, error) {
-	return p.prepareCount(ctx, src, parallel, false)
+	return p.prepareCount(ctx, src, parallel, false, false)
 }
 
-// prepareCount is PrepareCount with the test-only tuned thresholds.
-func (p *Plan) prepareCount(ctx context.Context, src Source, parallel int, tuned bool) (*CountRun, error) {
+// prepareCount is PrepareCount with the test-only tuned thresholds and
+// the opt-in trace frame.
+func (p *Plan) prepareCount(ctx context.Context, src Source, parallel int, tuned, traced bool) (*CountRun, error) {
 	if p.mode != PlanYannakakis {
 		return nil, ErrNotAcyclic
 	}
@@ -311,7 +312,14 @@ func (p *Plan) prepareCount(ctx context.Context, src Source, parallel int, tuned
 	if tuned {
 		f.minPar, f.morsel = 1, 2
 	}
+	if traced {
+		f.trace = getExecTrace(len(f.nodes))
+	}
 	if err := f.runPasses(ctx, p.sched); err != nil {
+		if tr := f.trace; tr != nil {
+			f.trace = nil
+			putExecTrace(tr)
+		}
 		f.release()
 		p.flush(sc)
 		return nil, err
@@ -332,6 +340,10 @@ func (r *CountRun) Close() {
 		return
 	}
 	r.closed = true
+	if tr := r.f.trace; tr != nil {
+		r.f.trace = nil
+		putExecTrace(tr)
+	}
 	r.f.release()
 	r.p.flush(r.sc)
 }
@@ -398,6 +410,13 @@ func (r *CountRun) runDP(ctx context.Context, tree *countTree) (uint64, error) {
 				f.builds.Add(1)
 			}
 			f.probes.Add(uint64(node.live))
+			if tr := f.trace; tr != nil {
+				nt := &tr.nodes[i]
+				if built {
+					nt.builds.Add(1)
+				}
+				nt.probes.Add(uint64(node.live))
+			}
 			steps[j] = dpStep{ix: ix, tCols: e.tCols, cnt: cnt[e.child]}
 		}
 		out := make([]uint64, len(node.rows))
@@ -440,6 +459,9 @@ func (f *forest) countDP(node *execNode, steps []dpStep, out []uint64) bool {
 	}
 	mw := f.morselWordSize()
 	chunks := (nw + mw - 1) / mw
+	if tr := f.trace; tr != nil {
+		tr.addChunks(chunks)
+	}
 	var next atomic.Int64
 	var overflowed atomic.Bool
 	var wg sync.WaitGroup
@@ -520,6 +542,9 @@ func (f *forest) countDistinct(node *execNode, cols []int) uint64 {
 	}
 	mr := f.morselSize()
 	chunks := (len(rows) + mr - 1) / mr
+	if tr := f.trace; tr != nil {
+		tr.addChunks(chunks)
+	}
 	parts := make([]*relstr.TupleSet, chunks)
 	var next atomic.Int64
 	var wg sync.WaitGroup
@@ -635,6 +660,9 @@ func (r *CountRun) sampler(t int) (*treeSampler, error) {
 		node := &f.nodes[i]
 		out := s.w[i]
 		f.probes.Add(uint64(node.live))
+		if tr := f.trace; tr != nil {
+			tr.nodes[i].probes.Add(uint64(node.live))
+		}
 		for _, id := range liveIDs(node) {
 			row := node.rows[id]
 			c := 1.0

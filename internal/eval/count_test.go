@@ -26,7 +26,7 @@ func (p *Plan) countForTest(ctx context.Context, src Source, par int) (uint64, e
 		}
 		return uint64(len(ans)), nil
 	}
-	run, err := p.prepareCount(ctx, src, par, true)
+	run, err := p.prepareCount(ctx, src, par, true, false)
 	if err != nil {
 		return 0, err
 	}

@@ -5,6 +5,7 @@ import (
 	"math/bits"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"cqapprox/internal/cqerr"
 	"cqapprox/internal/relstr"
@@ -122,6 +123,12 @@ type forest struct {
 
 	builds atomic.Uint64
 	probes atomic.Uint64
+
+	// trace is the call's ANALYZE frame, nil unless the caller opted
+	// in (EvalTraceOn/PrepareCountTrace). Every hot-path hook is a
+	// single nil check — the trace-off path records nothing and
+	// allocates nothing.
+	trace *execTrace
 }
 
 // initSlots fills the extra-worker token pool.
@@ -273,6 +280,12 @@ func (f *forest) semijoin(st sjStep) {
 	if t.live == 0 {
 		return
 	}
+	if tr := f.trace; tr != nil {
+		nt := &tr.nodes[st.target]
+		nt.passes.Add(1)
+		nt.in.Add(int64(t.live))
+		defer func() { nt.out.Add(int64(t.live)) }()
+	}
 	if s.live == 0 {
 		t.clearAll()
 		return
@@ -285,6 +298,13 @@ func (f *forest) semijoin(st sjStep) {
 		f.builds.Add(1)
 	}
 	f.probes.Add(uint64(t.live))
+	if tr := f.trace; tr != nil {
+		nt := &tr.nodes[st.target]
+		if built {
+			nt.builds.Add(1)
+		}
+		nt.probes.Add(uint64(t.live))
+	}
 	full := s.live == len(s.rows) // skip liveness checks while the source is unfiltered
 	nw := len(t.words)
 	if f.par <= 1 || t.live < f.parMin() {
@@ -293,6 +313,9 @@ func (f *forest) semijoin(st sjStep) {
 	}
 	mw := f.morselWordSize()
 	chunks := (nw + mw - 1) / mw
+	if tr := f.trace; tr != nil {
+		tr.addChunks(chunks)
+	}
 	var next, killed atomic.Int64
 	var wg sync.WaitGroup
 	work := func() int {
@@ -310,6 +333,10 @@ func (f *forest) semijoin(st sjStep) {
 		go func() {
 			defer wg.Done()
 			defer f.putWorker()
+			if tr := f.trace; tr != nil {
+				start := time.Now()
+				defer func() { tr.addWorker(time.Since(start)) }()
+			}
 			killed.Add(int64(work()))
 		}()
 	}
@@ -368,6 +395,10 @@ func (f *forest) fanOut(fns []func() error) error {
 			go func() {
 				defer wg.Done()
 				defer f.putWorker()
+				if tr := f.trace; tr != nil {
+					start := time.Now()
+					defer func() { tr.addWorker(time.Since(start)) }()
+				}
 				errs[i] = fns[i]()
 			}()
 		} else {
@@ -390,6 +421,10 @@ func (f *forest) fanOut(fns []func() error) error {
 // child subtree finished, and in the top-down pass the steps into
 // distinct children are themselves independent.
 func (f *forest) runPasses(ctx context.Context, sched *schedule) error {
+	var start time.Time
+	if f.trace != nil {
+		start = time.Now()
+	}
 	roots := make([]func() error, len(sched.roots))
 	for i, r := range sched.roots {
 		roots[i] = func() error { return f.down(ctx, sched, r) }
@@ -397,10 +432,18 @@ func (f *forest) runPasses(ctx context.Context, sched *schedule) error {
 	if err := f.fanOut(roots); err != nil {
 		return err
 	}
+	if tr := f.trace; tr != nil {
+		tr.phase("semijoin-down", time.Since(start))
+		start = time.Now()
+	}
 	for i, r := range sched.roots {
 		roots[i] = func() error { return f.up(ctx, sched, r) }
 	}
-	return f.fanOut(roots)
+	err := f.fanOut(roots)
+	if tr := f.trace; tr != nil {
+		tr.phase("semijoin-up", time.Since(start))
+	}
+	return err
 }
 
 // down runs the bottom-up pass of i's subtree: children first (in
@@ -488,6 +531,10 @@ func (f *forest) solve(ctx context.Context, sched *schedule) (_ Answers, empty b
 		}
 		return f.projectHead(rows, len(sched.head), sched.directCols), false, nil
 	}
+	var start time.Time
+	if f.trace != nil {
+		start = time.Now()
+	}
 	upRel := make([]rel, len(f.nodes))
 	for _, i := range sched.postorder {
 		if !sched.needed[i] {
@@ -527,6 +574,9 @@ func (f *forest) solve(ctx context.Context, sched *schedule) (_ Answers, empty b
 		}
 		total = f.join(total, upRel[st.child], st)
 	}
+	if tr := f.trace; tr != nil {
+		tr.phase("join", time.Since(start))
+	}
 	return f.projectHead(total.rows, len(sched.head), sched.headCols), false, nil
 }
 
@@ -546,6 +596,9 @@ func (f *forest) join(l, r rel, st jStep) rel {
 	f.sc.stats.probes += uint64(len(l.rows))
 	mr := f.morselSize()
 	chunks := (len(l.rows) + mr - 1) / mr
+	if tr := f.trace; tr != nil {
+		tr.addChunks(chunks)
+	}
 	parts := make([][][]int, chunks)
 	w := len(l.vars) + len(st.rExtra)
 	var next atomic.Int64
@@ -577,6 +630,10 @@ func (f *forest) join(l, r rel, st jStep) rel {
 		go func() {
 			defer wg.Done()
 			defer f.putWorker()
+			if tr := f.trace; tr != nil {
+				start := time.Now()
+				defer func() { tr.addWorker(time.Since(start)) }()
+			}
 			sc := f.grabScratch()
 			defer f.yieldScratch(sc)
 			work(sc)
@@ -604,11 +661,24 @@ func (f *forest) join(l, r rel, st jStep) rel {
 // Parallel runs dedup into chunk-local sets merged in chunk order; the
 // final sort makes the result identical either way.
 func (f *forest) projectHead(rows [][]int, width int, cols []int) Answers {
+	var start time.Time
+	if f.trace != nil {
+		start = time.Now()
+	}
 	if f.par <= 1 || len(rows) < f.parMin() {
-		return projectHeadSerial(rows, width, cols)
+		ans := projectHeadSerial(rows, width, cols)
+		if tr := f.trace; tr != nil {
+			// Serial runs fold the dedup into the projection pass.
+			tr.phase("project", time.Since(start))
+			tr.phase("dedup", 0)
+		}
+		return ans
 	}
 	mr := f.morselSize()
 	chunks := (len(rows) + mr - 1) / mr
+	if tr := f.trace; tr != nil {
+		tr.addChunks(chunks)
+	}
 	parts := make([]*relstr.TupleSet, chunks)
 	var next atomic.Int64
 	var wg sync.WaitGroup
@@ -634,18 +704,31 @@ func (f *forest) projectHead(rows [][]int, width int, cols []int) Answers {
 		go func() {
 			defer wg.Done()
 			defer f.putWorker()
+			if tr := f.trace; tr != nil {
+				t0 := time.Now()
+				defer func() { tr.addWorker(time.Since(t0)) }()
+			}
 			work()
 		}()
 	}
 	work()
 	wg.Wait()
+	var mid time.Time
+	if f.trace != nil {
+		mid = time.Now()
+	}
 	var seen relstr.TupleSet
 	for _, p := range parts {
 		for _, t := range p.Rows() {
 			seen.Add(t)
 		}
 	}
-	return sortAnswers(append([]relstr.Tuple{}, seen.Rows()...))
+	ans := sortAnswers(append([]relstr.Tuple{}, seen.Rows()...))
+	if tr := f.trace; tr != nil {
+		tr.phase("project", mid.Sub(start))
+		tr.phase("dedup", time.Since(mid))
+	}
+	return ans
 }
 
 // projectHeadSerial is the serial head projection.

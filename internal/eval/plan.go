@@ -49,6 +49,9 @@ type Plan struct {
 	jt     hypergraph.JoinTree
 	sched  *schedule      // prepare-time index/probe program, reused per Eval
 	csched *countSchedule // prepare-time counting classification (see count.go)
+	// rerooted[i]: node i roots its tree only because rerootForHead
+	// reoriented it toward the head (Explain reports the decision).
+	rerooted []bool
 
 	stats planStats
 }
@@ -143,6 +146,10 @@ func NewPlan(q *cq.Query) *Plan {
 		// which the semijoin reduction already did) — the difference
 		// between a per-eval join pipeline and a single head projection.
 		p.jt.Parent = rerootForHead(jt.Parent, vars, p.tb.Dist)
+		p.rerooted = make([]bool, len(p.atoms))
+		for i := range p.atoms {
+			p.rerooted[i] = p.jt.Parent[i] == -1 && jt.Parent[i] != -1
+		}
 		p.sched = scheduleForAtoms(p.atoms, p.jt.Parent, p.tb.Dist)
 		p.csched = newCountSchedule(vars, p.jt.Parent, p.sched, p.tb.Dist)
 	}

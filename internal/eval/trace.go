@@ -1,0 +1,263 @@
+package eval
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cqapprox/internal/obs"
+)
+
+// Tracing (ANALYZE) support for the unified executor. A traced call
+// attaches one pooled execTrace frame to its forest; every hook in the
+// hot path is a single nil check on forest.trace, so the trace-off
+// path pays nothing and allocates nothing (enforced by
+// BenchmarkEvalTraceOff against the committed baseline).
+//
+// Counter concurrency matches the executor's structure: a node is the
+// *target* of semijoin steps from exactly one goroutine at a time (the
+// bottom-up steps into a node run serially after its child barrier;
+// the top-down pass targets each child once), but per-node counters
+// are atomics anyway — index builds/probes can be attributed from
+// concurrently fanned-out sibling steps, and the cost only exists
+// while tracing is on.
+
+// execTrace is the pooled per-call trace frame.
+type execTrace struct {
+	nodes  []nodeTraceCtr
+	phases []obs.Phase // appended only from the entry goroutine
+
+	chunks atomic.Int64
+
+	wmu     sync.Mutex
+	workers []int64 // busy ns per extra-worker stint, in spawn order
+}
+
+// nodeTraceCtr holds one node's counters for a traced call.
+type nodeTraceCtr struct {
+	passes atomic.Int64
+	in     atomic.Int64
+	out    atomic.Int64
+	builds atomic.Uint64
+	probes atomic.Uint64
+}
+
+var tracePool = sync.Pool{New: func() any { return &execTrace{} }}
+
+// getExecTrace draws a frame sized for n nodes, zeroed.
+func getExecTrace(n int) *execTrace {
+	tr := tracePool.Get().(*execTrace)
+	if cap(tr.nodes) < n {
+		tr.nodes = make([]nodeTraceCtr, n)
+	} else {
+		tr.nodes = tr.nodes[:n]
+		for i := range tr.nodes {
+			c := &tr.nodes[i]
+			c.passes.Store(0)
+			c.in.Store(0)
+			c.out.Store(0)
+			c.builds.Store(0)
+			c.probes.Store(0)
+		}
+	}
+	tr.phases = tr.phases[:0]
+	tr.chunks.Store(0)
+	tr.workers = tr.workers[:0]
+	return tr
+}
+
+func putExecTrace(tr *execTrace) { tracePool.Put(tr) }
+
+// phase records one timed span; entry-goroutine only.
+func (tr *execTrace) phase(name string, d time.Duration) {
+	tr.phases = append(tr.phases, obs.Phase{Name: name, NS: d.Nanoseconds()})
+}
+
+// addWorker records the busy time of one extra-worker stint.
+func (tr *execTrace) addWorker(d time.Duration) {
+	tr.wmu.Lock()
+	tr.workers = append(tr.workers, d.Nanoseconds())
+	tr.wmu.Unlock()
+}
+
+// addChunks records parallel work units claimed by one morsel loop.
+func (tr *execTrace) addChunks(n int) { tr.chunks.Add(int64(n)) }
+
+// snapshot renders the frame into the wire/API form. Call after the
+// evaluation finished (node liveness is read from the forest).
+func (tr *execTrace) snapshot(p *Plan, f *forest, total time.Duration) *obs.ExecTrace {
+	out := &obs.ExecTrace{
+		Mode:         p.mode.String(),
+		Parallelism:  f.par,
+		TotalNS:      total.Nanoseconds(),
+		Phases:       append([]obs.Phase{}, tr.phases...),
+		MorselChunks: tr.chunks.Load(),
+	}
+	tr.wmu.Lock()
+	if len(tr.workers) > 0 {
+		out.WorkerBusyNS = append([]int64{}, tr.workers...)
+	}
+	tr.wmu.Unlock()
+	out.Nodes = make([]obs.NodeTrace, len(tr.nodes))
+	for i := range tr.nodes {
+		c := &tr.nodes[i]
+		out.Nodes[i] = obs.NodeTrace{
+			ID:          i,
+			Atom:        p.atomString(i),
+			Rows:        len(f.nodes[i].rows),
+			Live:        f.nodes[i].live,
+			SemijoinIn:  c.in.Load(),
+			SemijoinOut: c.out.Load(),
+			Passes:      c.passes.Load(),
+			IndexBuilds: c.builds.Load(),
+			IndexProbes: c.probes.Load(),
+		}
+	}
+	return out
+}
+
+// --- traced entry points -----------------------------------------------
+
+// EvalTraceOn is EvalOn with tracing: same answers, same counters,
+// plus an ExecTrace of this one call. Naive plans return a trace with
+// the total time only (the backtracking engine has no node structure).
+func (p *Plan) EvalTraceOn(ctx context.Context, src Source, parallel int) (Answers, *obs.ExecTrace, error) {
+	if p.mode != PlanYannakakis {
+		start := time.Now()
+		ans, err := naiveEval(ctx, p.tb, src.Structure())
+		return ans, &obs.ExecTrace{Mode: p.mode.String(), Parallelism: 1,
+			TotalNS: time.Since(start).Nanoseconds()}, err
+	}
+	sc := getScratch()
+	defer p.flush(sc)
+	f := p.newForest(src, sc, parallel)
+	defer f.release()
+	tr := getExecTrace(len(f.nodes))
+	f.trace = tr
+	defer func() { f.trace = nil; putExecTrace(tr) }()
+	start := time.Now()
+	ans, err := evalForest(ctx, p.sched, f)
+	out := tr.snapshot(p, f, time.Since(start))
+	return ans, out, err
+}
+
+// EvalBoolTraceOn is EvalBoolOn with tracing; see EvalTraceOn.
+func (p *Plan) EvalBoolTraceOn(ctx context.Context, src Source, parallel int) (bool, *obs.ExecTrace, error) {
+	if p.mode != PlanYannakakis {
+		start := time.Now()
+		ok, err := naiveBool(ctx, p.tb, src.Structure())
+		return ok, &obs.ExecTrace{Mode: p.mode.String(), Parallelism: 1,
+			TotalNS: time.Since(start).Nanoseconds()}, err
+	}
+	sc := getScratch()
+	defer p.flush(sc)
+	f := p.newForest(src, sc, parallel)
+	defer f.release()
+	tr := getExecTrace(len(f.nodes))
+	f.trace = tr
+	defer func() { f.trace = nil; putExecTrace(tr) }()
+	start := time.Now()
+	ok, err := f.runBool(ctx, p.sched)
+	tr.phase("semijoin-down", time.Since(start))
+	out := tr.snapshot(p, f, time.Since(start))
+	return ok, out, err
+}
+
+// PrepareCountTrace is PrepareCount with tracing attached: the
+// reduction phases land in the run's trace, counting phases are
+// recorded by the caller via TracePhase, and TraceSnapshot renders the
+// frame before Close.
+func (p *Plan) PrepareCountTrace(ctx context.Context, src Source, parallel int) (*CountRun, error) {
+	return p.prepareCount(ctx, src, parallel, false, true)
+}
+
+// TracePhase records one caller-timed phase (e.g. "count",
+// "count-estimate") on a traced run; no-op on untraced runs.
+func (r *CountRun) TracePhase(name string, d time.Duration) {
+	if tr := r.f.trace; tr != nil {
+		tr.phase(name, d)
+	}
+}
+
+// TraceSnapshot renders the run's trace; nil on untraced runs. Call
+// before Close.
+func (r *CountRun) TraceSnapshot(total time.Duration) *obs.ExecTrace {
+	tr := r.f.trace
+	if tr == nil {
+		return nil
+	}
+	return tr.snapshot(r.p, r.f, total)
+}
+
+// --- EXPLAIN -----------------------------------------------------------
+
+// atomString renders atom i over the minimized tableau's element ids.
+func (p *Plan) atomString(i int) string {
+	a := p.atoms[i]
+	var b strings.Builder
+	b.WriteString(a.rel)
+	b.WriteByte('(')
+	for j, v := range a.args {
+		if j > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "v%d", v)
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// Explain returns the plan's static structure: join-forest shape,
+// re-rooting decisions, dead-step eliminations and the counting
+// classification. Purely static — no data, no clocks — so the text
+// rendering is stable across runs.
+func (p *Plan) Explain() *obs.PlanExplain {
+	ex := &obs.PlanExplain{Mode: p.mode.String()}
+	if p.mode != PlanYannakakis {
+		return ex
+	}
+	ex.ExactCountable = p.csched.exact
+	switch {
+	case p.sched.directNode == unitNode:
+		ex.Direct = "unit"
+	case p.sched.directNode >= 0:
+		ex.Direct = fmt.Sprintf("node %d", p.sched.directNode)
+	}
+	for ti, r := range p.sched.roots {
+		te := obs.TreeExplain{
+			Root:      r,
+			Rerooted:  p.rerooted[r],
+			CountKind: p.csched.trees[ti].kind.String(),
+		}
+		var walk func(i, depth int)
+		walk = func(i, depth int) {
+			ne := obs.NodeExplain{
+				ID:     i,
+				Atom:   p.atomString(i),
+				Parent: p.jt.Parent[i],
+				Depth:  depth,
+				Needed: p.sched.needed[i],
+				Direct: p.sched.directNode == i,
+			}
+			for _, v := range p.atoms[i].distinctVars() {
+				ne.Vars = append(ne.Vars, fmt.Sprintf("v%d", v))
+			}
+			for _, st := range p.sched.nodes[i].joins {
+				ne.Joins++
+				if st.skip {
+					ne.SkippedJoins++
+				}
+			}
+			te.Nodes = append(te.Nodes, ne)
+			for _, c := range p.sched.children[i] {
+				walk(c, depth+1)
+			}
+		}
+		walk(r, 0)
+		ex.Trees = append(ex.Trees, te)
+	}
+	return ex
+}

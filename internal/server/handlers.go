@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"iter"
 	"net/http"
+	"time"
 
 	"cqapprox"
 	"cqapprox/api"
@@ -73,6 +74,9 @@ func (s *Server) preparedFor(ctx context.Context, q *cqapprox.Query, c cqapprox.
 			return nil, "", errOverloaded()
 		}
 		defer release(s.prepareSem)
+		if s.onPrepareStart != nil {
+			s.onPrepareStart()
+		}
 	}
 	var p *cqapprox.PreparedQuery
 	if c == nil {
@@ -105,6 +109,61 @@ func (s *Server) handlePrepare(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, api.NewPrepareResponse(p, api.EncodeKey(key)))
+}
+
+// handleExplain answers POST /v1/explain: the structured EXPLAIN view
+// of a prepared (by key) or inline query — approximation chosen,
+// join-forest shape, re-rooting, dead-step eliminations, counting
+// classification — plus its stable text rendering. Inline queries run
+// (or cache-hit) the prepare pipeline under the same admission bound
+// as /v1/prepare; a parse phase is prepended to the prepare timings.
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	var req api.ExplainRequest
+	if !s.decodeJSON(w, r, &req) {
+		return
+	}
+	var (
+		p       *cqapprox.PreparedQuery
+		rawKey  string
+		parseNS int64
+	)
+	if req.Key != "" {
+		raw, err := api.DecodeKey(req.Key)
+		if err != nil {
+			writeError(w, errBadRequest(err.Error()))
+			return
+		}
+		cached, ok := s.eng.Cached(raw)
+		if !ok {
+			writeError(w, errUnknownKey())
+			return
+		}
+		p, rawKey = cached, raw
+	} else {
+		t0 := time.Now()
+		q, c, apiErr := s.target(req.Query, req.Class, req.Exact, req.Options != nil)
+		if apiErr != nil {
+			writeError(w, apiErr)
+			return
+		}
+		parseNS = time.Since(t0).Nanoseconds()
+		ctx, cancel := s.requestContext(r, req.TimeoutMS)
+		defer cancel()
+		p, rawKey, apiErr = s.preparedFor(ctx, q, c, req.Options.ToOptions(s.eng.Options()))
+		if apiErr != nil {
+			writeError(w, apiErr)
+			return
+		}
+	}
+	ex := p.Explain()
+	if parseNS > 0 {
+		ex.Prepare = append([]cqapprox.Phase{{Name: "parse", NS: parseNS}}, ex.Prepare...)
+	}
+	writeJSON(w, http.StatusOK, api.ExplainResponse{
+		Key:     api.EncodeKey(rawKey),
+		Explain: ex,
+		Text:    ex.Text(),
+	})
 }
 
 // resolve turns an EvalRequest into the prepared query to evaluate:
@@ -189,6 +248,20 @@ func (d dbSource) evalBool(ctx context.Context, p *cqapprox.PreparedQuery) (bool
 	return d.bind(p).EvalBool(ctx)
 }
 
+func (d dbSource) evalTrace(ctx context.Context, p *cqapprox.PreparedQuery) (cqapprox.Answers, *cqapprox.ExecTrace, error) {
+	if d.inline != nil {
+		return p.EvalTrace(ctx, d.inline)
+	}
+	return d.bind(p).EvalTrace(ctx)
+}
+
+func (d dbSource) evalBoolTrace(ctx context.Context, p *cqapprox.PreparedQuery) (bool, *cqapprox.ExecTrace, error) {
+	if d.inline != nil {
+		return p.EvalBoolTrace(ctx, d.inline)
+	}
+	return d.bind(p).EvalBoolTrace(ctx)
+}
+
 func (d dbSource) answersErr(ctx context.Context, p *cqapprox.PreparedQuery) (iter.Seq[cqapprox.Tuple], func() error) {
 	if d.inline != nil {
 		return p.AnswersErr(ctx, d.inline)
@@ -196,11 +269,11 @@ func (d dbSource) answersErr(ctx context.Context, p *cqapprox.PreparedQuery) (it
 	return d.bind(p).AnswersErr(ctx)
 }
 
-func (d dbSource) count(ctx context.Context, p *cqapprox.PreparedQuery) (*cqapprox.CountResult, error) {
+func (d dbSource) count(ctx context.Context, p *cqapprox.PreparedQuery, opts []cqapprox.CountOption) (*cqapprox.CountResult, error) {
 	if d.inline != nil {
-		return p.Count(ctx, d.inline)
+		return p.Count(ctx, d.inline, opts...)
 	}
-	return d.bind(p).Count(ctx)
+	return d.bind(p).Count(ctx, opts...)
 }
 
 func (d dbSource) estimateCount(ctx context.Context, p *cqapprox.PreparedQuery, opts []cqapprox.CountOption) (*cqapprox.CountResult, error) {
@@ -288,7 +361,21 @@ func (s *Server) evalWith(w http.ResponseWriter, r *http.Request, req api.EvalRe
 }
 
 func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) {
-	s.evalCommon(w, r, func(ctx context.Context, p *cqapprox.PreparedQuery, db dbSource) {
+	var req api.EvalRequest
+	if !s.decodeJSON(w, r, &req) {
+		return
+	}
+	s.evalWith(w, r, req, func(ctx context.Context, p *cqapprox.PreparedQuery, db dbSource) {
+		if req.Trace {
+			ans, tr, err := db.evalTrace(ctx, p)
+			if err != nil {
+				writeError(w, mapError(err))
+				return
+			}
+			setTrace(w, tr)
+			writeJSON(w, http.StatusOK, api.EvalResponse{Answers: api.FromAnswers(ans), Count: len(ans), Trace: tr})
+			return
+		}
 		ans, err := db.eval(ctx, p)
 		if err != nil {
 			writeError(w, mapError(err))
@@ -299,7 +386,21 @@ func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleEvalBool(w http.ResponseWriter, r *http.Request) {
-	s.evalCommon(w, r, func(ctx context.Context, p *cqapprox.PreparedQuery, db dbSource) {
+	var req api.EvalRequest
+	if !s.decodeJSON(w, r, &req) {
+		return
+	}
+	s.evalWith(w, r, req, func(ctx context.Context, p *cqapprox.PreparedQuery, db dbSource) {
+		if req.Trace {
+			res, tr, err := db.evalBoolTrace(ctx, p)
+			if err != nil {
+				writeError(w, mapError(err))
+				return
+			}
+			setTrace(w, tr)
+			writeJSON(w, http.StatusOK, api.EvalBoolResponse{Result: res, Trace: tr})
+			return
+		}
 		res, err := db.evalBool(ctx, p)
 		if err != nil {
 			writeError(w, mapError(err))
@@ -349,18 +450,22 @@ func (s *Server) handleCount(w http.ResponseWriter, r *http.Request) {
 	if req.MaxSamples > 0 {
 		opts = append(opts, cqapprox.WithMaxSamples(req.MaxSamples))
 	}
+	if req.Trace {
+		opts = append(opts, cqapprox.WithTrace())
+	}
 	s.evalWith(w, r, req.EvalRequest, func(ctx context.Context, p *cqapprox.PreparedQuery, db dbSource) {
 		var res *cqapprox.CountResult
 		var err error
 		if req.Estimate {
 			res, err = db.estimateCount(ctx, p, opts)
 		} else {
-			res, err = db.count(ctx, p)
+			res, err = db.count(ctx, p, opts)
 		}
 		if err != nil {
 			writeError(w, mapError(err))
 			return
 		}
+		setTrace(w, res.Trace)
 		writeJSON(w, http.StatusOK, api.CountResponse{
 			Count:     res.Count,
 			Estimate:  res.Estimate,
@@ -370,6 +475,7 @@ func (s *Server) handleCount(w http.ResponseWriter, r *http.Request) {
 			Batches:   res.Batches,
 			Epsilon:   res.Epsilon,
 			Delta:     res.Delta,
+			Trace:     res.Trace,
 		})
 	})
 }

@@ -7,6 +7,7 @@
 // The endpoints:
 //
 //	POST /v1/prepare    run (or hit the cache for) the static pipeline
+//	POST /v1/explain    structured EXPLAIN of a prepared or inline query
 //	POST /v1/eval       evaluate a prepared or inline query on a database
 //	POST /v1/eval/bool  answer existence only
 //	POST /v1/count      answer count, exact or estimated, no materialization
@@ -21,8 +22,10 @@ package server
 
 import (
 	"context"
+	"log/slog"
 	"net/http"
 	"runtime"
+	"sync/atomic"
 	"time"
 
 	"cqapprox"
@@ -66,6 +69,16 @@ type Config struct {
 	// MaxBodyBytes bounds request bodies (databases travel inline).
 	// Default 64 MiB.
 	MaxBodyBytes int64
+
+	// Logger, when non-nil, receives one structured line per request
+	// (id, endpoint, status, elapsed). Nil disables request logging
+	// entirely — the hot path then never touches the logger.
+	Logger *slog.Logger
+
+	// SlowQuery upgrades requests at least this slow to a Warn line
+	// that includes the execution trace when the request ran traced.
+	// Zero disables slow-query logging. Requires Logger.
+	SlowQuery time.Duration
 }
 
 const (
@@ -127,6 +140,7 @@ func (c Config) withDefaults() Config {
 // The metric names double as the endpoint keys of /v1/stats.
 const (
 	epPrepare  = "/v1/prepare"
+	epExplain  = "/v1/explain"
 	epDB       = "/v1/db"
 	epEval     = "/v1/eval"
 	epEvalBool = "/v1/eval/bool"
@@ -145,11 +159,18 @@ type Server struct {
 	evalSem    chan struct{}
 	metrics    *metrics
 	mux        *http.ServeMux
+	reqID      atomic.Uint64 // request ids for the structured log
 
 	// onStreamAnswer, when non-nil, is called after answer n (1-based)
 	// of a stream response has been written and flushed. Test seam for
 	// asserting streaming order; never set in production.
 	onStreamAnswer func(n int)
+
+	// onPrepareStart, when non-nil, is called after an uncached
+	// preparation has claimed its admission slot, before the engine
+	// pipeline runs. Test seam for deterministic admission-control
+	// tests; never set in production.
+	onPrepareStart func()
 }
 
 // New returns a Server over eng. Requests without explicit options use
@@ -158,7 +179,7 @@ func New(eng *cqapprox.Engine, cfg Config) *Server {
 	s := &Server{
 		eng:     eng,
 		cfg:     cfg.withDefaults(),
-		metrics: newMetrics(epPrepare, epDB, epEval, epEvalBool, epCount, epStream, epStats),
+		metrics: newMetrics(epPrepare, epExplain, epDB, epEval, epEvalBool, epCount, epStream, epStats),
 	}
 	if n := s.cfg.MaxInflightPrepare; n > 0 {
 		s.prepareSem = make(chan struct{}, n)
@@ -168,6 +189,7 @@ func New(eng *cqapprox.Engine, cfg Config) *Server {
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST "+epPrepare, s.instrument(epPrepare, s.handlePrepare))
+	mux.HandleFunc("POST "+epExplain, s.instrument(epExplain, s.handleExplain))
 	mux.HandleFunc("POST "+epDB, s.instrument(epDB, s.handleRegisterDB))
 	mux.HandleFunc("POST "+epEval, s.instrument(epEval, s.handleEval))
 	mux.HandleFunc("POST "+epEvalBool, s.instrument(epEvalBool, s.handleEvalBool))

@@ -34,11 +34,13 @@ func WireDB(s *relstr.Structure) api.Database {
 // corresponding HTTP request via c, draining streams completely.
 // Ops carrying a DBName evaluate by registered name (the database is
 // not re-shipped); OpRegisterDB ops become POST /v1/db and OpCount
-// ops POST /v1/count (estimating when the op says so).
+// ops POST /v1/count (estimating when the op says so). Ops with Trace
+// set request — and therefore pay for — the execution trace block in
+// the response.
 func Executor(c *client.Client) func(ctx context.Context, op workload.Op) error {
 	return func(ctx context.Context, op workload.Op) error {
 		evalReq := func() api.EvalRequest {
-			req := api.EvalRequest{Query: op.Query.String(), Class: op.Class, Parallelism: op.Parallelism}
+			req := api.EvalRequest{Query: op.Query.String(), Class: op.Class, Parallelism: op.Parallelism, Trace: op.Trace}
 			if op.DBName != "" {
 				req.DB = op.DBName
 			} else {

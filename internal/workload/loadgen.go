@@ -63,6 +63,10 @@ type Op struct {
 	// Estimate, on an OpCount, asks for the sampling estimator instead
 	// of the exact count (api.CountRequest.Estimate).
 	Estimate bool
+	// Trace, on an OpEval or OpCount, requests an execution trace with
+	// the result (api.EvalRequest.Trace) — the sampled ANALYZE traffic
+	// LoadGen.TraceShare generates.
+	Trace bool
 }
 
 // LoadGen generates mixed prepare/eval/stream traffic over a fixed
@@ -117,6 +121,14 @@ type LoadGen struct {
 	// bit-identical to pre-counting generators.
 	CountShare float64
 
+	// TraceShare is the fraction (0..1) of eval and count ops that
+	// request an execution trace with the result — sampled ANALYZE
+	// traffic, the shape a deployment tracing (say) 1% of requests
+	// sends. The Report splits traced from untraced latency so the
+	// trace overhead is measurable. Zero keeps the op sequence
+	// bit-identical to pre-tracing generators.
+	TraceShare float64
+
 	// Concurrency is the number of worker goroutines Run uses
 	// (default 8).
 	Concurrency int
@@ -131,6 +143,11 @@ type Report struct {
 	// P50/P95/P99 are per-op latency quantiles per kind (zero where no
 	// ops of the kind ran).
 	P50, P95, P99 [numOpKinds]time.Duration
+	// TracedOps/TracedLatency split out the ops that ran with Trace set
+	// (also included in Ops/Latency) so TraceOverhead can compare the
+	// two populations.
+	TracedOps     [numOpKinds]int64
+	TracedLatency [numOpKinds]time.Duration
 	Elapsed       time.Duration // wall-clock of the whole Run
 	FirstErrs     []error       // one representative error per kind (nil-free)
 }
@@ -158,6 +175,20 @@ func (r *Report) KindPerSecond(k OpKind) float64 {
 		return 0
 	}
 	return float64(r.Ops[k]) / r.Elapsed.Seconds()
+}
+
+// TraceOverhead compares the mean latency of kind k's traced ops
+// against its untraced ones — the cost of carrying the execution
+// trace, as observed under the generated mix. Either mean is zero when
+// its population is empty (TraceShare 0 or 1, or no ops of the kind).
+func (r *Report) TraceOverhead(k OpKind) (traced, untraced time.Duration) {
+	if n := r.TracedOps[k]; n > 0 {
+		traced = r.TracedLatency[k] / time.Duration(n)
+	}
+	if n := r.Ops[k] - r.TracedOps[k]; n > 0 {
+		untraced = (r.Latency[k] - r.TracedLatency[k]) / time.Duration(n)
+	}
+	return traced, untraced
 }
 
 func (g *LoadGen) withDefaults() LoadGen {
@@ -252,6 +283,11 @@ func (g *LoadGen) op(rng *rand.Rand) Op {
 		op.Kind = OpCount
 		op.Estimate = rng.Float64() < 0.5
 	}
+	// The trace draw comes after the count draw, same convention:
+	// TraceShare == 0 changes nothing.
+	if g.TraceShare > 0 && (op.Kind == OpEval || op.Kind == OpCount) && rng.Float64() < g.TraceShare {
+		op.Trace = true
+	}
 	return op
 }
 
@@ -272,19 +308,25 @@ func (g *LoadGen) Run(ctx context.Context, n int, do func(ctx context.Context, o
 		plan[i] = cfg.op(rng)
 	}
 	var (
-		rep      Report
-		ops      [numOpKinds]atomic.Int64
-		fails    [numOpKinds]atomic.Int64
-		latency  [numOpKinds]atomic.Int64
-		samples  [numOpKinds]latencySamples
-		firstErr [numOpKinds]atomic.Pointer[error]
-		next     atomic.Int64
-		wg       sync.WaitGroup
+		rep       Report
+		ops       [numOpKinds]atomic.Int64
+		fails     [numOpKinds]atomic.Int64
+		latency   [numOpKinds]atomic.Int64
+		tracedOps [numOpKinds]atomic.Int64
+		tracedLat [numOpKinds]atomic.Int64
+		samples   [numOpKinds]latencySamples
+		firstErr  [numOpKinds]atomic.Pointer[error]
+		next      atomic.Int64
+		wg        sync.WaitGroup
 	)
 	record := func(op Op, d time.Duration, err error) {
 		latency[op.Kind].Add(int64(d))
 		ops[op.Kind].Add(1)
 		samples[op.Kind].add(d)
+		if op.Trace {
+			tracedOps[op.Kind].Add(1)
+			tracedLat[op.Kind].Add(int64(d))
+		}
 		if err != nil {
 			fails[op.Kind].Add(1)
 			firstErr[op.Kind].CompareAndSwap(nil, &err)
@@ -325,6 +367,8 @@ func (g *LoadGen) Run(ctx context.Context, n int, do func(ctx context.Context, o
 		rep.Ops[k] = ops[k].Load()
 		rep.Failures[k] = fails[k].Load()
 		rep.Latency[k] = time.Duration(latency[k].Load())
+		rep.TracedOps[k] = tracedOps[k].Load()
+		rep.TracedLatency[k] = time.Duration(tracedLat[k].Load())
 		rep.P50[k], rep.P95[k], rep.P99[k] = samples[k].quantiles()
 		if p := firstErr[k].Load(); p != nil {
 			rep.FirstErrs = append(rep.FirstErrs, fmt.Errorf("%v: %w", OpKind(k), *p))

@@ -193,6 +193,68 @@ func TestCountShareOps(t *testing.T) {
 	}
 }
 
+// TraceShare marks a fraction of eval/count ops as traced, never
+// touches prepare/stream ops, leaves the TraceShare == 0 sequence
+// bit-identical, and the Report splits traced from untraced latency.
+func TestTraceShareOps(t *testing.T) {
+	collect := func(g *LoadGen, n int) []Op {
+		var (
+			mu  sync.Mutex
+			ops []Op
+		)
+		g.Concurrency = 1
+		g.Run(context.Background(), n, func(_ context.Context, op Op) error {
+			mu.Lock()
+			ops = append(ops, op)
+			mu.Unlock()
+			return nil
+		})
+		return ops
+	}
+	base := collect(&LoadGen{Seed: 9, CountShare: 0.5}, 200)
+	same := collect(&LoadGen{Seed: 9, CountShare: 0.5, TraceShare: 0}, 200)
+	for i := range base {
+		if base[i].Kind != same[i].Kind || base[i].Query.String() != same[i].Query.String() {
+			t.Fatalf("op %d diverges with TraceShare=0: %+v vs %+v", i, base[i], same[i])
+		}
+	}
+	traced := collect(&LoadGen{Seed: 9, CountShare: 0.5, TraceShare: 0.5}, 200)
+	var on, off int
+	for _, op := range traced {
+		if op.Trace {
+			if op.Kind != OpEval && op.Kind != OpCount {
+				t.Fatalf("Trace set on %v op", op.Kind)
+			}
+			on++
+		} else if op.Kind == OpEval || op.Kind == OpCount {
+			off++
+		}
+	}
+	if on == 0 || off == 0 {
+		t.Fatalf("TraceShare=0.5 over 200 ops: %d traced / %d untraced", on, off)
+	}
+
+	// Traced ops sleep well past the scheduler's timer granularity so
+	// the mean split is unambiguous.
+	g := &LoadGen{Seed: 9, CountShare: 0.5, TraceShare: 0.5, Concurrency: 4}
+	rep := g.Run(context.Background(), 200, func(_ context.Context, op Op) error {
+		if op.Trace {
+			time.Sleep(5 * time.Millisecond)
+		}
+		return nil
+	})
+	if rep.TracedOps[OpEval] == 0 || rep.TracedOps[OpEval] == rep.Ops[OpEval] {
+		t.Fatalf("traced eval split degenerate: %d of %d", rep.TracedOps[OpEval], rep.Ops[OpEval])
+	}
+	tr, un := rep.TraceOverhead(OpEval)
+	if tr <= un {
+		t.Fatalf("traced mean %v not above untraced mean %v despite slower traced executor", tr, un)
+	}
+	if tr2, _ := rep.TraceOverhead(OpRegisterDB); tr2 != 0 {
+		t.Fatalf("trace overhead reported for a kind never traced: %v", tr2)
+	}
+}
+
 // Run reports per-kind latency quantiles alongside the totals.
 func TestReportQuantiles(t *testing.T) {
 	g := &LoadGen{Seed: 3, Concurrency: 4, CountShare: 0.3}

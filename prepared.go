@@ -5,6 +5,7 @@ import (
 	"iter"
 
 	"cqapprox/internal/eval"
+	"cqapprox/internal/obs"
 )
 
 // PreparedQuery is the result of Engine.Prepare: a query whose static,
@@ -20,9 +21,10 @@ type PreparedQuery struct {
 	approxes  []*Query // all minimized C-approximations; nil for exact
 	chosen    *Query   // the query the plan evaluates
 	plan      *eval.Plan
-	par       int  // evaluation worker budget (≤1 = serial); see Parallel
-	inspected int  // candidates inspected by the search (0 for exact)
-	fromCache bool // true when Prepare served this from the cache (see CacheHit)
+	par       int         // evaluation worker budget (≤1 = serial); see Parallel
+	inspected int         // candidates inspected by the search (0 for exact)
+	fromCache bool        // true when Prepare served this from the cache (see CacheHit)
+	prep      []obs.Phase // prepare-phase wall times recorded by build (shared, immutable)
 }
 
 // Parallel returns a view of the prepared query whose evaluations run
