@@ -190,6 +190,20 @@ type EvalRequest struct {
 	// worker accounting) to the response. Off by default; untraced
 	// requests pay nothing. Ignored by /v1/stream.
 	Trace bool `json:"trace,omitempty"`
+
+	// Order asks for ranked answers: sort by these head variables, most
+	// significant first (head positions not named are appended in query
+	// order to make the key total). Plans whose join forest admits the
+	// key stream it with early termination; others evaluate, sort and
+	// truncate (see /v1/explain's "ranked" line and the ranked_evals /
+	// rank_fallbacks stats). Descending reverses the order. Limit keeps
+	// only the first Limit answers — ordered when Order or Descending is
+	// set, an arbitrary prefix otherwise (/v1/stream then closes after
+	// Limit lines). All three apply to /v1/eval and /v1/stream only;
+	// /v1/eval/bool and /v1/count reject them.
+	Order      []string `json:"order,omitempty"`
+	Descending bool     `json:"descending,omitempty"`
+	Limit      int      `json:"limit,omitempty"`
 }
 
 // EvalResponse is the body of a successful POST /v1/eval.
@@ -293,6 +307,12 @@ type CacheStats struct {
 	// ParallelEvals counts the evaluations that ran with a parallel
 	// worker budget (requests whose clamped parallelism exceeded one).
 	ParallelEvals uint64 `json:"parallel_evals"`
+	// RankedEvals counts ordered evaluations streamed through a
+	// lex-connex visit program; RankFallbacks counts ordered
+	// evaluations whose key was untractable and fell back to
+	// eval+sort+truncate.
+	RankedEvals   uint64 `json:"ranked_evals"`
+	RankFallbacks uint64 `json:"rank_fallbacks"`
 	// The counting subsystem's activity: counts answered exactly,
 	// counts answered by the sampling estimator, and the total
 	// median-of-means batches those estimates ran.

@@ -122,6 +122,47 @@ func benchEvalTrace(b *testing.B, traced bool) {
 func BenchmarkEvalTraceOff(b *testing.B) { benchEvalTrace(b, false) }
 func BenchmarkEvalTraceOn(b *testing.B)  { benchEvalTrace(b, true) }
 
+// Ranked top-k enumeration. BenchmarkTopK/Ranked streams the first 10
+// answers of a lex-connex full-chain query out of the reduced forest
+// with early termination; BenchmarkTopK/SortAll is the fallback cost —
+// evaluate everything, take the first 10 of the order. The gap is the
+// point of the ranked pipeline (cmd/experiments -run topk asserts the
+// ≥10× separation and byte-identity of the two prefixes; benchmarks
+// only measure).
+func BenchmarkTopK(b *testing.B) {
+	ctx := context.Background()
+	engine := NewEngine()
+	q := workload.FullChainQuery(3) // Q(x0..x3), every head position a chain var
+	p, err := engine.PrepareExact(ctx, q)
+	if err != nil {
+		b.Fatal(err)
+	}
+	db := workload.EvalBenchDB(3000)
+	order := append([]string{}, q.Head...)
+	b.Run("Ranked", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ans, err := p.Eval(ctx, db, WithOrder(order...), WithLimit(10))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(ans) != 10 {
+				b.Fatalf("top-10 returned %d answers", len(ans))
+			}
+		}
+	})
+	b.Run("SortAll", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ans, err := p.Eval(ctx, db) // canonical sorted order: the same key
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(ans) < 10 {
+				b.Fatalf("full eval returned %d answers", len(ans))
+			}
+		}
+	})
+}
+
 // E21: morsel-driven parallel evaluation. BenchmarkParallelEval
 // measures warm BoundQuery.Eval over registered snapshots with a
 // GOMAXPROCS worker budget — against BenchmarkIndexedJoin's serial

@@ -135,7 +135,10 @@ func (c *Client) RegisterDB(ctx context.Context, req api.RegisterDBRequest) (*ap
 // database (inline, or registered by name via req.DB) and returns the
 // materialized answer set. Set req.Parallelism to ask for a
 // morsel-driven parallel evaluation (clamped server-side to its
-// max-parallelism cap; answers identical at any setting).
+// max-parallelism cap; answers identical at any setting). Set
+// req.Order/req.Descending for ranked answers and req.Limit for only
+// the first k of the order (early termination server-side where the
+// plan admits the key).
 func (c *Client) Eval(ctx context.Context, req api.EvalRequest) (*api.EvalResponse, error) {
 	var out api.EvalResponse
 	if err := c.do(ctx, http.MethodPost, "/v1/eval", req, &out); err != nil {
@@ -183,6 +186,8 @@ func (c *Client) Stats(ctx context.Context) (*api.StatsResponse, error) {
 // the loop: nil means the stream completed (or the consumer broke);
 // otherwise it is the transport failure or the server's terminal error
 // line (an *APIError, e.g. code "canceled" on a server-side deadline).
+// Set req.Order/req.Descending to stream in ranked order; with
+// req.Limit the server ends the stream after Limit answer lines.
 func (c *Client) Stream(ctx context.Context, req api.EvalRequest) (iter.Seq[[]int], func() error) {
 	var terminal error
 	seq := func(yield func([]int) bool) {

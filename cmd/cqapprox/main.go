@@ -11,6 +11,7 @@
 //	cqapprox check    -q "..." -cand "..." -class AC
 //	cqapprox eval     -q "..." -db graph.txt [-engine auto|naive|yannakakis|td]
 //	                  [-class TW1] [-db-register name] [-stream] [-parallel 8]
+//	                  [-order z,x] [-desc] [-limit 10]
 //	                  [-trace] [-timeout 30s] [-json]
 //	cqapprox count    -q "..." -db graph.txt [-class TW1] [-db-register name]
 //	                  [-estimate] [-epsilon 0.1] [-delta 0.05] [-seed 7]
@@ -24,7 +25,10 @@
 // materialising the sorted answer set; -db-register snapshots the
 // database into the engine's registry first and evaluates against the
 // snapshot's persistent indexes (the register-once path cqapproxd's
-// eval-by-name requests take).
+// eval-by-name requests take). eval -order ranks the answers by the
+// named head variables (with -limit N only the first N of the order
+// are computed where the plan's join forest admits the key — see
+// explain's "ranked" line); -desc reverses, -limit alone truncates.
 //
 // explain prints the prepared plan's structure without touching any
 // data: evaluation mode, per-tree join-forest shape, re-rooting and
@@ -122,6 +126,9 @@ commands:
             [-class TW1] evaluates its approximation; [-stream] streams answers;
             [-db-register name] evaluates via a registered snapshot;
             [-parallel N] evaluates morsel-driven parallel on N workers;
+            [-order x,y] ranks answers by head variables ([-desc] reverses);
+            [-limit N] keeps only the first N answers (early termination
+            where the plan admits the order);
             [-trace] prints the execution trace (ANALYZE) of the run
   count     count answers without materializing them; [-estimate] runs the
             (1±ε, 1-δ) sampling estimator ([-epsilon] [-delta] [-seed]
@@ -350,6 +357,9 @@ func cmdEval(args []string) error {
 	className := fs.String("class", "", "evaluate the query's C-approximation instead (e.g. TW1, AC)")
 	stream := fs.Bool("stream", false, "print answers as they are found (discovery order)")
 	parallel := fs.Int("parallel", 1, "evaluation worker budget (morsel-driven parallel eval; <= 1 serial)")
+	order := fs.String("order", "", "comma-separated head variables to rank answers by, most significant first (remaining head positions complete the key)")
+	desc := fs.Bool("desc", false, "reverse the answer order (with or without -order)")
+	limit := fs.Int("limit", 0, "print only the first N answers (ordered with -order/-desc, any-N otherwise; 0 = all)")
 	trace := fs.Bool("trace", false, "print the execution trace (ANALYZE) of the evaluation")
 	timeout := fs.Duration("timeout", 0, "abort after this long (0 = no limit)")
 	jsonOut := fs.Bool("json", false, "machine-readable output (api.EvalResponse; with -stream, NDJSON answer lines)")
@@ -379,6 +389,33 @@ func cmdEval(args []string) error {
 	}
 	if *stream && q.IsBoolean() {
 		return fmt.Errorf("-stream requires a non-Boolean query (a Boolean query has a single true/false answer)")
+	}
+	ranked := *order != "" || *desc || *limit != 0
+	if ranked && *engineName != "auto" {
+		return fmt.Errorf("-order, -desc and -limit require -engine auto (ranked evaluation runs through the prepared plan)")
+	}
+	if ranked && *trace {
+		return fmt.Errorf("-trace is incompatible with -order, -desc and -limit")
+	}
+	if ranked && q.IsBoolean() {
+		return fmt.Errorf("-order, -desc and -limit require a non-Boolean query")
+	}
+	if *limit < 0 {
+		return fmt.Errorf("-limit must be nonnegative (0 = all answers)")
+	}
+	var evalOpts []cqapprox.EvalOption
+	if *order != "" {
+		names := strings.Split(*order, ",")
+		for i := range names {
+			names[i] = strings.TrimSpace(names[i])
+		}
+		evalOpts = append(evalOpts, cqapprox.WithOrder(names...))
+	}
+	if *desc {
+		evalOpts = append(evalOpts, cqapprox.WithDescending())
+	}
+	if *limit > 0 {
+		evalOpts = append(evalOpts, cqapprox.WithLimit(*limit))
 	}
 	ctx, cancel := withTimeout(*timeout)
 	defer cancel()
@@ -436,7 +473,12 @@ func cmdEval(args []string) error {
 			return err
 		}
 	}
-	p = p.Parallel(*parallel)
+	if *parallel > 1 {
+		evalOpts = append(evalOpts, cqapprox.WithEvalParallelism(*parallel))
+		// The trace entry points carry no option surface, so the worker
+		// budget reaches them through the (deprecated) parallel view.
+		p = p.Parallel(*parallel)
+	}
 	// -db-register snapshots the file into the engine's registry and
 	// evaluates through the snapshot's persistent indexes — the same
 	// path cqapproxd's eval-by-name requests take.
@@ -454,9 +496,9 @@ func cmdEval(args []string) error {
 			errf func() error
 		)
 		if bound != nil {
-			seq, errf = bound.AnswersErr(ctx)
+			seq, errf = bound.AnswersErr(ctx, evalOpts...)
 		} else {
-			seq, errf = p.AnswersErr(ctx, db)
+			seq, errf = p.AnswersErr(ctx, db, evalOpts...)
 		}
 		n := 0
 		for t := range seq {
@@ -488,9 +530,9 @@ func cmdEval(args []string) error {
 		case *trace:
 			ok, tr, err = p.EvalBoolTrace(ctx, db)
 		case bound != nil:
-			ok, err = bound.EvalBool(ctx)
+			ok, err = bound.EvalBool(ctx, evalOpts...)
 		default:
-			ok, err = p.EvalBool(ctx, db)
+			ok, err = p.EvalBool(ctx, db, evalOpts...)
 		}
 		if err != nil {
 			return err
@@ -514,9 +556,9 @@ func cmdEval(args []string) error {
 	case *trace:
 		ans, tr, err = p.EvalTrace(ctx, db)
 	case bound != nil:
-		ans, err = bound.Eval(ctx)
+		ans, err = bound.Eval(ctx, evalOpts...)
 	default:
-		ans, err = p.Eval(ctx, db)
+		ans, err = p.Eval(ctx, db, evalOpts...)
 	}
 	if err != nil {
 		return err
@@ -586,6 +628,9 @@ func cmdCount(args []string) error {
 	if *trace {
 		opts = append(opts, cqapprox.WithTrace())
 	}
+	if *parallel > 1 {
+		opts = append(opts, cqapprox.WithEvalParallelism(*parallel))
+	}
 	ctx, cancel := withTimeout(*timeout)
 	defer cancel()
 
@@ -604,7 +649,6 @@ func cmdCount(args []string) error {
 	} else if p, err = engine.PrepareExact(ctx, q); err != nil {
 		return err
 	}
-	p = p.Parallel(*parallel)
 
 	var res *cqapprox.CountResult
 	if *dbRegister != "" {

@@ -4,8 +4,8 @@
 // examples, and the repo's own engineering experiments (E19: the
 // indexed join runtime; E20: the registered database snapshot API;
 // E21: morsel-driven parallel evaluation; E22: the answer counting
-// subsystem). Each experiment prints a table comparing the expected
-// outcome against the measured one.
+// subsystem; E23: ranked top-k enumeration). Each experiment prints a
+// table comparing the expected outcome against the measured one.
 //
 // Usage:
 //
@@ -20,6 +20,8 @@
 //	                         # refresh the E21 benchmark baselines
 //	experiments -run count -bench-out BENCH_eval.json
 //	                         # refresh the E22 benchmark baselines
+//	experiments -run topk -bench-out BENCH_eval.json
+//	                         # refresh the E23 benchmark baselines
 package main
 
 import (
@@ -63,6 +65,7 @@ func main() {
 		{"registereddb", "E20: registered-snapshot eval speedup", true, expRegisteredDB},
 		{"parallel", "E21: morsel-driven parallel eval speedup", true, expParallel},
 		{"count", "E22: exact counting vs evaluation", true, expCount},
+		{"topk", "E23: ranked top-k vs eval+sort", true, expTopK},
 	}
 
 	ran := 0

@@ -61,12 +61,11 @@ func expParallel() error {
 			return err
 		}
 		serial := p.Bind(db)
-		par := serial.Parallel(workers)
 		want, err := serial.Eval(ctx) // warming evaluation
 		if err != nil {
 			return err
 		}
-		got, err := par.Eval(ctx)
+		got, err := serial.Eval(ctx, cqapprox.WithEvalParallelism(workers))
 		if err != nil {
 			return err
 		}
@@ -87,7 +86,7 @@ func expParallel() error {
 		})
 		pres := testing.Benchmark(func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, err := par.Eval(ctx); err != nil {
+				if _, err := serial.Eval(ctx, cqapprox.WithEvalParallelism(workers)); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -50,61 +50,14 @@ func fromCount(r count.Result) *CountResult {
 	}
 }
 
-// CountOption tunes Count and EstimateCount.
-type CountOption func(*countConfig)
-
-// countConfig is the resolved option set of one counting call: the
-// estimator knobs plus the tracing opt-in.
-type countConfig struct {
-	opts  count.Options
-	trace bool
-}
-
-// WithEpsilon sets the estimator's relative error target ε
-// (default 0.1): with probability at least 1-δ the estimate is within
-// a (1±ε) factor of the true count.
-func WithEpsilon(eps float64) CountOption {
-	return func(c *countConfig) { c.opts.Epsilon = eps }
-}
-
-// WithDelta sets the estimator's failure probability δ (default 0.05).
-func WithDelta(delta float64) CountOption {
-	return func(c *countConfig) { c.opts.Delta = delta }
-}
-
-// WithSeed fixes the estimator's random seed (default 1): identical
-// prepared query, database, options and seed reproduce the estimate
-// bit for bit.
-func WithSeed(seed int64) CountOption {
-	return func(c *countConfig) { c.opts.Seed = seed }
-}
-
-// WithMaxSamples caps the total samples one EstimateCount may draw
-// (default 200000); batch sizes shrink to fit the cap.
-func WithMaxSamples(n int) CountOption {
-	return func(c *countConfig) { c.opts.MaxSamples = n }
-}
-
-// WithTrace attaches an execution trace to the count: the result's
-// Trace field reports the reduction's per-node counters and the
-// counting phase's wall time. Off by default; untraced counts pay
-// nothing for the machinery.
-func WithTrace() CountOption {
-	return func(c *countConfig) { c.trace = true }
-}
-
-func countConfigOf(opts []CountOption) countConfig {
-	var c countConfig
-	for _, opt := range opts {
-		opt(&c)
-	}
-	return c
-}
-
 // countOn dispatches one counting call to the exact or estimating
-// subsystem entry point, traced or not.
+// subsystem entry point, traced or not. Counting shares the unified
+// option config (options.go): WithEvalParallelism overrides the view's
+// worker budget, WithTrace attaches the trace, and the estimator knobs
+// land in cfg.count.
 func countOn(ctx context.Context, pl *eval.Plan, src eval.Source, par int, estimate bool, opts []CountOption) (*CountResult, error) {
-	cfg := countConfigOf(opts)
+	cfg := optConfigOf(opts)
+	par = cfg.parallelism(par)
 	var (
 		res count.Result
 		tr  *ExecTrace
@@ -112,9 +65,9 @@ func countOn(ctx context.Context, pl *eval.Plan, src eval.Source, par int, estim
 	)
 	switch {
 	case estimate && cfg.trace:
-		res, tr, err = count.EstimateTrace(ctx, pl, src, par, cfg.opts)
+		res, tr, err = count.EstimateTrace(ctx, pl, src, par, cfg.count)
 	case estimate:
-		res, err = count.Estimate(ctx, pl, src, par, cfg.opts)
+		res, err = count.Estimate(ctx, pl, src, par, cfg.count)
 	case cfg.trace:
 		res, tr, err = count.ExactTrace(ctx, pl, src, par)
 	default:

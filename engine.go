@@ -172,6 +172,8 @@ func (e *Engine) CacheStats() CacheStats {
 		s.Indexes.IndexProbes += is.IndexProbes
 		s.Indexes.Evals += is.Evals
 		s.Indexes.ParallelEvals += is.ParallelEvals
+		s.Indexes.RankedEvals += is.RankedEvals
+		s.Indexes.RankFallbacks += is.RankFallbacks
 		s.Indexes.ExactCounts += is.ExactCounts
 		s.Indexes.EstimatedCounts += is.EstimatedCounts
 		s.Indexes.SampleBatches += is.SampleBatches

@@ -1,6 +1,8 @@
 package cqapprox
 
 import (
+	"errors"
+
 	"cqapprox/internal/cq"
 	"cqapprox/internal/cqerr"
 	"cqapprox/internal/eval"
@@ -36,6 +38,10 @@ var (
 
 	// ErrCountOverflow: an exact answer count does not fit in uint64.
 	ErrCountOverflow = eval.ErrCountOverflow
+
+	// ErrBadOrder: a WithOrder variable is not a distinct head variable
+	// of the query. The wrapping error names the offending variable.
+	ErrBadOrder = errors.New("cqapprox: order variable is not a head variable")
 )
 
 // ParseError is the positional syntax error returned by Parse: Offset

@@ -31,6 +31,7 @@ func TestExplainGoldenText(t *testing.T) {
 			prepare: func() (*PreparedQuery, error) { return e.PrepareExact(ctx, chain) },
 			want: `plan: yannakakis
 countable: exact
+ranked: connex
 direct: unit
 tree 0: count=unit
   [3] E(v3,v4) joins=2 skipped=2
@@ -46,6 +47,7 @@ tree 0: count=unit
 			prepare: func() (*PreparedQuery, error) { return e.PrepareExact(ctx, workload.StarQuery(5)) },
 			want: `plan: yannakakis
 countable: exact
+ranked: connex
 direct: node 4
 tree 0: count=node
   [4] R5(v0,v5) needed direct joins=1 skipped=1
@@ -62,6 +64,7 @@ tree 0: count=node
 class: TW(1)
 approximation: C4(x)_approx(x0) :- E(x0,x1), E(x1,x0)
 countable: exact
+ranked: connex
 direct: node 1
 tree 0: count=node
   [1] E(v1,v0) needed direct joins=1 skipped=1

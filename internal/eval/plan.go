@@ -52,6 +52,12 @@ type Plan struct {
 	// rerooted[i]: node i roots its tree only because rerootForHead
 	// reoriented it toward the head (Explain reports the decision).
 	rerooted []bool
+	// ranked is the canonical lex-connex visit program (the head's
+	// natural ascending key), nil when that order is not tractable on
+	// this forest; rankedIDs is its key-id sequence, the cache key
+	// rankProgramForSpec compares against. See rank.go.
+	ranked    *rankProgram
+	rankedIDs []int
 
 	stats planStats
 }
@@ -68,6 +74,9 @@ type planStats struct {
 	exactCounts   atomic.Uint64
 	estCounts     atomic.Uint64
 	sampleBatches atomic.Uint64
+
+	rankedEvals   atomic.Uint64
+	rankFallbacks atomic.Uint64
 }
 
 // IndexStats is a snapshot of the indexed runtime's counters for one
@@ -77,7 +86,10 @@ type planStats struct {
 // with a parallel worker budget. The count counters track the answer
 // counting subsystem: counts answered exactly (DP, dedup or
 // enumeration), counts answered by the sampling estimator, and the
-// median-of-means batches those estimates ran.
+// median-of-means batches those estimates ran. The rank counters track
+// ordered evaluation: calls that streamed through a lex-connex visit
+// program, and calls whose key was untractable and fell back to
+// eval+sort+truncate.
 type IndexStats struct {
 	IndexBuilds   uint64
 	IndexProbes   uint64
@@ -87,6 +99,9 @@ type IndexStats struct {
 	ExactCounts     uint64
 	EstimatedCounts uint64
 	SampleBatches   uint64
+
+	RankedEvals   uint64
+	RankFallbacks uint64
 }
 
 // IndexStats returns the plan's cumulative indexed-runtime counters.
@@ -99,6 +114,8 @@ func (p *Plan) IndexStats() IndexStats {
 		ExactCounts:     p.stats.exactCounts.Load(),
 		EstimatedCounts: p.stats.estCounts.Load(),
 		SampleBatches:   p.stats.sampleBatches.Load(),
+		RankedEvals:     p.stats.rankedEvals.Load(),
+		RankFallbacks:   p.stats.rankFallbacks.Load(),
 	}
 }
 
@@ -152,6 +169,11 @@ func NewPlan(q *cq.Query) *Plan {
 		}
 		p.sched = scheduleForAtoms(p.atoms, p.jt.Parent, p.tb.Dist)
 		p.csched = newCountSchedule(vars, p.jt.Parent, p.sched, p.tb.Dist)
+		// Classify the head's natural ascending key once: most ranked
+		// calls (and every limit-only call) use it, and Explain reports
+		// the connex/fallback decision from it.
+		p.rankedIDs = dedupHeadIDs(p.sched.head, RankSpec{}.perm(len(p.sched.head)))
+		p.ranked = p.buildRankProgram(p.rankedIDs)
 	}
 	return p
 }

@@ -220,6 +220,11 @@ func (p *Plan) Explain() *obs.PlanExplain {
 		return ex
 	}
 	ex.ExactCountable = p.csched.exact
+	if p.ranked != nil {
+		ex.Ranked = "connex"
+	} else {
+		ex.Ranked = "fallback"
+	}
 	switch {
 	case p.sched.directNode == unitNode:
 		ex.Direct = "unit"

@@ -55,8 +55,13 @@ type PlanExplain struct {
 	Direct string `json:"direct,omitempty"`
 	// ExactCountable: no tree of the forest needs the sampling
 	// estimator to count.
-	ExactCountable bool          `json:"exact_countable"`
-	Trees          []TreeExplain `json:"trees,omitempty"`
+	ExactCountable bool `json:"exact_countable"`
+	// Ranked is the ordered-enumeration classification of the head's
+	// natural key: "connex" (ranked calls stream out of the reduced
+	// forest with early termination) or "fallback" (ranked calls
+	// evaluate fully, sort and truncate). Empty for naive plans.
+	Ranked string        `json:"ranked,omitempty"`
+	Trees  []TreeExplain `json:"trees,omitempty"`
 
 	// Prepare phase wall times (parse/minimize/search/plan), measured
 	// when the plan was built; zero/absent on renders that never
@@ -115,6 +120,9 @@ func (e *PlanExplain) Text() string {
 		b.WriteString("countable: exact\n")
 	} else {
 		b.WriteString("countable: sample\n")
+	}
+	if e.Ranked != "" {
+		fmt.Fprintf(&b, "ranked: %s\n", e.Ranked)
 	}
 	if e.Direct != "" {
 		fmt.Fprintf(&b, "direct: %s\n", e.Direct)

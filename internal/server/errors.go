@@ -57,6 +57,10 @@ func mapError(err error) *apiError {
 		return &apiError{http.StatusUnprocessableEntity, api.ErrorInfo{
 			Code: api.CodeBudgetExceeded, Message: err.Error(),
 		}}
+	case errors.Is(err, cqapprox.ErrBadOrder):
+		return &apiError{http.StatusBadRequest, api.ErrorInfo{
+			Code: api.CodeBadRequest, Message: err.Error(),
+		}}
 	case errors.Is(err, cqapprox.ErrNotInClass):
 		return &apiError{http.StatusUnprocessableEntity, api.ErrorInfo{
 			Code: api.CodeNotInClass, Message: err.Error(),

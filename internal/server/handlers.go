@@ -234,11 +234,11 @@ type dbSource struct {
 	bind   func(*cqapprox.PreparedQuery) *cqapprox.BoundQuery
 }
 
-func (d dbSource) eval(ctx context.Context, p *cqapprox.PreparedQuery) (cqapprox.Answers, error) {
+func (d dbSource) eval(ctx context.Context, p *cqapprox.PreparedQuery, opts []cqapprox.EvalOption) (cqapprox.Answers, error) {
 	if d.inline != nil {
-		return p.Eval(ctx, d.inline)
+		return p.Eval(ctx, d.inline, opts...)
 	}
-	return d.bind(p).Eval(ctx)
+	return d.bind(p).Eval(ctx, opts...)
 }
 
 func (d dbSource) evalBool(ctx context.Context, p *cqapprox.PreparedQuery) (bool, error) {
@@ -262,11 +262,11 @@ func (d dbSource) evalBoolTrace(ctx context.Context, p *cqapprox.PreparedQuery) 
 	return d.bind(p).EvalBoolTrace(ctx)
 }
 
-func (d dbSource) answersErr(ctx context.Context, p *cqapprox.PreparedQuery) (iter.Seq[cqapprox.Tuple], func() error) {
+func (d dbSource) answersErr(ctx context.Context, p *cqapprox.PreparedQuery, opts []cqapprox.EvalOption) (iter.Seq[cqapprox.Tuple], func() error) {
 	if d.inline != nil {
-		return p.AnswersErr(ctx, d.inline)
+		return p.AnswersErr(ctx, d.inline, opts...)
 	}
-	return d.bind(p).AnswersErr(ctx)
+	return d.bind(p).AnswersErr(ctx, opts...)
 }
 
 func (d dbSource) count(ctx context.Context, p *cqapprox.PreparedQuery, opts []cqapprox.CountOption) (*cqapprox.CountResult, error) {
@@ -305,6 +305,41 @@ func (s *Server) resolveDB(req api.EvalRequest) (dbSource, *apiError) {
 	return dbSource{inline: db}, nil
 }
 
+// rankOpts translates the request's ranked-evaluation knobs into the
+// library options /v1/eval and /v1/stream pass through; checkRankKnobs
+// has already validated them.
+func rankOpts(req api.EvalRequest) []cqapprox.EvalOption {
+	var opts []cqapprox.EvalOption
+	if len(req.Order) > 0 {
+		opts = append(opts, cqapprox.WithOrder(req.Order...))
+	}
+	if req.Descending {
+		opts = append(opts, cqapprox.WithDescending())
+	}
+	if req.Limit > 0 {
+		opts = append(opts, cqapprox.WithLimit(req.Limit))
+	}
+	return opts
+}
+
+// checkRankKnobs validates the ranked-evaluation knobs of a request.
+// Endpoints that cannot honor them (eval-bool, count) pass
+// allowed=false and reject rather than silently ignoring; the
+// order-variable names themselves are validated against the head later,
+// by the library (mapped to bad_request via ErrBadOrder).
+func checkRankKnobs(req api.EvalRequest, allowed bool) *apiError {
+	if !allowed {
+		if len(req.Order) > 0 || req.Descending || req.Limit != 0 {
+			return errBadRequest("order, descending and limit apply to eval and stream requests only")
+		}
+		return nil
+	}
+	if req.Limit < 0 {
+		return errBadRequest("limit must be nonnegative (0 means unlimited)")
+	}
+	return nil
+}
+
 // clampParallelism resolves a request's evaluation worker budget
 // against the configured cap: absent (or ≤1) stays serial, anything
 // above MaxParallelism is clamped rather than rejected — the budget is
@@ -316,23 +351,12 @@ func (s *Server) clampParallelism(n int) int {
 	return min(n, s.cfg.MaxParallelism)
 }
 
-// evalCommon factors the shared shape of the three evaluation
-// endpoints: decode and validate the whole request (including the
-// database half), then take an eval admission slot, then resolve the
-// prepared query under the request deadline, apply the clamped
-// per-request worker budget, and hand off to the endpoint's terminal
-// action. run owns the response on success.
-func (s *Server) evalCommon(w http.ResponseWriter, r *http.Request, run func(ctx context.Context, p *cqapprox.PreparedQuery, db dbSource)) {
-	var req api.EvalRequest
-	if !s.decodeJSON(w, r, &req) {
-		return
-	}
-	s.evalWith(w, r, req, run)
-}
-
-// evalWith is evalCommon after the decode: endpoints with extended
-// request types (/v1/count embeds EvalRequest) decode themselves and
-// join the shared path here.
+// evalWith factors the shared shape of the evaluation endpoints after
+// their own decode and knob validation: resolve the database half,
+// take an eval admission slot, resolve the prepared query under the
+// request deadline, apply the clamped per-request worker budget, and
+// hand off to the endpoint's terminal action. run owns the response on
+// success.
 func (s *Server) evalWith(w http.ResponseWriter, r *http.Request, req api.EvalRequest, run func(ctx context.Context, p *cqapprox.PreparedQuery, db dbSource)) {
 	db, apiErr := s.resolveDB(req)
 	if apiErr != nil {
@@ -365,6 +389,15 @@ func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) {
 	if !s.decodeJSON(w, r, &req) {
 		return
 	}
+	if apiErr := checkRankKnobs(req, true); apiErr != nil {
+		writeError(w, apiErr)
+		return
+	}
+	ranked := len(req.Order) > 0 || req.Descending || req.Limit > 0
+	if req.Trace && ranked {
+		writeError(w, errBadRequest("trace cannot be combined with order, descending or limit"))
+		return
+	}
 	s.evalWith(w, r, req, func(ctx context.Context, p *cqapprox.PreparedQuery, db dbSource) {
 		if req.Trace {
 			ans, tr, err := db.evalTrace(ctx, p)
@@ -376,7 +409,7 @@ func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) {
 			writeJSON(w, http.StatusOK, api.EvalResponse{Answers: api.FromAnswers(ans), Count: len(ans), Trace: tr})
 			return
 		}
-		ans, err := db.eval(ctx, p)
+		ans, err := db.eval(ctx, p, rankOpts(req))
 		if err != nil {
 			writeError(w, mapError(err))
 			return
@@ -388,6 +421,10 @@ func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleEvalBool(w http.ResponseWriter, r *http.Request) {
 	var req api.EvalRequest
 	if !s.decodeJSON(w, r, &req) {
+		return
+	}
+	if apiErr := checkRankKnobs(req, false); apiErr != nil {
+		writeError(w, apiErr)
 		return
 	}
 	s.evalWith(w, r, req, func(ctx context.Context, p *cqapprox.PreparedQuery, db dbSource) {
@@ -419,6 +456,10 @@ func (s *Server) handleEvalBool(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleCount(w http.ResponseWriter, r *http.Request) {
 	var req api.CountRequest
 	if !s.decodeJSON(w, r, &req) {
+		return
+	}
+	if apiErr := checkRankKnobs(req.EvalRequest, false); apiErr != nil {
+		writeError(w, apiErr)
 		return
 	}
 	if !req.Estimate && (req.Epsilon != 0 || req.Delta != 0 || req.Seed != nil || req.MaxSamples != 0) {
@@ -487,8 +528,18 @@ func (s *Server) handleCount(w http.ResponseWriter, r *http.Request) {
 // the enumeration was truncated (deadline or disconnect); clients
 // distinguish the two shapes by the first byte. Closing the connection
 // cancels the enumeration promptly through the request context.
+// Order/Descending switch the stream to ranked enumeration; Limit ends
+// the stream (and the response) after Limit answer lines.
 func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
-	s.evalCommon(w, r, func(ctx context.Context, p *cqapprox.PreparedQuery, db dbSource) {
+	var req api.EvalRequest
+	if !s.decodeJSON(w, r, &req) {
+		return
+	}
+	if apiErr := checkRankKnobs(req, true); apiErr != nil {
+		writeError(w, apiErr)
+		return
+	}
+	s.evalWith(w, r, req, func(ctx context.Context, p *cqapprox.PreparedQuery, db dbSource) {
 		w.Header().Set("Content-Type", "application/x-ndjson")
 		w.WriteHeader(http.StatusOK)
 		flusher, _ := w.(http.Flusher)
@@ -498,7 +549,7 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 		enc := json.NewEncoder(w) // Encode appends \n: exactly one answer per line
-		seq, errf := db.answersErr(ctx, p)
+		seq, errf := db.answersErr(ctx, p, rankOpts(req))
 		n := 0
 		for t := range seq {
 			if err := enc.Encode([]int(t)); err != nil {

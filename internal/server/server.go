@@ -218,6 +218,8 @@ func (s *Server) Stats() api.StatsResponse {
 			IndexProbes:     cs.Indexes.IndexProbes,
 			IndexedEvals:    cs.Indexes.Evals,
 			ParallelEvals:   cs.Indexes.ParallelEvals,
+			RankedEvals:     cs.Indexes.RankedEvals,
+			RankFallbacks:   cs.Indexes.RankFallbacks,
 			ExactCounts:     cs.Indexes.ExactCounts,
 			EstimatedCounts: cs.Indexes.EstimatedCounts,
 			SampleBatches:   cs.Indexes.SampleBatches,

@@ -40,7 +40,7 @@ func WireDB(s *relstr.Structure) api.Database {
 func Executor(c *client.Client) func(ctx context.Context, op workload.Op) error {
 	return func(ctx context.Context, op workload.Op) error {
 		evalReq := func() api.EvalRequest {
-			req := api.EvalRequest{Query: op.Query.String(), Class: op.Class, Parallelism: op.Parallelism, Trace: op.Trace}
+			req := api.EvalRequest{Query: op.Query.String(), Class: op.Class, Parallelism: op.Parallelism, Trace: op.Trace, Order: op.Order, Limit: op.Limit}
 			if op.DBName != "" {
 				req.DB = op.DBName
 			} else {

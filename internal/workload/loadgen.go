@@ -67,6 +67,11 @@ type Op struct {
 	// the result (api.EvalRequest.Trace) — the sampled ANALYZE traffic
 	// LoadGen.TraceShare generates.
 	Trace bool
+	// Order and Limit, on an OpEval or OpStream, request ranked top-k
+	// answers (api.EvalRequest.Order/Limit) — the traffic
+	// LoadGen.RankedShare generates.
+	Order []string
+	Limit int
 }
 
 // LoadGen generates mixed prepare/eval/stream traffic over a fixed
@@ -128,6 +133,13 @@ type LoadGen struct {
 	// trace overhead is measurable. Zero keeps the op sequence
 	// bit-identical to pre-tracing generators.
 	TraceShare float64
+
+	// RankedShare is the fraction (0..1) of non-Boolean eval and stream
+	// ops that request ranked top-k answers: a seeded head-suffix order
+	// (reversed, deduplicated) plus a small limit — traffic exercising
+	// the server's ranked enumeration and its fallback. Zero keeps the
+	// op sequence bit-identical to pre-ranking generators.
+	RankedShare float64
 
 	// Concurrency is the number of worker goroutines Run uses
 	// (default 8).
@@ -287,6 +299,22 @@ func (g *LoadGen) op(rng *rand.Rand) Op {
 	// TraceShare == 0 changes nothing.
 	if g.TraceShare > 0 && (op.Kind == OpEval || op.Kind == OpCount) && rng.Float64() < g.TraceShare {
 		op.Trace = true
+	}
+	// The ranked draw comes last, same convention: RankedShare == 0
+	// changes nothing. Ordering a traced eval is rejected server-side,
+	// so traced ops stay unranked.
+	if g.RankedShare > 0 && (op.Kind == OpEval || op.Kind == OpStream) && !op.Trace &&
+		len(op.Query.Head) > 0 && rng.Float64() < g.RankedShare {
+		head := op.Query.Head
+		k := 1 + rng.Intn(len(head))
+		seen := map[string]bool{}
+		for i := len(head) - 1; i >= 0 && len(op.Order) < k; i-- {
+			if !seen[head[i]] {
+				seen[head[i]] = true
+				op.Order = append(op.Order, head[i])
+			}
+		}
+		op.Limit = 1 + rng.Intn(8)
 	}
 	return op
 }

@@ -2,6 +2,7 @@ package cqapprox
 
 import (
 	"context"
+	"fmt"
 	"iter"
 
 	"cqapprox/internal/eval"
@@ -37,6 +38,11 @@ type PreparedQuery struct {
 //
 // The engine-wide default budget (WithParallelism) applies when
 // Parallel is never called.
+//
+// Deprecated: pass WithEvalParallelism(n) to the call instead — the
+// per-call option composes with the rest of the EvalOption surface and
+// needs no extra view value. Parallel remains as a thin wrapper for
+// callers that want a reusable parallel view.
 func (p *PreparedQuery) Parallel(n int) *PreparedQuery {
 	if n < 1 {
 		n = 1
@@ -157,24 +163,123 @@ func (p *PreparedQuery) PlanMode() string { return p.plan.Mode().String() }
 // the whole cache.
 func (p *PreparedQuery) IndexStats() IndexStats { return p.plan.IndexStats() }
 
+// rankSpec resolves the call's ordering options against the query's
+// head: each WithOrder name must be a distinct head variable of the
+// original query (repeated head variables resolve to their first
+// position — later repeats compare equal anyway). The error wraps
+// ErrBadOrder.
+func (p *PreparedQuery) rankSpec(cfg *optConfig) (eval.RankSpec, error) {
+	spec := eval.RankSpec{Desc: cfg.desc, Limit: cfg.limit}
+	if len(cfg.order) == 0 {
+		return spec, nil
+	}
+	head := p.src.Head
+	seen := map[string]bool{}
+	for _, name := range cfg.order {
+		if seen[name] {
+			return spec, fmt.Errorf("%w: %q named twice", ErrBadOrder, name)
+		}
+		seen[name] = true
+		pos := -1
+		for i, h := range head {
+			if h == name {
+				pos = i
+				break
+			}
+		}
+		if pos == -1 {
+			return spec, fmt.Errorf("%w: %q is not a head variable of %s", ErrBadOrder, name, p.src.Name)
+		}
+		spec.Order = append(spec.Order, pos)
+	}
+	return spec, nil
+}
+
+// evalOn dispatches one materialising evaluation: ranked (ordered
+// and/or limited — limit-only uses the head's natural ascending key,
+// so early termination still applies) or the plain full evaluation.
+func (p *PreparedQuery) evalOn(ctx context.Context, src eval.Source, opts []EvalOption) (Answers, error) {
+	cfg := optConfigOf(opts)
+	par := cfg.parallelism(p.parallelism())
+	if !cfg.ranked() {
+		return p.plan.EvalOn(ctx, src, par)
+	}
+	spec, err := p.rankSpec(&cfg)
+	if err != nil {
+		return nil, err
+	}
+	return p.plan.EvalRankedOn(ctx, src, par, spec)
+}
+
+// answersOn dispatches one streaming evaluation: explicitly ordered
+// streams go through the ranked pipeline; limit-only streams keep the
+// plain enumeration's first-answer latency and simply stop after k
+// answers (an unordered prefix).
+func (p *PreparedQuery) answersOn(ctx context.Context, src eval.Source, opts []EvalOption) (iter.Seq[Tuple], func() error) {
+	cfg := optConfigOf(opts)
+	par := cfg.parallelism(p.parallelism())
+	if cfg.ordered() {
+		spec, err := p.rankSpec(&cfg)
+		if err != nil {
+			return errSeq(err)
+		}
+		return p.plan.StreamRankedOn(ctx, src, par, spec)
+	}
+	seq, errf := p.plan.StreamOnErr(ctx, src, par)
+	if cfg.limit > 0 {
+		seq = truncateSeq(seq, cfg.limit)
+	}
+	return seq, errf
+}
+
+// errSeq is the empty stream carrying a terminal error (option
+// validation failures on the streaming entry points).
+func errSeq(err error) (iter.Seq[Tuple], func() error) {
+	return func(func(Tuple) bool) {}, func() error { return err }
+}
+
+// truncateSeq stops a stream after the first k tuples.
+func truncateSeq(seq iter.Seq[Tuple], k int) iter.Seq[Tuple] {
+	return func(yield func(Tuple) bool) {
+		n := 0
+		for t := range seq {
+			if !yield(t) {
+				return
+			}
+			if n++; n >= k {
+				return
+			}
+		}
+	}
+}
+
 // Eval evaluates the prepared (approximated) query on db, returning
-// the full deduplicated answer set in sorted order. Only per-database
-// work happens here: O(|D|·|Q'|) plus output cost for acyclic plans.
-// With a worker budget (see Parallel), the evaluation's semijoin,
-// join and projection loops fan out in fixed-size morsels.
-func (p *PreparedQuery) Eval(ctx context.Context, db *Structure) (Answers, error) {
-	return p.plan.EvalOn(ctx, eval.NewSource(db), p.parallelism())
+// the deduplicated answer set. Only per-database work happens here:
+// O(|D|·|Q'|) plus output cost for acyclic plans. Options select the
+// per-call behavior: WithOrder/WithDescending sort the answers under
+// the requested key (plans whose join forest admits the key stream it
+// directly out of the reduced forest; others evaluate, sort and
+// truncate — Explain reports the classification), WithLimit(k) returns
+// only the first k answers of the order with early termination where
+// the plan allows, and WithEvalParallelism overrides the worker budget
+// for this call. Without options the full answer set arrives in the
+// default sorted order.
+func (p *PreparedQuery) Eval(ctx context.Context, db *Structure, opts ...EvalOption) (Answers, error) {
+	return p.evalOn(ctx, eval.NewSource(db), opts)
 }
 
 // EvalBool reports whether the prepared query has at least one answer
 // on db. For acyclic plans this is a single semijoin pass, O(|D|·|Q'|).
-func (p *PreparedQuery) EvalBool(ctx context.Context, db *Structure) (bool, error) {
-	return p.plan.EvalBoolOn(ctx, eval.NewSource(db), p.parallelism())
+// WithEvalParallelism applies; ordering options are meaningless for a
+// Boolean result and are ignored.
+func (p *PreparedQuery) EvalBool(ctx context.Context, db *Structure, opts ...EvalOption) (bool, error) {
+	cfg := optConfigOf(opts)
+	return p.plan.EvalBoolOn(ctx, eval.NewSource(db), cfg.parallelism(p.parallelism()))
 }
 
 // Answers streams the distinct answers of the prepared query on db one
-// at a time, in discovery order, without materialising the full result
-// set — suitable for very large outputs:
+// at a time without materialising the full result set — suitable for
+// very large outputs:
 //
 //	for t := range p.Answers(ctx, db) {
 //		process(t) // break any time
@@ -182,23 +287,30 @@ func (p *PreparedQuery) EvalBool(ctx context.Context, db *Structure) (bool, erro
 //
 // Acyclic plans first run the Yannakakis semijoin reduction (O(|D|·|Q'|))
 // so the enumeration only touches tuples that can participate in an
-// answer. Iteration ends early on ctx cancellation; every delivered
-// tuple is a correct answer regardless. To distinguish a cancelled
-// (truncated) stream from an exhausted one, use AnswersErr.
-func (p *PreparedQuery) Answers(ctx context.Context, db *Structure) iter.Seq[Tuple] {
-	return p.plan.StreamOn(ctx, eval.NewSource(db), p.parallelism())
+// answer. Plain streams arrive in discovery order; WithOrder /
+// WithDescending switch to the ranked pipeline and deliver the key
+// order, and WithLimit(k) ends the stream after k answers (ordered
+// when an order was requested, any-k otherwise). Iteration ends early
+// on ctx cancellation; every delivered tuple is a correct answer
+// regardless. To distinguish a cancelled (truncated) stream from an
+// exhausted one — or to see an order-validation error — use
+// AnswersErr.
+func (p *PreparedQuery) Answers(ctx context.Context, db *Structure, opts ...EvalOption) iter.Seq[Tuple] {
+	seq, _ := p.answersOn(ctx, eval.NewSource(db), opts)
+	return seq
 }
 
 // AnswersErr is Answers plus a terminal-error accessor: call the
 // returned function after the loop — nil means the enumeration ran to
 // completion (or the consumer broke), a non-nil ErrCanceled-wrapped
-// error means cancellation truncated it:
+// error means cancellation truncated it (and an ErrBadOrder-wrapped
+// error reports invalid WithOrder variables, before any answer):
 //
 //	seq, errf := p.AnswersErr(ctx, db)
 //	for t := range seq { process(t) }
 //	if err := errf(); err != nil { /* truncated */ }
-func (p *PreparedQuery) AnswersErr(ctx context.Context, db *Structure) (iter.Seq[Tuple], func() error) {
-	return p.plan.StreamOnErr(ctx, eval.NewSource(db), p.parallelism())
+func (p *PreparedQuery) AnswersErr(ctx context.Context, db *Structure, opts ...EvalOption) (iter.Seq[Tuple], func() error) {
+	return p.answersOn(ctx, eval.NewSource(db), opts)
 }
 
 // Bind pairs the prepared query with a database snapshot, yielding the
@@ -240,6 +352,9 @@ func (b *BoundQuery) Database() *Database { return b.db }
 // Parallel returns a view of the bound query evaluating on up to n
 // workers; see PreparedQuery.Parallel. The binding inherits its
 // prepared query's budget until overridden here.
+//
+// Deprecated: pass WithEvalParallelism(n) to the call instead; see
+// PreparedQuery.Parallel.
 func (b *BoundQuery) Parallel(n int) *BoundQuery {
 	p := b.p.Parallel(n)
 	if p == b.p {
@@ -253,27 +368,31 @@ func (b *BoundQuery) source() eval.Source {
 	return eval.NewSnapshotSource(b.db.snap)
 }
 
-// Eval evaluates the bound query, returning the full deduplicated
-// answer set in sorted order — identical to p.Eval against the
-// equivalent structure, minus the per-call index builds.
-func (b *BoundQuery) Eval(ctx context.Context) (Answers, error) {
-	return b.p.plan.EvalOn(ctx, b.source(), b.p.parallelism())
+// Eval evaluates the bound query, returning the deduplicated answer
+// set — identical to p.Eval against the equivalent structure, minus
+// the per-call index builds. The same EvalOption surface applies; see
+// PreparedQuery.Eval.
+func (b *BoundQuery) Eval(ctx context.Context, opts ...EvalOption) (Answers, error) {
+	return b.p.evalOn(ctx, b.source(), opts)
 }
 
 // EvalBool reports whether the bound query has at least one answer
 // (a single probe-only semijoin pass for acyclic plans).
-func (b *BoundQuery) EvalBool(ctx context.Context) (bool, error) {
-	return b.p.plan.EvalBoolOn(ctx, b.source(), b.p.parallelism())
+// WithEvalParallelism applies; ordering options are ignored.
+func (b *BoundQuery) EvalBool(ctx context.Context, opts ...EvalOption) (bool, error) {
+	cfg := optConfigOf(opts)
+	return b.p.plan.EvalBoolOn(ctx, b.source(), cfg.parallelism(b.p.parallelism()))
 }
 
 // Answers streams the distinct answers of the bound query; see
-// PreparedQuery.Answers for the contract.
-func (b *BoundQuery) Answers(ctx context.Context) iter.Seq[Tuple] {
-	return b.p.plan.StreamOn(ctx, b.source(), b.p.parallelism())
+// PreparedQuery.Answers for the contract and option behavior.
+func (b *BoundQuery) Answers(ctx context.Context, opts ...EvalOption) iter.Seq[Tuple] {
+	seq, _ := b.p.answersOn(ctx, b.source(), opts)
+	return seq
 }
 
 // AnswersErr is Answers plus the terminal-error accessor; see
 // PreparedQuery.AnswersErr.
-func (b *BoundQuery) AnswersErr(ctx context.Context) (iter.Seq[Tuple], func() error) {
-	return b.p.plan.StreamOnErr(ctx, b.source(), b.p.parallelism())
+func (b *BoundQuery) AnswersErr(ctx context.Context, opts ...EvalOption) (iter.Seq[Tuple], func() error) {
+	return b.p.answersOn(ctx, b.source(), opts)
 }
