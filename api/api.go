@@ -140,22 +140,61 @@ func NewPrepareResponse(p *cqapprox.PreparedQuery, key string) *PrepareResponse 
 }
 
 // RegisterDBRequest is the body of POST /v1/db: register (or replace)
-// the database under Name. Later eval/stream requests may then carry
-// the name in EvalRequest.DB instead of re-shipping the data — and
-// every evaluation against the registered snapshot shares its
-// persistent index cache.
+// the database under Name, or — with Delta instead of Database — apply
+// a change set copy-on-write to the existing registration. Later
+// eval/stream requests may then carry the name in EvalRequest.DB
+// instead of re-shipping the data — and every evaluation against the
+// registered snapshot shares its persistent index cache. Database and
+// Delta are mutually exclusive; a Delta against an unregistered name
+// fails with unknown_db. Both forms notify the name's /v1/subscribe
+// watchers: a delta propagates incrementally, a replacement forces a
+// resynchronising re-evaluation.
 type RegisterDBRequest struct {
-	Name     string   `json:"name"`
-	Database Database `json:"database"`
+	Name     string       `json:"name"`
+	Database Database     `json:"database,omitempty"`
+	Delta    *DeltaChange `json:"delta,omitempty"`
 }
 
-// RegisterDBResponse summarizes a successful registration.
+// DeltaChange is a database change set on the wire: facts to insert
+// and facts to delete, per relation (same shape as Database). Deletes
+// of absent facts and inserts of present ones are no-ops, matching
+// cqapprox.Delta semantics.
+type DeltaChange struct {
+	Insert Database `json:"insert,omitempty"`
+	Delete Database `json:"delete,omitempty"`
+}
+
+// ToDelta converts the wire change set to a library Delta.
+func (dc *DeltaChange) ToDelta() (*cqapprox.Delta, error) {
+	d := cqapprox.NewDelta()
+	for rel, tuples := range dc.Insert {
+		if rel == "" {
+			return nil, fmt.Errorf("delta: empty relation name")
+		}
+		for _, t := range tuples {
+			d.Insert(rel, t...)
+		}
+	}
+	for rel, tuples := range dc.Delete {
+		if rel == "" {
+			return nil, fmt.Errorf("delta: empty relation name")
+		}
+		for _, t := range tuples {
+			d.Delete(rel, t...)
+		}
+	}
+	return d, nil
+}
+
+// RegisterDBResponse summarizes a successful registration or delta
+// update.
 type RegisterDBResponse struct {
 	Name      string `json:"name"`
-	Version   uint64 `json:"version"`   // process-unique snapshot version
-	Relations int    `json:"relations"` // relation symbols registered
-	Facts     int    `json:"facts"`     // total tuples registered
-	Replaced  bool   `json:"replaced"`  // a previous registration of Name existed
+	Version   uint64 `json:"version"`           // process-unique snapshot version
+	Relations int    `json:"relations"`         // relation symbols registered
+	Facts     int    `json:"facts"`             // total tuples registered
+	Replaced  bool   `json:"replaced"`          // a previous registration of Name existed
+	Applied   bool   `json:"applied,omitempty"` // the request was a delta update
 }
 
 // EvalRequest is the body of POST /v1/eval, /v1/eval/bool and
@@ -188,7 +227,8 @@ type EvalRequest struct {
 	// Trace asks the server to attach an execution trace of this one
 	// evaluation (per-node semijoin rows, phase wall times, morsel and
 	// worker accounting) to the response. Off by default; untraced
-	// requests pay nothing. Ignored by /v1/stream.
+	// requests pay nothing. Rejected by /v1/stream (a stream response
+	// carries no trace block).
 	Trace bool `json:"trace,omitempty"`
 
 	// Order asks for ranked answers: sort by these head variables, most
@@ -285,6 +325,69 @@ type ExplainResponse struct {
 	Text    string                `json:"text"`
 }
 
+// SubscribeRequest is the body of POST /v1/subscribe: register a live
+// query over a registered database and stream answer diffs as updates
+// land. The prepared query is addressed exactly as in EvalRequest (Key
+// from a prior prepare, or inline Query plus Class/Exact/Options); the
+// database must be registered — DB names it, inline databases cannot
+// be subscribed to (nothing would ever update them). The response is
+// an NDJSON stream of DiffFrame lines: first an init frame carrying
+// the full current answer set, then one frame per update batch. The
+// stream ends when the client disconnects, the server drains, or a
+// terminal frame with Error set is pushed (e.g. slow_consumer under
+// the disconnect policy). TimeoutMS bounds only the setup phase
+// (prepare + initial evaluation); the subscription itself is
+// unbounded.
+type SubscribeRequest struct {
+	Key     string   `json:"key,omitempty"`
+	Query   string   `json:"query,omitempty"`
+	Class   string   `json:"class,omitempty"`
+	Exact   bool     `json:"exact,omitempty"`
+	Options *Options `json:"options,omitempty"`
+	DB      string   `json:"db"`
+
+	// Parallelism is the worker budget for the initial evaluation and
+	// any fallback re-evaluations, clamped like EvalRequest.Parallelism.
+	Parallelism int   `json:"parallelism,omitempty"`
+	TimeoutMS   int64 `json:"timeout_ms,omitempty"`
+}
+
+// DiffFrame is one line of a /v1/subscribe NDJSON stream: the exact
+// answer-set change of one update batch. Applying Removed then Added
+// to the previous state yields the answer set at Version. Special
+// frames:
+//
+//   - Init: the first frame; Added is the complete current answer set
+//     and Removed is empty (the client's starting state).
+//   - Resync: the subscriber fell behind (queue overflow under the
+//     resync policy) and updates were dropped; Added is again the
+//     complete answer set — replace local state instead of patching.
+//   - Error: terminal; the server is about to close the stream (e.g.
+//     code slow_consumer under the disconnect policy). No answer data.
+//
+// Fallback reports that the server could not propagate the batch
+// incrementally and re-evaluated instead (the diff is still exact);
+// Reason says why.
+type DiffFrame struct {
+	Version  uint64     `json:"version"`
+	Added    [][]int    `json:"added,omitempty"`
+	Removed  [][]int    `json:"removed,omitempty"`
+	Init     bool       `json:"init,omitempty"`
+	Resync   bool       `json:"resync,omitempty"`
+	Fallback bool       `json:"fallback,omitempty"`
+	Reason   string     `json:"reason,omitempty"`
+	Error    *ErrorInfo `json:"error,omitempty"`
+}
+
+// SubscriptionStats are the live-query counters of GET /v1/stats.
+type SubscriptionStats struct {
+	Active            int64  `json:"active"`              // currently connected subscribers
+	Subscriptions     uint64 `json:"subscriptions"`       // subscriptions ever accepted
+	Notifications     uint64 `json:"notifications"`       // diff frames pushed (init, diff and resync)
+	Resyncs           uint64 `json:"resyncs"`             // resync frames after queue overflow
+	SlowConsumerDrops uint64 `json:"slow_consumer_drops"` // subscribers disconnected as slow consumers
+}
+
 // ClassifyResponse is the -json output of cqapprox classify (the
 // Theorem 5.1 trichotomy); the service may grow a matching endpoint.
 type ClassifyResponse struct {
@@ -319,6 +422,12 @@ type CacheStats struct {
 	ExactCounts     uint64 `json:"exact_counts"`
 	EstimatedCounts uint64 `json:"estimated_counts"`
 	SampleBatches   uint64 `json:"sample_batches"`
+	// The incremental maintenance subsystem's activity: subscription
+	// updates propagated delta-incrementally through a reduced forest,
+	// and updates that fell back to a full re-evaluation (naive plan,
+	// delta past the budget, full replacement, resync).
+	IncrementalEvals uint64 `json:"incremental_evals"`
+	IncrFallbacks    uint64 `json:"incr_fallbacks"`
 }
 
 // EndpointStats are the per-endpoint request counters of GET /v1/stats.
@@ -369,10 +478,11 @@ type ServerLimits struct {
 
 // StatsResponse is the body of GET /v1/stats.
 type StatsResponse struct {
-	Cache     CacheStats               `json:"cache"`
-	DBs       DBRegistryStats          `json:"dbs"`
-	Server    ServerLimits             `json:"server"`
-	Endpoints map[string]EndpointStats `json:"endpoints"`
+	Cache         CacheStats               `json:"cache"`
+	DBs           DBRegistryStats          `json:"dbs"`
+	Server        ServerLimits             `json:"server"`
+	Subscriptions SubscriptionStats        `json:"subscriptions"`
+	Endpoints     map[string]EndpointStats `json:"endpoints"`
 }
 
 // The stable error codes of ErrorInfo.Code. Each maps to a fixed HTTP
@@ -387,6 +497,13 @@ const (
 	CodeOverloaded     = "overloaded"      // 429: admission control rejected the request
 	CodeInternal       = "internal"        // 500: unexpected failure
 	CodeCanceled       = "canceled"        // 504: deadline expired mid-search/evaluation
+
+	// CodeSlowConsumer is pushed as a terminal DiffFrame.Error on a
+	// /v1/subscribe stream (the response status is long committed at
+	// 200): the subscriber's queue overflowed under the disconnect
+	// policy and the server is closing the stream. Re-subscribe to
+	// resume with a fresh init frame.
+	CodeSlowConsumer = "slow_consumer"
 )
 
 // ErrorInfo is the error payload common to all endpoints.

@@ -1,0 +1,123 @@
+package cqapprox
+
+// PR 9: incremental view maintenance. BenchmarkIncrementalEval puts a
+// number on the subsystem's reason to exist: propagating a
+// single-tuple delta through the maintained reduced forest
+// (IncrementalEval.Advance) versus re-evaluating the bound query from
+// scratch on the changed snapshot — same query, same database, same
+// change. Both legs run against the same pair of pre-forked snapshots
+// (base, base plus one fact) with warm index caches, so the
+// copy-on-write fork — infrastructure either strategy pays identically
+// per update — stays out of both timers and the comparison isolates
+// the re-evaluation work. Each iteration alternates the insert and
+// the delete direction so every advance does real work. Tracked in the
+// committed BENCH_eval.json baseline and gated by CI's benchcheck;
+// cmd/experiments -run incremental asserts the >= 10× speedup and the
+// diff-vs-oracle equivalence on the same workloads.
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"cqapprox/internal/workload"
+)
+
+// incrBenchCase is one query/relation pair of the incremental
+// benchmark: the deltas touch Rel, which the query joins on.
+type incrBenchCase struct {
+	name string
+	q    func() *BoundQuery // fresh bound query on the N-sized bench db
+	rel  string
+}
+
+func incrBenchCases(b *testing.B, engine *Engine, db *Database) []incrBenchCase {
+	ctx := context.Background()
+	bind := func(qsrc string) func() *BoundQuery {
+		return func() *BoundQuery {
+			q, err := Parse(qsrc)
+			if err != nil {
+				b.Fatal(err)
+			}
+			p, err := engine.PrepareExact(ctx, q)
+			if err != nil {
+				b.Fatal(err)
+			}
+			return p.Bind(db)
+		}
+	}
+	return []incrBenchCase{
+		{"chain3", bind("Q(x0) :- E(x0,x1), E(x1,x2), E(x2,x3)"), "E"},
+		{"star3", bind("Q(c) :- R1(c,l1), R2(c,l2), R3(c,l3)"), "R1"},
+	}
+}
+
+func BenchmarkIncrementalEval(b *testing.B) {
+	ctx := context.Background()
+	engine := NewEngine()
+	const n = 3000
+	db0 := Snapshot(workload.EvalBenchDB(n))
+	for _, c := range incrBenchCases(b, engine, db0) {
+		// One fresh fact, outside the generated value range: db1 is db0
+		// with the fact present. Even iterations advance db0 -> db1
+		// (insert), odd ones db1 -> db0 (delete).
+		ins := NewDelta().Insert(c.rel, n+7, n+8)
+		del := NewDelta().Delete(c.rel, n+7, n+8)
+		db1, err := db0.Update(ins)
+		if err != nil {
+			b.Fatal(err)
+		}
+
+		b.Run(fmt.Sprintf("Delta/%s/N%d", c.name, n), func(b *testing.B) {
+			ie, err := c.q().Incremental(ctx)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !ie.Supported() {
+				b.Fatalf("%s: plan does not support incremental maintenance", c.name)
+			}
+			// One full cycle outside the timer warms both snapshots'
+			// view and index caches.
+			if _, err := ie.Advance(ctx, db1, ins); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := ie.Advance(ctx, db0, del); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				next, d := db1, ins
+				if i%2 == 1 {
+					next, d = db0, del
+				}
+				diff, err := ie.Advance(ctx, next, d)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if diff.Fallback {
+					b.Fatalf("fallback: %s", diff.Reason)
+				}
+			}
+		})
+
+		b.Run(fmt.Sprintf("FullReeval/%s/N%d", c.name, n), func(b *testing.B) {
+			bq := c.q()
+			if _, err := bq.Eval(ctx); err != nil { // warm db0's indexes
+				b.Fatal(err)
+			}
+			if _, err := bq.Prepared().Bind(db1).Eval(ctx); err != nil { // warm db1's
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				db := db1
+				if i%2 == 1 {
+					db = db0
+				}
+				if _, err := bq.Prepared().Bind(db).Eval(ctx); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -241,3 +241,62 @@ func (c *Client) Stream(ctx context.Context, req api.EvalRequest) (iter.Seq[[]in
 	}
 	return seq, func() error { return terminal }
 }
+
+// Subscribe opens a live query over a registered database (req.DB):
+// the returned sequence yields the init frame (the full answer set in
+// Added), then one exact diff frame per server-side update batch until
+// the consumer breaks, ctx is cancelled, or the server ends the
+// subscription. Breaking out of the loop closes the response body,
+// which tears the subscription down server-side. Call the second
+// return after the loop: nil means a clean end; otherwise it is the
+// transport failure or the server's terminal frame error (an
+// *APIError — e.g. code "slow_consumer" when the server's disconnect
+// policy dropped this consumer; re-subscribe for a fresh init frame).
+func (c *Client) Subscribe(ctx context.Context, req api.SubscribeRequest) (iter.Seq[api.DiffFrame], func() error) {
+	var terminal error
+	seq := func(yield func(api.DiffFrame) bool) {
+		buf, err := json.Marshal(req)
+		if err != nil {
+			terminal = err
+			return
+		}
+		hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.baseURL+"/v1/subscribe", bytes.NewReader(buf))
+		if err != nil {
+			terminal = err
+			return
+		}
+		hreq.Header.Set("Content-Type", "application/json")
+		resp, err := c.http.Do(hreq)
+		if err != nil {
+			terminal = err
+			return
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			terminal = decodeAPIError(resp)
+			return
+		}
+		sc := bufio.NewScanner(resp.Body)
+		sc.Buffer(make([]byte, 64*1024), 16<<20)
+		for sc.Scan() {
+			line := bytes.TrimSpace(sc.Bytes())
+			if len(line) == 0 {
+				continue
+			}
+			var f api.DiffFrame
+			if err := json.Unmarshal(line, &f); err != nil {
+				terminal = fmt.Errorf("cqapproxd: undecodable diff frame %q: %w", line, err)
+				return
+			}
+			if f.Error != nil { // terminal frame: the server ended the subscription
+				terminal = &APIError{Status: http.StatusOK, Info: *f.Error}
+				return
+			}
+			if !yield(f) {
+				return // consumer broke: Body.Close tears the subscription down
+			}
+		}
+		terminal = sc.Err()
+	}
+	return seq, func() error { return terminal }
+}

@@ -16,6 +16,8 @@
 //	cqapprox count    -q "..." -db graph.txt [-class TW1] [-db-register name]
 //	                  [-estimate] [-epsilon 0.1] [-delta 0.05] [-seed 7]
 //	                  [-max-samples N] [-parallel 8] [-trace] [-timeout 30s] [-json]
+//	cqapprox subscribe -addr http://localhost:8080 -q "..." -db name
+//	                  [-class TW1] [-frames N] [-timeout 30s] [-json]
 //
 // The approx and eval commands run on a cqapprox.Engine: queries are
 // prepared once (minimize → approximate → plan) and evaluated through
@@ -62,6 +64,7 @@ import (
 
 	"cqapprox"
 	"cqapprox/api"
+	"cqapprox/client"
 )
 
 // engine is the process-wide prepared-query engine all commands share.
@@ -97,6 +100,8 @@ func main() {
 		err = cmdEval(os.Args[2:])
 	case "count":
 		err = cmdCount(os.Args[2:])
+	case "subscribe":
+		err = cmdSubscribe(os.Args[2:])
 	case "help", "-h", "--help":
 		usage()
 	default:
@@ -133,7 +138,11 @@ commands:
   count     count answers without materializing them; [-estimate] runs the
             (1±ε, 1-δ) sampling estimator ([-epsilon] [-delta] [-seed]
             [-max-samples]); [-trace] prints the counting pass's execution
-            trace; other flags as for eval`)
+            trace; other flags as for eval
+  subscribe watch a live query on a running cqapproxd: -addr server, -db
+            registered database name; prints the init frame then one diff
+            per server-side update ([-frames N] exits after N frames;
+            [-json] prints raw api.DiffFrame lines)`)
 }
 
 // classFromName resolves a class name; the accepted names are the wire
@@ -698,6 +707,77 @@ func cmdCount(args []string) error {
 		fmt.Print(res.Trace.Text())
 	}
 	return nil
+}
+
+// cmdSubscribe watches a live query on a running cqapproxd — the only
+// CLI command that talks to a server rather than evaluating in-process,
+// because a subscription only means something against a registered
+// database that other clients keep updating. It prints the init frame
+// (the full answer set) and then one diff per server-side update until
+// interrupted, the server ends the stream, or -frames are printed.
+func cmdSubscribe(args []string) error {
+	fs := flag.NewFlagSet("subscribe", flag.ExitOnError)
+	addr := fs.String("addr", "http://localhost:8080", "cqapproxd base URL")
+	src := fs.String("q", "", "query in rule notation")
+	className := fs.String("class", "", "subscribe to the query's C-approximation instead (e.g. TW1, AC)")
+	dbName := fs.String("db", "", "registered database name on the server (POST /v1/db)")
+	frames := fs.Int("frames", 0, "exit after this many frames, counting the init frame (0 = until interrupted)")
+	timeout := fs.Duration("timeout", 0, "deadline for the initial evaluation (0 = server default; the stream itself has none)")
+	jsonOut := fs.Bool("json", false, "machine-readable output (raw api.DiffFrame NDJSON lines)")
+	fs.Parse(args)
+	if *dbName == "" {
+		return fmt.Errorf("subscribe requires -db (a name registered on the server via POST /v1/db)")
+	}
+	req := api.SubscribeRequest{
+		Query: *src, DB: *dbName,
+		TimeoutMS: timeout.Milliseconds(),
+	}
+	if *className != "" {
+		req.Class = *className
+	} else {
+		req.Exact = true
+	}
+	c := client.New(*addr)
+	seq, errf := c.Subscribe(context.Background(), req)
+	n := 0
+	for f := range seq {
+		if *jsonOut {
+			if err := emitJSON(f); err != nil {
+				return err
+			}
+		} else {
+			printFrame(f)
+		}
+		n++
+		if *frames > 0 && n >= *frames {
+			break
+		}
+	}
+	if err := errf(); err != nil {
+		return fmt.Errorf("subscription ended after %d frames: %w", n, err)
+	}
+	return nil
+}
+
+// printFrame renders one diff frame for humans: a header line saying
+// what kind of frame it is, then +tuple/-tuple lines.
+func printFrame(f api.DiffFrame) {
+	switch {
+	case f.Init:
+		fmt.Printf("# v%d init (%d answers)\n", f.Version, len(f.Added))
+	case f.Resync:
+		fmt.Printf("# v%d resync (%d answers; updates were dropped)\n", f.Version, len(f.Added))
+	case f.Fallback:
+		fmt.Printf("# v%d +%d -%d (fallback: %s)\n", f.Version, len(f.Added), len(f.Removed), f.Reason)
+	default:
+		fmt.Printf("# v%d +%d -%d\n", f.Version, len(f.Added), len(f.Removed))
+	}
+	for _, t := range f.Removed {
+		fmt.Printf("- %v\n", t)
+	}
+	for _, t := range f.Added {
+		fmt.Printf("+ %v\n", t)
+	}
 }
 
 // printAnswers renders an answer set the way eval always has: one

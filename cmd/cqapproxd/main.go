@@ -18,11 +18,19 @@
 //
 // Endpoints: POST /v1/prepare, /v1/explain (structured EXPLAIN of a
 // plan), /v1/db (register a named database snapshot with persistent
-// shared indexes; eval requests may then pass "db" instead of shipping
-// the data), /v1/eval, /v1/eval/bool, /v1/count, /v1/stream (NDJSON);
-// GET /v1/stats and /debug/vars (expvar, including the same counters
-// under "cqapproxd"). SIGINT/SIGTERM drain in-flight requests for up
-// to -grace before exiting.
+// shared indexes, or apply a delta to it; eval requests may then pass
+// "db" instead of shipping the data), /v1/eval, /v1/eval/bool,
+// /v1/count, /v1/stream (NDJSON), /v1/subscribe (NDJSON diff frames
+// pushed as the named database changes); GET /v1/stats and /debug/vars
+// (expvar, including the same counters under "cqapproxd").
+// SIGINT/SIGTERM end live subscriptions and drain in-flight requests
+// for up to -grace before exiting.
+//
+// Live subscriptions: -subscriber-queue bounds each watcher's
+// diff-frame queue, -slow-consumer-policy picks what happens when a
+// watcher cannot keep up (resync pushes a fresh full answer set,
+// disconnect ends the stream with a terminal slow_consumer error),
+// and -coalesce-window batches update bursts into one frame.
 //
 // Observability: -log-requests emits one structured JSON line per
 // request; -slow-query-ms upgrades slow requests to warnings carrying
@@ -70,6 +78,9 @@ func run() error {
 		maxVars    = flag.Int("maxvars", 0, "default search variable budget (0 = library default)")
 		extraAtoms = flag.Int("extras", 1, "default extra atoms for hypergraph-based classes")
 		freshVars  = flag.Int("fresh", 0, "default fresh variables per extra atom")
+		subQueue   = flag.Int("subscriber-queue", 0, "per-subscriber diff-frame queue depth (0 default, < 0 minimum)")
+		slowPolicy = flag.String("slow-consumer-policy", "", "subscriber overflow policy: resync (default) or disconnect")
+		coalesce   = flag.Duration("coalesce-window", 0, "batch database updates per subscriber for this long before pushing one coalesced frame (0 = push immediately)")
 		logReqs    = flag.Bool("log-requests", false, "structured (JSON) log line per request on stderr")
 		slowMS     = flag.Int64("slow-query-ms", 0, "warn-log requests at least this slow, with their trace when traced (0 off; implies -log-requests)")
 		debugAddr  = flag.String("debug-addr", "", "second listener for net/http/pprof and /debug/vars (e.g. localhost:6060; empty = off)")
@@ -84,12 +95,20 @@ func run() error {
 			FreshVars:     *freshVars,
 		}.WithDefaults()),
 	)
+	switch *slowPolicy {
+	case "", server.SlowConsumerResync, server.SlowConsumerDisconnect:
+	default:
+		return fmt.Errorf("-slow-consumer-policy must be %q or %q", server.SlowConsumerResync, server.SlowConsumerDisconnect)
+	}
 	cfg := server.Config{
 		MaxInflightPrepare: *maxPrepare,
 		MaxInflightEval:    *maxEval,
 		MaxParallelism:     *maxPar,
 		DefaultTimeout:     *defTimeout,
 		MaxTimeout:         *maxTimeout,
+		SubscriberQueue:    *subQueue,
+		SlowConsumerPolicy: *slowPolicy,
+		CoalesceWindow:     *coalesce,
 	}
 	if *logReqs || *slowMS > 0 {
 		cfg.Logger = slog.New(slog.NewJSONHandler(os.Stderr, nil))
@@ -142,6 +161,7 @@ func run() error {
 	case <-ctx.Done():
 	}
 	log.Printf("cqapproxd draining (grace %v)", *grace)
+	srv.Drain() // end live /v1/subscribe streams so Shutdown can complete
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *grace)
 	defer cancel()
 	if err := hs.Shutdown(shutdownCtx); err != nil {

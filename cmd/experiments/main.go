@@ -1,11 +1,12 @@
 // Command experiments regenerates every experiment in DESIGN.md's
-// experiment index (E1–E22): the Figure 1 summary table, the
+// experiment index (E1–E24): the Figure 1 summary table, the
 // quantitative content of the paper's propositions, theorems and
 // examples, and the repo's own engineering experiments (E19: the
 // indexed join runtime; E20: the registered database snapshot API;
 // E21: morsel-driven parallel evaluation; E22: the answer counting
-// subsystem; E23: ranked top-k enumeration). Each experiment prints a
-// table comparing the expected outcome against the measured one.
+// subsystem; E23: ranked top-k enumeration; E24: incremental view
+// maintenance). Each experiment prints a table comparing the expected
+// outcome against the measured one.
 //
 // Usage:
 //
@@ -22,6 +23,8 @@
 //	                         # refresh the E22 benchmark baselines
 //	experiments -run topk -bench-out BENCH_eval.json
 //	                         # refresh the E23 benchmark baselines
+//	experiments -run incremental -bench-out BENCH_eval.json
+//	                         # refresh the E24 benchmark baselines
 package main
 
 import (
@@ -66,6 +69,7 @@ func main() {
 		{"parallel", "E21: morsel-driven parallel eval speedup", true, expParallel},
 		{"count", "E22: exact counting vs evaluation", true, expCount},
 		{"topk", "E23: ranked top-k vs eval+sort", true, expTopK},
+		{"incremental", "E24: delta advance vs full re-eval", true, expIncremental},
 	}
 
 	ran := 0

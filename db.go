@@ -164,6 +164,29 @@ func (e *Engine) DB(name string) (*Database, bool) {
 // relations keep their warm indexes across the update. The previous
 // snapshot remains valid for callers still holding it.
 func (e *Engine) UpdateDB(name string, delta *Delta) (*Database, error) {
+	u, err := e.ApplyDB(name, delta)
+	if err != nil {
+		return nil, err
+	}
+	return u.Next, nil
+}
+
+// DBUpdate is the atomic before/after pair of one registered-database
+// change, as consumed by change notification: the snapshot the delta
+// was applied to, the resulting snapshot, and the delta itself (nil
+// for wholesale replacements, which carry no change set).
+type DBUpdate struct {
+	Prev  *Database
+	Next  *Database
+	Delta *Delta
+}
+
+// ApplyDB is UpdateDB exposing the atomic (previous, next, delta)
+// triple: both snapshots are read under the registry lock, so the pair
+// is exactly one chain link even under concurrent updates of the same
+// name — what incremental subscribers need to advance their reduced
+// state without a resync.
+func (e *Engine) ApplyDB(name string, delta *Delta) (*DBUpdate, error) {
 	e.dbMu.Lock()
 	defer e.dbMu.Unlock()
 	el, ok := e.dbs[name]
@@ -175,13 +198,14 @@ func (e *Engine) UpdateDB(name string, delta *Delta) (*Database, error) {
 	// only copies the touched relations, and the registry lock is not
 	// the engine's cache lock: prepare traffic proceeds in parallel,
 	// as do evaluations against the current snapshot.
-	next, err := el.Value.(*dbEntry).db.Update(delta)
+	prev := el.Value.(*dbEntry).db
+	next, err := prev.Update(delta)
 	if err != nil {
 		return nil, err
 	}
 	e.dbUpdates++
 	e.putDBLocked(next)
-	return next, nil
+	return &DBUpdate{Prev: prev, Next: next, Delta: delta}, nil
 }
 
 // DropDB removes the registration of name, reporting whether it

@@ -177,6 +177,8 @@ func (e *Engine) CacheStats() CacheStats {
 		s.Indexes.ExactCounts += is.ExactCounts
 		s.Indexes.EstimatedCounts += is.EstimatedCounts
 		s.Indexes.SampleBatches += is.SampleBatches
+		s.Indexes.IncrementalEvals += is.IncrementalEvals
+		s.Indexes.IncrFallbacks += is.IncrFallbacks
 	}
 	return s
 }

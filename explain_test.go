@@ -32,6 +32,7 @@ func TestExplainGoldenText(t *testing.T) {
 			want: `plan: yannakakis
 countable: exact
 ranked: connex
+incremental: delta
 direct: unit
 tree 0: count=unit
   [3] E(v3,v4) joins=2 skipped=2
@@ -48,6 +49,7 @@ tree 0: count=unit
 			want: `plan: yannakakis
 countable: exact
 ranked: connex
+incremental: delta
 direct: node 4
 tree 0: count=node
   [4] R5(v0,v5) needed direct joins=1 skipped=1
@@ -65,6 +67,7 @@ class: TW(1)
 approximation: C4(x)_approx(x0) :- E(x0,x1), E(x1,x0)
 countable: exact
 ranked: connex
+incremental: delta
 direct: node 1
 tree 0: count=node
   [1] E(v1,v0) needed direct joins=1 skipped=1

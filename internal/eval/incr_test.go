@@ -1,0 +1,515 @@
+package eval
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"cqapprox/internal/cq"
+	"cqapprox/internal/relstr"
+)
+
+// advance applies d to sn via the snapshot fork and the incremental
+// state in lockstep, returning the new snapshot and the diff.
+func advance(t *testing.T, s *IncrState, sn *relstr.Snapshot, d *relstr.Delta) (*relstr.Snapshot, *IncrDiff) {
+	t.Helper()
+	next, err := sn.Update(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff, err := s.Apply(context.Background(), d, sn, next)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return next, diff
+}
+
+// oracleDiff recomputes both answer sets from scratch and returns the
+// sorted set differences — the specification Apply is held to.
+func oracleDiff(t *testing.T, p *Plan, oldSn, newSn *relstr.Snapshot) (added, removed Answers) {
+	t.Helper()
+	ctx := context.Background()
+	before, err := p.EvalOn(ctx, NewSnapshotSource(oldSn), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := p.EvalOn(ctx, NewSnapshotSource(newSn), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return diffAnswers(before, after)
+}
+
+func assertDiff(t *testing.T, diff *IncrDiff, wantAdd, wantRem Answers) {
+	t.Helper()
+	if !sameAnswers(diff.Added, wantAdd) || !sameAnswers(diff.Removed, wantRem) {
+		t.Fatalf("diff mismatch:\n  added   %v want %v\n  removed %v want %v",
+			diff.Added, wantAdd, diff.Removed, wantRem)
+	}
+}
+
+func TestIncrChainInsertDelete(t *testing.T) {
+	q := cq.MustParse("Q(x,w) :- E(x,y), E(y,z), E(z,w)")
+	p := NewPlan(q)
+	if !p.IncrSupported() {
+		t.Fatal("chain plan should support incremental maintenance")
+	}
+	db := graphDB([2]int{0, 1}, [2]int{1, 2}, [2]int{2, 3})
+	sn := relstr.NewSnapshot(db)
+	s, err := p.NewIncrState(context.Background(), sn, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameAnswers(s.Answers(), Answers{{0, 3}}) {
+		t.Fatalf("initial answers = %v", s.Answers())
+	}
+
+	// Insert an edge extending the chain: one new path appears.
+	next, diff := advance(t, s, sn, relstr.NewDelta().Insert("E", 3, 4))
+	if diff.Fallback {
+		t.Fatalf("unexpected fallback: %s", diff.Reason)
+	}
+	assertDiff(t, diff, Answers{{1, 4}}, nil)
+	if !sameAnswers(s.Answers(), Answers{{0, 3}, {1, 4}}) {
+		t.Fatalf("answers after insert = %v", s.Answers())
+	}
+	sn = next
+
+	// Delete a middle edge: both paths vanish.
+	next, diff = advance(t, s, sn, relstr.NewDelta().Delete("E", 2, 3))
+	if diff.Fallback {
+		t.Fatalf("unexpected fallback: %s", diff.Reason)
+	}
+	assertDiff(t, diff, nil, Answers{{0, 3}, {1, 4}})
+	if len(s.Answers()) != 0 {
+		t.Fatalf("answers after delete = %v", s.Answers())
+	}
+	if s.Version() != next.Version() {
+		t.Fatalf("version = %d, snapshot %d", s.Version(), next.Version())
+	}
+	st := p.IndexStats()
+	if st.IncrementalEvals != 2 || st.IncrFallbacks != 0 {
+		t.Fatalf("stats = %+v, want 2 incremental evals and no fallbacks", st)
+	}
+}
+
+// An empty delta forks nothing: Update returns the same snapshot and
+// Apply reports an empty diff without touching the counters.
+func TestIncrEmptyDeltaNoOp(t *testing.T) {
+	p := NewPlan(cq.MustParse("Q(x,z) :- E(x,y), E(y,z)"))
+	sn := relstr.NewSnapshot(graphDB([2]int{1, 2}, [2]int{2, 3}))
+	s, err := p.NewIncrState(context.Background(), sn, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := relstr.NewDelta()
+	if !d.Empty() {
+		t.Fatal("fresh delta should be empty")
+	}
+	next, err := sn.Update(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if next != sn {
+		t.Fatal("empty delta must return the same snapshot")
+	}
+	diff, err := s.Apply(context.Background(), d, sn, next)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff.Fallback || len(diff.Added)+len(diff.Removed) != 0 {
+		t.Fatalf("empty delta diff = %+v", diff)
+	}
+}
+
+// Deletes of absent facts and insert+delete of the same fact in one
+// delta cancel to an effective no-op; the reduced state stays valid.
+func TestIncrCancellingDelta(t *testing.T) {
+	p := NewPlan(cq.MustParse("Q(x,z) :- E(x,y), E(y,z)"))
+	sn := relstr.NewSnapshot(graphDB([2]int{1, 2}, [2]int{2, 3}))
+	s, err := p.NewIncrState(context.Background(), sn, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []*relstr.Delta{
+		relstr.NewDelta().Delete("E", 9, 9),                   // absent fact
+		relstr.NewDelta().Insert("E", 7, 8).Delete("E", 7, 8), // cancel within delta
+		relstr.NewDelta().Insert("E", 1, 2),                   // already present
+		relstr.NewDelta().Delete("E", 9, 9).Insert("E", 2, 3), // both kinds of no-op
+	}
+	for _, d := range cases {
+		var diff *IncrDiff
+		sn, diff = advance(t, s, sn, d)
+		if diff.Fallback || len(diff.Added)+len(diff.Removed) != 0 {
+			t.Fatalf("delta %v: diff = %+v", d, diff)
+		}
+		if !sameAnswers(s.Answers(), Answers{{1, 3}}) {
+			t.Fatalf("delta %v: answers = %v", d, s.Answers())
+		}
+	}
+	if st := p.IndexStats(); st.IncrFallbacks != 0 {
+		t.Fatalf("no-op deltas caused %d fallbacks", st.IncrFallbacks)
+	}
+}
+
+// A delta confined to a relation the query never reads must not
+// invalidate the reduced state: no fallback, no recompute, same
+// contribution slices.
+func TestIncrUnreadRelationKeepsState(t *testing.T) {
+	p := NewPlan(cq.MustParse("Q(x,z) :- E(x,y), E(y,z)"))
+	db := graphDB([2]int{1, 2}, [2]int{2, 3})
+	db.Add("Audit", 1, 1, 1)
+	sn := relstr.NewSnapshot(db)
+	s, err := p.NewIncrState(context.Background(), sn, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := s.contribs
+	sn, diff := advance(t, s, sn, relstr.NewDelta().Insert("Audit", 2, 2, 2).Delete("Audit", 1, 1, 1))
+	if diff.Fallback || len(diff.Added)+len(diff.Removed) != 0 {
+		t.Fatalf("unread-relation diff = %+v", diff)
+	}
+	for ti := range before {
+		if len(s.contribs[ti]) != len(before[ti]) {
+			t.Fatalf("tree %d contribution changed", ti)
+		}
+	}
+	if s.Version() != sn.Version() {
+		t.Fatalf("state version %d should track snapshot %d", s.Version(), sn.Version())
+	}
+	if st := p.IndexStats(); st.IncrementalEvals != 1 || st.IncrFallbacks != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// Self-joins: the same relation read by several nodes seeds each node
+// separately.
+func TestIncrSelfJoinAndRepeatedVars(t *testing.T) {
+	ctx := context.Background()
+	for _, src := range []string{
+		"Q(x,z) :- E(x,y), E(y,z)",
+		"Q(x) :- E(x,x)",
+		"Q(x,y) :- E(x,y), E(y,y)",
+	} {
+		q := cq.MustParse(src)
+		p := NewPlan(q)
+		sn := relstr.NewSnapshot(graphDB([2]int{0, 1}, [2]int{1, 1}, [2]int{1, 2}))
+		s, err := p.NewIncrState(ctx, sn, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, d := range []*relstr.Delta{
+			relstr.NewDelta().Insert("E", 2, 2),
+			relstr.NewDelta().Delete("E", 1, 1),
+			relstr.NewDelta().Insert("E", 2, 0).Delete("E", 0, 1),
+		} {
+			next, err := sn.Update(d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantAdd, wantRem := oracleDiff(t, p, sn, next)
+			diff, err := s.Apply(ctx, d, sn, next)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if diff.Fallback {
+				t.Fatalf("%s: unexpected fallback: %s", src, diff.Reason)
+			}
+			assertDiff(t, diff, wantAdd, wantRem)
+			sn = next
+		}
+	}
+}
+
+// Disconnected queries: GYO links variable-disjoint atoms into one
+// tree through zero-column cross-product edges, so deltas on either
+// side (or both) propagate incrementally — the restriction along a
+// zero-column edge keeps the neighbour's full view.
+func TestIncrCrossProductTrees(t *testing.T) {
+	ctx := context.Background()
+	q := cq.MustParse("Q(x,u) :- E(x,y), F(u,v)")
+	p := NewPlan(q)
+	db := relstr.New()
+	db.Add("E", 1, 2)
+	db.Add("F", 7, 8)
+	sn := relstr.NewSnapshot(db)
+	s, err := p.NewIncrState(ctx, sn, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One tree: incremental.
+	next, err := sn.Update(relstr.NewDelta().Insert("E", 3, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantAdd, wantRem := oracleDiff(t, p, sn, next)
+	diff, err := s.Apply(ctx, relstr.NewDelta().Insert("E", 3, 4), sn, next)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff.Fallback {
+		t.Fatalf("single-tree delta fell back: %s", diff.Reason)
+	}
+	assertDiff(t, diff, wantAdd, wantRem)
+	sn = next
+	// Both sides in one delta: still exact.
+	d := relstr.NewDelta().Insert("E", 5, 6).Insert("F", 9, 10)
+	next, err = sn.Update(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantAdd, wantRem = oracleDiff(t, p, sn, next)
+	diff, err = s.Apply(ctx, d, sn, next)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertDiff(t, diff, wantAdd, wantRem)
+	if !sameAnswers(s.Answers(), Answers{{1, 7}, {1, 9}, {3, 7}, {3, 9}, {5, 7}, {5, 9}}) {
+		t.Fatalf("answers = %v", s.Answers())
+	}
+}
+
+// Fallback taxonomy: Boolean trees, naive plans, tiny budgets, full
+// replacements and stale state all resynchronise with an exact diff.
+func TestIncrFallbacks(t *testing.T) {
+	ctx := context.Background()
+
+	t.Run("boolean tree", func(t *testing.T) {
+		p := NewPlan(cq.MustParse("Q() :- E(x,y), E(y,z)"))
+		sn := relstr.NewSnapshot(graphDB([2]int{1, 2}, [2]int{2, 3}))
+		s, err := p.NewIncrState(ctx, sn, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := relstr.NewDelta().Delete("E", 1, 2)
+		next, _ := sn.Update(d)
+		wantAdd, wantRem := oracleDiff(t, p, sn, next)
+		diff, err := s.Apply(ctx, d, sn, next)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !diff.Fallback || diff.Reason == "" {
+			t.Fatalf("Boolean tree should fall back, got %+v", diff)
+		}
+		assertDiff(t, diff, wantAdd, wantRem)
+	})
+
+	t.Run("naive plan", func(t *testing.T) {
+		p := NewPlan(cq.MustParse("Q(x) :- E(x,y), E(y,z), E(z,x)"))
+		if p.IncrSupported() {
+			t.Fatal("cyclic plan must not claim incremental support")
+		}
+		sn := relstr.NewSnapshot(cycleDB(3))
+		s, err := p.NewIncrState(ctx, sn, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := relstr.NewDelta().Delete("E", 0, 1)
+		next, _ := sn.Update(d)
+		wantAdd, wantRem := oracleDiff(t, p, sn, next)
+		diff, err := s.Apply(ctx, d, sn, next)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !diff.Fallback {
+			t.Fatal("naive plan should always fall back")
+		}
+		assertDiff(t, diff, wantAdd, wantRem)
+	})
+
+	t.Run("budget", func(t *testing.T) {
+		p := NewPlan(cq.MustParse("Q(x,z) :- E(x,y), E(y,z)"))
+		sn := relstr.NewSnapshot(graphDB([2]int{0, 1}, [2]int{1, 2}, [2]int{1, 3}))
+		s, err := p.NewIncrState(ctx, sn, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.SetBudget(1)
+		d := relstr.NewDelta().Insert("E", 3, 4)
+		next, _ := sn.Update(d)
+		wantAdd, wantRem := oracleDiff(t, p, sn, next)
+		diff, err := s.Apply(ctx, d, sn, next)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !diff.Fallback {
+			t.Fatal("budget of one row should force a fallback")
+		}
+		assertDiff(t, diff, wantAdd, wantRem)
+	})
+
+	t.Run("full replacement and stale state", func(t *testing.T) {
+		p := NewPlan(cq.MustParse("Q(x,z) :- E(x,y), E(y,z)"))
+		sn := relstr.NewSnapshot(graphDB([2]int{0, 1}, [2]int{1, 2}))
+		s, err := p.NewIncrState(ctx, sn, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Full replacement: nil delta.
+		repl := relstr.NewSnapshot(graphDB([2]int{5, 6}, [2]int{6, 7}))
+		diff, err := s.Apply(ctx, nil, nil, repl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !diff.Fallback {
+			t.Fatal("nil delta should resynchronise")
+		}
+		if !sameAnswers(s.Answers(), Answers{{5, 7}}) {
+			t.Fatalf("answers after replacement = %v", s.Answers())
+		}
+		// Stale state: apply a delta whose old snapshot the state never saw.
+		d := relstr.NewDelta().Insert("E", 7, 8)
+		mid, _ := repl.Update(relstr.NewDelta().Insert("E", 4, 6))
+		next, _ := mid.Update(d)
+		diff, err = s.Apply(ctx, d, mid, next)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !diff.Fallback {
+			t.Fatal("version mismatch should resynchronise")
+		}
+		if !sameAnswers(s.Answers(), Answers{{4, 7}, {5, 7}, {6, 8}}) {
+			t.Fatalf("answers after resync = %v", s.Answers())
+		}
+	})
+}
+
+// randomDelta draws a small random delta over E (and occasionally
+// an unread relation) from rng.
+func randomDelta(rng *rand.Rand, n int) *relstr.Delta {
+	d := relstr.NewDelta()
+	for i := 0; i < 1+rng.Intn(3); i++ {
+		switch rng.Intn(4) {
+		case 0:
+			d.Delete("E", rng.Intn(n), rng.Intn(n))
+		case 1:
+			d.Insert("Unread", rng.Intn(n))
+		default:
+			d.Insert("E", rng.Intn(n), rng.Intn(n))
+		}
+	}
+	return d
+}
+
+// incrEquivalence drives one (seed, par) scenario: a random acyclic
+// query, a random database, and a chain of random deltas, holding
+// every diff to the recompute-and-set-difference oracle and the
+// maintained answers to a fresh evaluation on both backends.
+func incrEquivalence(t *testing.T, seed int64, par int) {
+	ctx := context.Background()
+	rng := rand.New(rand.NewSource(seed))
+	q := randomQuery(rng, true)
+	db := randomDB(rng, 5, 9)
+	db.Declare("Unread", 1)
+	p := NewPlan(q)
+	sn := relstr.NewSnapshot(db)
+	s, err := p.NewIncrState(ctx, sn, par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for step := 0; step < 6; step++ {
+		d := randomDelta(rng, 6)
+		next, err := sn.Update(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantAdd, wantRem := oracleDiff(t, p, sn, next)
+		diff, err := s.Apply(ctx, d, sn, next)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sameAnswers(diff.Added, wantAdd) || !sameAnswers(diff.Removed, wantRem) {
+			t.Fatalf("seed %d step %d (fallback=%v %q): diff mismatch\n  added   %v want %v\n  removed %v want %v\n  q=%v delta=%v",
+				seed, step, diff.Fallback, diff.Reason, diff.Added, wantAdd, diff.Removed, wantRem, q, d)
+		}
+		// The maintained set equals a fresh evaluation on both backends.
+		fresh, err := p.EvalOn(ctx, NewSnapshotSource(next), 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sameAnswers(s.Answers(), fresh) {
+			t.Fatalf("seed %d step %d: maintained %v, fresh %v, q=%v", seed, step, s.Answers(), fresh, q)
+		}
+		structFresh, err := p.EvalOn(ctx, NewSource(next.Structure()), 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sameAnswers(fresh, structFresh) {
+			t.Fatalf("seed %d step %d: backends disagree", seed, step)
+		}
+		sn = next
+	}
+}
+
+// FuzzIncrementalEquivalence holds incremental diffs to the
+// recompute-and-set-difference oracle across random delta chains,
+// backends and worker budgets.
+func FuzzIncrementalEquivalence(f *testing.F) {
+	f.Add(int64(1))
+	f.Add(int64(42))
+	f.Add(int64(-7))
+	f.Fuzz(func(t *testing.T, seed int64) {
+		for _, par := range []int{1, 4} {
+			incrEquivalence(t, seed, par)
+		}
+	})
+}
+
+// The quickcheck twin of the fuzz target, so `go test` exercises the
+// property without the fuzz engine.
+func TestQuickIncrementalEquivalence(t *testing.T) {
+	f := func(seed int64) bool {
+		incrEquivalence(t, seed, 1)
+		return !t.Failed()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Tiny budgets force the fallback path through the same random chains
+// — diffs must stay exact either way.
+func TestQuickIncrementalBudgetFallback(t *testing.T) {
+	ctx := context.Background()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		q := randomQuery(rng, true)
+		db := randomDB(rng, 5, 9)
+		p := NewPlan(q)
+		sn := relstr.NewSnapshot(db)
+		s, err := p.NewIncrState(ctx, sn, 1)
+		if err != nil {
+			return false
+		}
+		s.SetBudget(2)
+		for step := 0; step < 4; step++ {
+			d := randomDelta(rng, 6)
+			next, err := sn.Update(d)
+			if err != nil {
+				return false
+			}
+			before, err := p.EvalOn(ctx, NewSnapshotSource(sn), 1)
+			if err != nil {
+				return false
+			}
+			after, err := p.EvalOn(ctx, NewSnapshotSource(next), 1)
+			if err != nil {
+				return false
+			}
+			wantAdd, wantRem := diffAnswers(before, after)
+			diff, err := s.Apply(ctx, d, sn, next)
+			if err != nil {
+				return false
+			}
+			if !sameAnswers(diff.Added, wantAdd) || !sameAnswers(diff.Removed, wantRem) {
+				return false
+			}
+			sn = next
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -77,6 +77,9 @@ type planStats struct {
 
 	rankedEvals   atomic.Uint64
 	rankFallbacks atomic.Uint64
+
+	incrEvals     atomic.Uint64
+	incrFallbacks atomic.Uint64
 }
 
 // IndexStats is a snapshot of the indexed runtime's counters for one
@@ -89,7 +92,10 @@ type planStats struct {
 // median-of-means batches those estimates ran. The rank counters track
 // ordered evaluation: calls that streamed through a lex-connex visit
 // program, and calls whose key was untractable and fell back to
-// eval+sort+truncate.
+// eval+sort+truncate. The incremental counters track delta-aware
+// maintenance (incr.go): IncrState.Apply calls that propagated a delta
+// through the join forest, and Apply calls that fell back to a full
+// re-evaluation (unsupported plan, oversized delta, stale state).
 type IndexStats struct {
 	IndexBuilds   uint64
 	IndexProbes   uint64
@@ -102,20 +108,25 @@ type IndexStats struct {
 
 	RankedEvals   uint64
 	RankFallbacks uint64
+
+	IncrementalEvals uint64
+	IncrFallbacks    uint64
 }
 
 // IndexStats returns the plan's cumulative indexed-runtime counters.
 func (p *Plan) IndexStats() IndexStats {
 	return IndexStats{
-		IndexBuilds:     p.stats.builds.Load(),
-		IndexProbes:     p.stats.probes.Load(),
-		Evals:           p.stats.evals.Load(),
-		ParallelEvals:   p.stats.parEvals.Load(),
-		ExactCounts:     p.stats.exactCounts.Load(),
-		EstimatedCounts: p.stats.estCounts.Load(),
-		SampleBatches:   p.stats.sampleBatches.Load(),
-		RankedEvals:     p.stats.rankedEvals.Load(),
-		RankFallbacks:   p.stats.rankFallbacks.Load(),
+		IndexBuilds:      p.stats.builds.Load(),
+		IndexProbes:      p.stats.probes.Load(),
+		Evals:            p.stats.evals.Load(),
+		ParallelEvals:    p.stats.parEvals.Load(),
+		ExactCounts:      p.stats.exactCounts.Load(),
+		EstimatedCounts:  p.stats.estCounts.Load(),
+		SampleBatches:    p.stats.sampleBatches.Load(),
+		RankedEvals:      p.stats.rankedEvals.Load(),
+		RankFallbacks:    p.stats.rankFallbacks.Load(),
+		IncrementalEvals: p.stats.incrEvals.Load(),
+		IncrFallbacks:    p.stats.incrFallbacks.Load(),
 	}
 }
 

@@ -217,6 +217,7 @@ func (p *Plan) atomString(i int) string {
 func (p *Plan) Explain() *obs.PlanExplain {
 	ex := &obs.PlanExplain{Mode: p.mode.String()}
 	if p.mode != PlanYannakakis {
+		ex.Incremental = "fallback"
 		return ex
 	}
 	ex.ExactCountable = p.csched.exact
@@ -225,6 +226,7 @@ func (p *Plan) Explain() *obs.PlanExplain {
 	} else {
 		ex.Ranked = "fallback"
 	}
+	ex.Incremental = "delta"
 	switch {
 	case p.sched.directNode == unitNode:
 		ex.Direct = "unit"

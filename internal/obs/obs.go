@@ -60,8 +60,14 @@ type PlanExplain struct {
 	// natural key: "connex" (ranked calls stream out of the reduced
 	// forest with early termination) or "fallback" (ranked calls
 	// evaluate fully, sort and truncate). Empty for naive plans.
-	Ranked string        `json:"ranked,omitempty"`
-	Trees  []TreeExplain `json:"trees,omitempty"`
+	Ranked string `json:"ranked,omitempty"`
+	// Incremental is the view-maintenance classification: "delta"
+	// (subscriptions propagate snapshot deltas through the reduced
+	// forest) or "fallback" (every update recomputes — naive plans).
+	// IndexStats' incremental_evals/incr_fallbacks counters report what
+	// actually happened at runtime.
+	Incremental string        `json:"incremental,omitempty"`
+	Trees       []TreeExplain `json:"trees,omitempty"`
 
 	// Prepare phase wall times (parse/minimize/search/plan), measured
 	// when the plan was built; zero/absent on renders that never
@@ -123,6 +129,9 @@ func (e *PlanExplain) Text() string {
 	}
 	if e.Ranked != "" {
 		fmt.Fprintf(&b, "ranked: %s\n", e.Ranked)
+	}
+	if e.Incremental != "" {
+		fmt.Fprintf(&b, "incremental: %s\n", e.Incremental)
 	}
 	if e.Direct != "" {
 		fmt.Fprintf(&b, "direct: %s\n", e.Direct)

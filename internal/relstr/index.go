@@ -102,20 +102,53 @@ func (s *TupleSet) insert(t Tuple) {
 }
 
 // Remove deletes t if present, reporting whether it was removed.
-// Removal preserves the insertion order of the remaining tuples; the
-// bucket table is rebuilt (removal is far off the hot path).
+// Removal preserves the insertion order of the remaining tuples. Row
+// ids above the removed row shift down by one, so the bucket links are
+// renumbered in place — two linear int passes, no rehashing (this
+// keeps single-tuple deletes on copy-on-write snapshot forks cheap).
 func (s *TupleSet) Remove(t []int) bool {
-	if !s.Has(t) {
+	if len(s.rows) == 0 {
 		return false
 	}
-	for i, row := range s.rows {
-		if row.Equal(t) {
-			s.rows = append(s.rows[:i], s.rows[i+1:]...)
+	b := hashTuple(t) & s.mask
+	id := int32(0)
+	for p := &s.head[b]; *p != 0; p = &s.next[*p-1] {
+		if Tuple(t).Equal(s.rows[*p-1]) {
+			id = *p
+			*p = s.next[id-1]
 			break
 		}
 	}
-	s.rebuild()
+	if id == 0 {
+		return false
+	}
+	i := int(id - 1)
+	s.rows = append(s.rows[:i], s.rows[i+1:]...)
+	s.next = append(s.next[:i], s.next[i+1:]...)
+	for j := range s.head {
+		if s.head[j] > id {
+			s.head[j]--
+		}
+	}
+	for j := range s.next {
+		if s.next[j] > id {
+			s.next[j]--
+		}
+	}
 	return true
+}
+
+// fork returns a copy of s that shares tuple storage: rows, bucket
+// table and chain links are copied wholesale, so a fork costs a few
+// memcpys instead of len(rows) hash inserts. Mutating the fork leaves
+// s untouched.
+func (s *TupleSet) fork() TupleSet {
+	return TupleSet{
+		rows: append([]Tuple(nil), s.rows...),
+		head: append([]int32(nil), s.head...),
+		next: append([]int32(nil), s.next...),
+		mask: s.mask,
+	}
 }
 
 // grow doubles the bucket table (at least to a small minimum) and
@@ -127,22 +160,6 @@ func (s *TupleSet) grow() {
 	}
 	s.head = make([]int32, n)
 	s.mask = uint64(n - 1)
-	s.rehash()
-}
-
-// rebuild resizes the bucket table to fit the current rows and
-// rehashes (used after removal, when row ids shift).
-func (s *TupleSet) rebuild() {
-	n := 8
-	for n*3/4 <= len(s.rows) {
-		n *= 2
-	}
-	s.head = make([]int32, n)
-	s.mask = uint64(n - 1)
-	s.next = s.next[:0]
-	for range s.rows {
-		s.next = append(s.next, 0)
-	}
 	s.rehash()
 }
 

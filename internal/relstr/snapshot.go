@@ -382,6 +382,29 @@ func (d *Delta) Delete(name string, elems ...int) *Delta {
 // Empty reports whether the delta changes nothing.
 func (d *Delta) Empty() bool { return len(d.ins) == 0 && len(d.del) == 0 }
 
+// Inserts returns the tuples scheduled for insertion into relation
+// name, in Insert order. The slice and its tuples are owned by the
+// delta and must not be modified.
+func (d *Delta) Inserts(name string) []Tuple { return d.ins[name] }
+
+// Deletes returns the tuples scheduled for deletion from relation
+// name, in Delete order. The slice and its tuples are owned by the
+// delta and must not be modified.
+func (d *Delta) Deletes(name string) []Tuple { return d.del[name] }
+
+// NumChanges returns the total number of scheduled insertions and
+// deletions (before Update-time no-op elimination).
+func (d *Delta) NumChanges() int {
+	n := 0
+	for _, ts := range d.ins {
+		n += len(ts)
+	}
+	for _, ts := range d.del {
+		n += len(ts)
+	}
+	return n
+}
+
 // Touched returns the relations the delta mentions, sorted.
 func (d *Delta) Touched() []string {
 	set := map[string]bool{}
@@ -469,9 +492,7 @@ func (sn *Snapshot) Update(d *Delta) (*Snapshot, error) {
 		nr := &relation{}
 		if declared {
 			nr.arity = old.arity
-			for _, t := range old.set.Rows() {
-				nr.set.Add(t) // shares tuple storage with the old version
-			}
+			nr.set = old.set.fork() // shares tuple storage with the old version
 		} else if ts := d.ins[name]; len(ts) > 0 {
 			nr.arity = len(ts[0])
 		} else {

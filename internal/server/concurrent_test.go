@@ -3,6 +3,7 @@ package server
 import (
 	"context"
 	"testing"
+	"time"
 
 	"cqapprox/client"
 	"cqapprox/internal/workload"
@@ -44,4 +45,44 @@ func TestServerConcurrentMixedTraffic(t *testing.T) {
 	if stats.Cache.Hits == 0 || stats.Cache.Misses > 16 {
 		t.Fatalf("cache did not absorb repeat traffic: %+v", stats.Cache)
 	}
+}
+
+// The same mixed traffic with the write/watch knobs on: delta updates
+// race short-lived subscriptions (and each other) against the same
+// registered pool. Every request must still succeed — this is the
+// generated-traffic leg of the concurrent update/notify -race
+// coverage, alongside TestSubscribeConcurrentUpdates' exactness check.
+func TestServerConcurrentUpdateSubscribeTraffic(t *testing.T) {
+	s, ts := newTestServer(t, Config{MaxInflightPrepare: 16, MaxInflightEval: 64})
+	c := client.New(ts.URL).WithHTTPClient(ts.Client())
+
+	gen := &workload.LoadGen{
+		Seed:            42,
+		Concurrency:     8,
+		RegisteredShare: 0.6,
+		UpdateShare:     0.3,
+		SubscribeShare:  0.5,
+	}
+	const n = 300
+	rep := gen.Run(context.Background(), n, httpdrive.Executor(c))
+
+	for _, err := range rep.FirstErrs {
+		t.Errorf("workload error: %v", err)
+	}
+	if rep.Ops[workload.OpUpdateDB] == 0 || rep.Ops[workload.OpSubscribe] == 0 {
+		t.Fatalf("generator produced no write/watch traffic: %+v", rep.Ops)
+	}
+	stats := s.Stats()
+	if got := stats.Endpoints["/v1/subscribe"].Requests; got != rep.Ops[workload.OpSubscribe] {
+		t.Fatalf("subscribe counter %d != generator count %d", got, rep.Ops[workload.OpSubscribe])
+	}
+	if stats.Subscriptions.Subscriptions != uint64(rep.Ops[workload.OpSubscribe]) {
+		t.Fatalf("subscription stats %+v != generator count %d",
+			stats.Subscriptions, rep.Ops[workload.OpSubscribe])
+	}
+	// Teardown of the last short-lived watchers is asynchronous with
+	// respect to their clients' disconnect.
+	waitFor(t, 10*time.Second, func() bool {
+		return s.Stats().Subscriptions.Active == 0
+	})
 }

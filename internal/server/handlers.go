@@ -188,11 +188,17 @@ func (s *Server) resolve(ctx context.Context, req api.EvalRequest) (*cqapprox.Pr
 	return p, apiErr
 }
 
-// handleRegisterDB registers (or replaces) a named database snapshot:
-// the one-time indexing cost that later eval-by-name requests amortize.
-// The structure build and snapshot freeze are data-sized work, so the
+// handleRegisterDB registers (or replaces) a named database snapshot —
+// the one-time indexing cost that later eval-by-name requests amortize
+// — or, when the request carries a delta instead of a database,
+// applies the change set copy-on-write to the existing registration.
+// The structure build / snapshot fork is data-sized work, so the
 // request holds an eval admission slot like the other data-touching
-// endpoints (taken after the decode, as everywhere else).
+// endpoints (taken after the decode, as everywhere else). Every
+// successful change is published to the name's /v1/subscribe watchers:
+// deltas carry the atomic (prev, next, delta) link so subscriptions
+// advance incrementally, replacements force a resynchronising
+// re-evaluation.
 func (s *Server) handleRegisterDB(w http.ResponseWriter, r *http.Request) {
 	var req api.RegisterDBRequest
 	if !s.decodeJSON(w, r, &req) {
@@ -206,6 +212,36 @@ func (s *Server) handleRegisterDB(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer release(s.evalSem)
+	if req.Delta != nil {
+		if len(req.Database) > 0 {
+			writeError(w, errBadRequest("database and delta are mutually exclusive (register a snapshot or update the existing one, not both)"))
+			return
+		}
+		delta, err := req.Delta.ToDelta()
+		if err != nil {
+			writeError(w, errBadRequest(err.Error()))
+			return
+		}
+		if _, ok := s.eng.DB(req.Name); !ok {
+			writeError(w, errUnknownDB(req.Name))
+			return
+		}
+		u, err := s.eng.ApplyDB(req.Name, delta)
+		if err != nil {
+			writeError(w, errBadRequest(err.Error()))
+			return
+		}
+		s.notify(req.Name, subEvent{prev: u.Prev, next: u.Next, delta: u.Delta})
+		writeJSON(w, http.StatusOK, api.RegisterDBResponse{
+			Name:      u.Next.Name(),
+			Version:   u.Next.Version(),
+			Relations: len(u.Next.Relations()),
+			Facts:     u.Next.NumFacts(),
+			Replaced:  true,
+			Applied:   true,
+		})
+		return
+	}
 	db, err := req.Database.ToStructure()
 	if err != nil {
 		writeError(w, errBadRequest(err.Error()))
@@ -216,6 +252,7 @@ func (s *Server) handleRegisterDB(w http.ResponseWriter, r *http.Request) {
 		writeError(w, errBadRequest(err.Error()))
 		return
 	}
+	s.notify(req.Name, subEvent{next: d})
 	writeJSON(w, http.StatusOK, api.RegisterDBResponse{
 		Name:      d.Name(),
 		Version:   d.Version(),
@@ -537,6 +574,13 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	}
 	if apiErr := checkRankKnobs(req, true); apiErr != nil {
 		writeError(w, apiErr)
+		return
+	}
+	if req.Trace {
+		// A stream response has nowhere to carry the trace block, so the
+		// knob is rejected up front — same shape as the rank-knob
+		// validation — rather than silently ignored.
+		writeError(w, errBadRequest("trace applies to eval, eval/bool and count requests only (a stream response carries no trace block)"))
 		return
 	}
 	s.evalWith(w, r, req, func(ctx context.Context, p *cqapprox.PreparedQuery, db dbSource) {

@@ -25,6 +25,7 @@ import (
 	"log/slog"
 	"net/http"
 	"runtime"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -79,12 +80,40 @@ type Config struct {
 	// that includes the execution trace when the request ran traced.
 	// Zero disables slow-query logging. Requires Logger.
 	SlowQuery time.Duration
+
+	// SubscriberQueue bounds each /v1/subscribe connection's pending
+	// update queue. A subscriber that cannot drain updates this far
+	// ahead of its writes is a slow consumer; SlowConsumerPolicy says
+	// what happens then. Default 16; negative means 1.
+	SubscriberQueue int
+
+	// SlowConsumerPolicy picks the queue-overflow behaviour of
+	// /v1/subscribe: "resync" (the default) drops the queued updates
+	// and pushes one resync frame carrying the full answer set;
+	// "disconnect" pushes a terminal frame with error code
+	// slow_consumer and closes the stream.
+	SlowConsumerPolicy string
+
+	// CoalesceWindow batches update bursts per subscriber: after an
+	// update wakes a subscription, the server waits this long and folds
+	// every further update that lands into the same diff frame
+	// (cancelling inserts and deletes net out). Zero still coalesces
+	// opportunistically — everything already queued goes into one
+	// frame — but never waits.
+	CoalesceWindow time.Duration
 }
 
+// Slow-consumer policies of Config.SlowConsumerPolicy.
 const (
-	defaultTimeout      = 30 * time.Second
-	defaultMaxTimeout   = 2 * time.Minute
-	defaultMaxBodyBytes = 64 << 20
+	SlowConsumerResync     = "resync"
+	SlowConsumerDisconnect = "disconnect"
+)
+
+const (
+	defaultTimeout         = 30 * time.Second
+	defaultMaxTimeout      = 2 * time.Minute
+	defaultMaxBodyBytes    = 64 << 20
+	defaultSubscriberQueue = 16
 )
 
 // defaultMaxInflightPrepare sizes the prepare pool from the host's
@@ -134,19 +163,29 @@ func (c Config) withDefaults() Config {
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = defaultMaxBodyBytes
 	}
+	switch {
+	case c.SubscriberQueue == 0:
+		c.SubscriberQueue = defaultSubscriberQueue
+	case c.SubscriberQueue < 0:
+		c.SubscriberQueue = 1
+	}
+	if c.SlowConsumerPolicy == "" {
+		c.SlowConsumerPolicy = SlowConsumerResync
+	}
 	return c
 }
 
 // The metric names double as the endpoint keys of /v1/stats.
 const (
-	epPrepare  = "/v1/prepare"
-	epExplain  = "/v1/explain"
-	epDB       = "/v1/db"
-	epEval     = "/v1/eval"
-	epEvalBool = "/v1/eval/bool"
-	epCount    = "/v1/count"
-	epStream   = "/v1/stream"
-	epStats    = "/v1/stats"
+	epPrepare   = "/v1/prepare"
+	epExplain   = "/v1/explain"
+	epDB        = "/v1/db"
+	epEval      = "/v1/eval"
+	epEvalBool  = "/v1/eval/bool"
+	epCount     = "/v1/count"
+	epStream    = "/v1/stream"
+	epSubscribe = "/v1/subscribe"
+	epStats     = "/v1/stats"
 )
 
 // Server handles the /v1 API over one engine. Construct with New; a
@@ -161,6 +200,11 @@ type Server struct {
 	mux        *http.ServeMux
 	reqID      atomic.Uint64 // request ids for the structured log
 
+	subs      subRegistry   // live /v1/subscribe watchers per database name
+	subStats  subStats      // the subscription counters of /v1/stats
+	drainCh   chan struct{} // closed by Drain: every subscription ends
+	drainOnce sync.Once
+
 	// onStreamAnswer, when non-nil, is called after answer n (1-based)
 	// of a stream response has been written and flushed. Test seam for
 	// asserting streaming order; never set in production.
@@ -171,6 +215,12 @@ type Server struct {
 	// pipeline runs. Test seam for deterministic admission-control
 	// tests; never set in production.
 	onPrepareStart func()
+
+	// onSubscribeFrame, when non-nil, is called after frame n (1-based,
+	// counting the init frame) of a subscription has been written and
+	// flushed. Test seam for parking a subscriber mid-stream to provoke
+	// slow-consumer handling deterministically; never set in production.
+	onSubscribeFrame func(n int)
 }
 
 // New returns a Server over eng. Requests without explicit options use
@@ -179,7 +229,8 @@ func New(eng *cqapprox.Engine, cfg Config) *Server {
 	s := &Server{
 		eng:     eng,
 		cfg:     cfg.withDefaults(),
-		metrics: newMetrics(epPrepare, epExplain, epDB, epEval, epEvalBool, epCount, epStream, epStats),
+		metrics: newMetrics(epPrepare, epExplain, epDB, epEval, epEvalBool, epCount, epStream, epSubscribe, epStats),
+		drainCh: make(chan struct{}),
 	}
 	if n := s.cfg.MaxInflightPrepare; n > 0 {
 		s.prepareSem = make(chan struct{}, n)
@@ -195,6 +246,7 @@ func New(eng *cqapprox.Engine, cfg Config) *Server {
 	mux.HandleFunc("POST "+epEvalBool, s.instrument(epEvalBool, s.handleEvalBool))
 	mux.HandleFunc("POST "+epCount, s.instrument(epCount, s.handleCount))
 	mux.HandleFunc("POST "+epStream, s.instrument(epStream, s.handleStream))
+	mux.HandleFunc("POST "+epSubscribe, s.instrument(epSubscribe, s.handleSubscribe))
 	mux.HandleFunc("GET "+epStats, s.instrument(epStats, s.handleStats))
 	s.mux = mux
 	return s
@@ -211,24 +263,27 @@ func (s *Server) Stats() api.StatsResponse {
 	ds := s.eng.DBStats()
 	return api.StatsResponse{
 		Cache: api.CacheStats{
-			Hits:            cs.Hits,
-			Misses:          cs.Misses,
-			Entries:         cs.Entries,
-			IndexBuilds:     cs.Indexes.IndexBuilds,
-			IndexProbes:     cs.Indexes.IndexProbes,
-			IndexedEvals:    cs.Indexes.Evals,
-			ParallelEvals:   cs.Indexes.ParallelEvals,
-			RankedEvals:     cs.Indexes.RankedEvals,
-			RankFallbacks:   cs.Indexes.RankFallbacks,
-			ExactCounts:     cs.Indexes.ExactCounts,
-			EstimatedCounts: cs.Indexes.EstimatedCounts,
-			SampleBatches:   cs.Indexes.SampleBatches,
+			Hits:             cs.Hits,
+			Misses:           cs.Misses,
+			Entries:          cs.Entries,
+			IndexBuilds:      cs.Indexes.IndexBuilds,
+			IndexProbes:      cs.Indexes.IndexProbes,
+			IndexedEvals:     cs.Indexes.Evals,
+			ParallelEvals:    cs.Indexes.ParallelEvals,
+			RankedEvals:      cs.Indexes.RankedEvals,
+			RankFallbacks:    cs.Indexes.RankFallbacks,
+			ExactCounts:      cs.Indexes.ExactCounts,
+			EstimatedCounts:  cs.Indexes.EstimatedCounts,
+			SampleBatches:    cs.Indexes.SampleBatches,
+			IncrementalEvals: cs.Indexes.IncrementalEvals,
+			IncrFallbacks:    cs.Indexes.IncrFallbacks,
 		},
 		Server: api.ServerLimits{
 			MaxInflightPrepare: s.cfg.MaxInflightPrepare,
 			MaxInflightEval:    s.cfg.MaxInflightEval,
 			MaxParallelism:     s.cfg.MaxParallelism,
 		},
+		Subscriptions: s.subStats.snapshot(),
 		DBs: api.DBRegistryStats{
 			Entries:       ds.Entries,
 			Registered:    ds.Registered,

@@ -203,6 +203,22 @@ func TestStreamDeadlineTrailer(t *testing.T) {
 	}
 }
 
+// /v1/stream rejects trace:true up front — a stream response has
+// nowhere to put the trace block — with the same bad_request shape the
+// ranking-knob validation uses.
+func TestStreamRejectsTrace(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	status, _, body := post(t, ts, "/v1/stream",
+		`{"query":"Q(x) :- E(x,y)","exact":true,"database":{"E":[[1,2]]},"trace":true}`)
+	var e api.ErrorResponse
+	if err := json.Unmarshal([]byte(body), &e); err != nil {
+		t.Fatalf("non-JSON error body %q", body)
+	}
+	if status != 400 || e.Error.Code != api.CodeBadRequest || !strings.Contains(e.Error.Message, "trace") {
+		t.Fatalf("status %d, error %+v; want 400 bad_request mentioning trace", status, e.Error)
+	}
+}
+
 // The typed client round-trips a complete request cycle against a real
 // server: prepare (miss then hit), eval by key, eval/bool, stream, and
 // stats — plus typed error decoding.

@@ -30,13 +30,29 @@ func WireDB(s *relstr.Structure) api.Database {
 	return db
 }
 
+// WireDelta converts a change set to its wire form.
+func WireDelta(d *relstr.Delta) *api.DeltaChange {
+	dc := &api.DeltaChange{Insert: api.Database{}, Delete: api.Database{}}
+	for _, rel := range d.Touched() {
+		for _, t := range d.Inserts(rel) {
+			dc.Insert[rel] = append(dc.Insert[rel], []int(t))
+		}
+		for _, t := range d.Deletes(rel) {
+			dc.Delete[rel] = append(dc.Delete[rel], []int(t))
+		}
+	}
+	return dc
+}
+
 // Executor returns a LoadGen executor that performs each op as the
 // corresponding HTTP request via c, draining streams completely.
 // Ops carrying a DBName evaluate by registered name (the database is
 // not re-shipped); OpRegisterDB ops become POST /v1/db and OpCount
 // ops POST /v1/count (estimating when the op says so). Ops with Trace
 // set request — and therefore pay for — the execution trace block in
-// the response.
+// the response. OpUpdateDB ops apply their delta via POST /v1/db;
+// OpSubscribe ops open /v1/subscribe, consume the init frame, and
+// disconnect — the short-lived watcher shape.
 func Executor(c *client.Client) func(ctx context.Context, op workload.Op) error {
 	return func(ctx context.Context, op workload.Op) error {
 		evalReq := func() api.EvalRequest {
@@ -61,6 +77,17 @@ func Executor(c *client.Client) func(ctx context.Context, op workload.Op) error 
 		case workload.OpCount:
 			_, err := c.Count(ctx, api.CountRequest{EvalRequest: evalReq(), Estimate: op.Estimate})
 			return err
+		case workload.OpUpdateDB:
+			_, err := c.RegisterDB(ctx, api.RegisterDBRequest{Name: op.DBName, Delta: WireDelta(op.Delta)})
+			return err
+		case workload.OpSubscribe:
+			seq, errf := c.Subscribe(ctx, api.SubscribeRequest{
+				Query: op.Query.String(), Class: op.Class, DB: op.DBName,
+			})
+			for range seq {
+				break // the init frame is the subscription's success signal
+			}
+			return errf()
 		default: // OpStream
 			seq, errf := c.Stream(ctx, evalReq())
 			for range seq {

@@ -23,6 +23,8 @@ const (
 	OpStream
 	OpRegisterDB
 	OpCount
+	OpUpdateDB
+	OpSubscribe
 	numOpKinds
 )
 
@@ -38,6 +40,10 @@ func (k OpKind) String() string {
 		return "register_db"
 	case OpCount:
 		return "count"
+	case OpUpdateDB:
+		return "update_db"
+	case OpSubscribe:
+		return "subscribe"
 	default:
 		return fmt.Sprintf("OpKind(%d)", int(k))
 	}
@@ -72,6 +78,10 @@ type Op struct {
 	// LoadGen.RankedShare generates.
 	Order []string
 	Limit int
+	// Delta, on an OpUpdateDB, is the change set to apply to the
+	// registered database DBName (api.RegisterDBRequest.Delta) — the
+	// traffic LoadGen.UpdateShare generates.
+	Delta *relstr.Delta
 }
 
 // LoadGen generates mixed prepare/eval/stream traffic over a fixed
@@ -140,6 +150,21 @@ type LoadGen struct {
 	// the server's ranked enumeration and its fallback. Zero keeps the
 	// op sequence bit-identical to pre-ranking generators.
 	RankedShare float64
+
+	// UpdateShare is the fraction (0..1) of by-name eval ops that become
+	// delta updates of their registered database instead (a seeded
+	// insert or delete of one fact) — the write traffic that drives
+	// incremental maintenance and subscription notifications. Requires
+	// RegisteredShare > 0 to have any effect. Zero keeps the op sequence
+	// bit-identical to pre-subscription generators.
+	UpdateShare float64
+
+	// SubscribeShare is the fraction (0..1) of by-name unranked stream
+	// ops that become short-lived subscriptions instead: open
+	// /v1/subscribe, consume the init frame, disconnect. Requires
+	// RegisteredShare > 0 to have any effect. Zero keeps the op sequence
+	// bit-identical to pre-subscription generators.
+	SubscribeShare float64
 
 	// Concurrency is the number of worker goroutines Run uses
 	// (default 8).
@@ -316,7 +341,41 @@ func (g *LoadGen) op(rng *rand.Rand) Op {
 		}
 		op.Limit = 1 + rng.Intn(8)
 	}
+	// The update draw comes after the ranked draw, same convention:
+	// UpdateShare == 0 changes nothing. Only by-name untraced evals
+	// convert — a delta needs a registered database to apply to.
+	if g.UpdateShare > 0 && op.Kind == OpEval && op.DBName != "" && !op.Trace &&
+		rng.Float64() < g.UpdateShare {
+		op.Kind = OpUpdateDB
+		op.Query, op.Order, op.Limit, op.Parallelism = nil, nil, 0, 0
+		op.Delta = randomDelta(rng, op.DB)
+	}
+	// The subscribe draw comes last, same convention: SubscribeShare
+	// == 0 changes nothing. Only by-name unranked streams convert —
+	// subscriptions follow registered databases and carry no order.
+	if g.SubscribeShare > 0 && op.Kind == OpStream && op.DBName != "" &&
+		len(op.Order) == 0 && rng.Float64() < g.SubscribeShare {
+		op.Kind = OpSubscribe
+		op.Limit = 0
+	}
 	return op
+}
+
+// randomDelta draws one seeded single-fact change against db: an
+// insert of a fresh-ish tuple, or (half the time) a delete of a tuple
+// drawn from the same value range — which may be absent, a no-op by
+// Delta semantics, exactly like real churn.
+func randomDelta(rng *rand.Rand, db *relstr.Structure) *relstr.Delta {
+	rels := db.Relations()
+	rel := rels[rng.Intn(len(rels))]
+	tup := make([]int, db.Arity(rel))
+	for i := range tup {
+		tup[i] = rng.Intn(64)
+	}
+	if rng.Float64() < 0.5 {
+		return relstr.NewDelta().Delete(rel, tup...)
+	}
+	return relstr.NewDelta().Insert(rel, tup...)
 }
 
 // dbName is the registry name of pool database i.
