@@ -197,6 +197,47 @@ type RegisterDBResponse struct {
 	Applied   bool   `json:"applied,omitempty"` // the request was a delta update
 }
 
+// PeerDBRequest is the body of POST /v1/peer/db — the coordinator →
+// peer half of a sharded registration. Database carries the peer's
+// shard slice of the named database (replicated relations in full,
+// partitioned relations filtered to the tuples this peer owns); Delta
+// carries the peer's routed slice of a /v1/db delta instead. The peer
+// stores the slice under an internal shard-scoped name, so the
+// client-visible registry never collides with shard slices.
+type PeerDBRequest struct {
+	Name     string       `json:"name"`
+	Database Database     `json:"database,omitempty"`
+	Delta    *DeltaChange `json:"delta,omitempty"`
+}
+
+// PeerEvalRequest is the body of POST /v1/peer/eval — one leg of a
+// scatter-gather evaluation. The embedded request addresses the
+// coordinator's chosen approximation (always Query + Exact: the
+// coordinator never forwards a class, so every shard evaluates the
+// identical query regardless of local search defaults) and names the
+// sharded database via DB; Mode selects what comes back.
+type PeerEvalRequest struct {
+	CountRequest
+	// Mode is "eval" (materialised answers), "bool" (existence) or
+	// "count" (the count knobs of the embedded CountRequest apply).
+	Mode string `json:"mode"`
+}
+
+// PeerEvalResponse is the body of a successful POST /v1/peer/eval;
+// which fields are meaningful follows the request's Mode.
+type PeerEvalResponse struct {
+	Answers [][]int `json:"answers,omitempty"` // mode "eval"
+	Result  bool    `json:"result,omitempty"`  // mode "bool"
+
+	// The mode "count" fields, mirroring CountResponse.
+	Count     uint64  `json:"count,omitempty"`
+	Estimate  float64 `json:"estimate,omitempty"`
+	Estimated bool    `json:"estimated,omitempty"`
+	Mode      string  `json:"mode,omitempty"`
+	Samples   int     `json:"samples,omitempty"`
+	Batches   int     `json:"batches,omitempty"`
+}
+
 // EvalRequest is the body of POST /v1/eval, /v1/eval/bool and
 // /v1/stream. The prepared query is named either by Key (from a prior
 // prepare) or inline by Query plus Class/Exact/Options as in
@@ -476,6 +517,47 @@ type ServerLimits struct {
 	MaxParallelism     int `json:"max_parallelism"`
 }
 
+// ClusterStats is the cluster block of GET /v1/stats, present only on
+// nodes running with a peer list. The scatter counters live on the
+// coordinator receiving the client traffic; PeerEvals/PeerDBPushes
+// count the peer side.
+type ClusterStats struct {
+	Nodes int `json:"nodes"` // cluster size (peer list length)
+	Self  int `json:"self"`  // this node's index in the peer list
+
+	// ShardedDBs counts registered databases with a recorded placement;
+	// ReplicatedRelations / PartitionedRelations sum their per-relation
+	// placement decisions.
+	ShardedDBs           int `json:"sharded_dbs"`
+	ReplicatedRelations  int `json:"replicated_relations"`
+	PartitionedRelations int `json:"partitioned_relations"`
+
+	// The routing trichotomy's counters: evaluations fanned out to the
+	// shards, evaluations answered from the local full copy because no
+	// partitioned relation was involved, and evaluations that had to
+	// fall back to the local full copy (≥2 partitioned occurrences,
+	// traced requests, non-summable counts).
+	ScatterEvals     uint64 `json:"scatter_evals"`
+	RoutedLocal      uint64 `json:"routed_local"`
+	ScatterFallbacks uint64 `json:"scatter_fallbacks"`
+
+	// CountSums counts /v1/count requests answered by summing per-shard
+	// counts; DeltaForwards counts per-shard delta pushes of /v1/db
+	// updates; PeerErrors counts failed peer calls.
+	CountSums     uint64 `json:"count_sums"`
+	DeltaForwards uint64 `json:"delta_forwards"`
+	PeerErrors    uint64 `json:"peer_errors"`
+
+	// The peer side: scatter legs served and shard slices / deltas
+	// accepted on /v1/peer/eval and /v1/peer/db.
+	PeerEvals    uint64 `json:"peer_evals"`
+	PeerDBPushes uint64 `json:"peer_db_pushes"`
+
+	// Fanout is the latency distribution of whole scatter-gather
+	// fan-outs (slowest shard to answer, merge included).
+	Fanout EndpointStats `json:"fanout"`
+}
+
 // StatsResponse is the body of GET /v1/stats.
 type StatsResponse struct {
 	Cache         CacheStats               `json:"cache"`
@@ -483,20 +565,24 @@ type StatsResponse struct {
 	Server        ServerLimits             `json:"server"`
 	Subscriptions SubscriptionStats        `json:"subscriptions"`
 	Endpoints     map[string]EndpointStats `json:"endpoints"`
+	// Cluster is present only on cluster-configured nodes, keeping
+	// single-node stats payloads byte-identical to earlier releases.
+	Cluster *ClusterStats `json:"cluster,omitempty"`
 }
 
 // The stable error codes of ErrorInfo.Code. Each maps to a fixed HTTP
 // status; see DESIGN.md §Service layer.
 const (
-	CodeBadRequest     = "bad_request"     // 400: malformed JSON / missing or invalid fields
-	CodeParseError     = "parse_error"     // 400: query syntax error (Line/Col set)
-	CodeUnknownKey     = "unknown_key"     // 404: key not in the cache (evicted or foreign)
-	CodeUnknownDB      = "unknown_db"      // 404: db name not in the registry (evicted or never registered)
-	CodeNotInClass     = "not_in_class"    // 422: no query of the class is contained in Q
-	CodeBudgetExceeded = "budget_exceeded" // 422: query exceeds Options.MaxVars
-	CodeOverloaded     = "overloaded"      // 429: admission control rejected the request
-	CodeInternal       = "internal"        // 500: unexpected failure
-	CodeCanceled       = "canceled"        // 504: deadline expired mid-search/evaluation
+	CodeBadRequest     = "bad_request"      // 400: malformed JSON / missing or invalid fields
+	CodeParseError     = "parse_error"      // 400: query syntax error (Line/Col set)
+	CodeUnknownKey     = "unknown_key"      // 404: key not in the cache (evicted or foreign)
+	CodeUnknownDB      = "unknown_db"       // 404: db name not in the registry (evicted or never registered)
+	CodeNotInClass     = "not_in_class"     // 422: no query of the class is contained in Q
+	CodeBudgetExceeded = "budget_exceeded"  // 422: query exceeds Options.MaxVars
+	CodeOverloaded     = "overloaded"       // 429: admission control rejected the request
+	CodeInternal       = "internal"         // 500: unexpected failure
+	CodeCanceled       = "canceled"         // 504: deadline expired mid-search/evaluation
+	CodePeer           = "peer_unavailable" // 502: a cluster peer failed mid scatter-gather or delta forward
 
 	// CodeSlowConsumer is pushed as a terminal DiffFrame.Error on a
 	// /v1/subscribe stream (the response status is long committed at

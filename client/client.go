@@ -23,6 +23,7 @@ import (
 	"iter"
 	"net/http"
 	"strings"
+	"time"
 
 	"cqapprox/api"
 )
@@ -44,10 +45,52 @@ type Client struct {
 	http    *http.Client
 }
 
+// sharedTransport is the pooled keep-alive transport every client
+// built by New shares. http.DefaultTransport caps idle connections at
+// two per host — under scatter-gather fan-out (a coordinator hammering
+// a handful of peers) that forces a fresh TCP handshake on nearly
+// every call and, at load, exhausts ephemeral ports on TIME_WAIT
+// sockets. One process-wide pool with a per-host allowance sized for
+// fan-out traffic keeps coordinator→peer connections warm.
+var sharedTransport = func() *http.Transport {
+	t, ok := http.DefaultTransport.(*http.Transport)
+	if !ok {
+		return &http.Transport{MaxIdleConns: 512, MaxIdleConnsPerHost: 128}
+	}
+	t = t.Clone()
+	t.MaxIdleConns = 512
+	t.MaxIdleConnsPerHost = 128
+	return t
+}()
+
+// Options tunes a client built by NewWith. The zero value matches New.
+type Options struct {
+	// Transport replaces the shared pooled transport (test doubles,
+	// custom TLS, per-cluster pools). Nil keeps the shared pool.
+	Transport http.RoundTripper
+	// Timeout is the whole-call timeout of the underlying http.Client.
+	// Zero means no client-side timeout (per-request contexts and the
+	// server's deadlines still apply).
+	Timeout time.Duration
+}
+
 // New returns a client for the server at baseURL (scheme://host[:port],
-// no trailing slash needed) using http.DefaultClient.
+// no trailing slash needed). All clients built by New share one pooled
+// keep-alive transport; use NewWith or WithHTTPClient to replace it.
 func New(baseURL string) *Client {
-	return &Client{baseURL: strings.TrimRight(baseURL, "/"), http: http.DefaultClient}
+	return NewWith(baseURL, Options{})
+}
+
+// NewWith is New with explicit options.
+func NewWith(baseURL string, opts Options) *Client {
+	rt := opts.Transport
+	if rt == nil {
+		rt = sharedTransport
+	}
+	return &Client{
+		baseURL: strings.TrimRight(baseURL, "/"),
+		http:    &http.Client{Transport: rt, Timeout: opts.Timeout},
+	}
 }
 
 // WithHTTPClient replaces the underlying *http.Client (timeouts,
@@ -167,6 +210,29 @@ func (c *Client) EvalBool(ctx context.Context, req api.EvalRequest) (bool, error
 		return false, err
 	}
 	return out.Result, nil
+}
+
+// PeerRegisterDB pushes a shard slice (or a routed delta slice) of a
+// sharded database to a peer node — the coordinator→peer half of the
+// cluster protocol (POST /v1/peer/db). Not meant for end clients;
+// peers store the slice under an internal shard-scoped name.
+func (c *Client) PeerRegisterDB(ctx context.Context, req api.PeerDBRequest) (*api.RegisterDBResponse, error) {
+	var out api.RegisterDBResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/peer/db", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// PeerEval runs one scatter-gather leg on a peer node (POST
+// /v1/peer/eval): evaluate the forwarded query against the peer's
+// shard slice of req.DB, in the mode the request selects.
+func (c *Client) PeerEval(ctx context.Context, req api.PeerEvalRequest) (*api.PeerEvalResponse, error) {
+	var out api.PeerEvalResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/peer/eval", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
 }
 
 // Stats fetches the server's cache and endpoint counters.

@@ -37,6 +37,17 @@
 // the execution trace when the request ran with "trace":true;
 // -debug-addr serves net/http/pprof and /debug/vars on a second
 // (normally loopback-only) listener.
+//
+// Clustering: -peers lists every node's base URL (identical order on
+// every node) and -shard-id says which entry is this node. Databases
+// registered on any node are then sharded across the cluster — small
+// relations replicated (-replicate-below), large ones tuple-partitioned
+// by consistent hash — and eligible eval/bool/count requests fan out to
+// all shards and merge, byte-identical to single-node answers. See
+// DESIGN.md §Cluster & sharding.
+//
+//	cqapproxd -addr :8080 -shard-id 0 \
+//	          -peers http://10.0.0.1:8080,http://10.0.0.2:8080,http://10.0.0.3:8080
 package main
 
 import (
@@ -51,10 +62,12 @@ import (
 	_ "net/http/pprof" // profiling handlers on the -debug-addr listener
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"cqapprox"
+	"cqapprox/internal/cluster"
 	"cqapprox/internal/server"
 )
 
@@ -84,6 +97,9 @@ func run() error {
 		logReqs    = flag.Bool("log-requests", false, "structured (JSON) log line per request on stderr")
 		slowMS     = flag.Int64("slow-query-ms", 0, "warn-log requests at least this slow, with their trace when traced (0 off; implies -log-requests)")
 		debugAddr  = flag.String("debug-addr", "", "second listener for net/http/pprof and /debug/vars (e.g. localhost:6060; empty = off)")
+		peers      = flag.String("peers", "", "comma-separated base URLs of every cluster node, this one included, in identical order cluster-wide (empty = single node)")
+		shardID    = flag.Int("shard-id", 0, "this node's index into -peers")
+		repBelow   = flag.Int("replicate-below", 0, "replicate relations with fewer facts than this to every shard instead of partitioning (0 = default 1024, < 0 partition everything)")
 	)
 	flag.Parse()
 
@@ -100,6 +116,15 @@ func run() error {
 	default:
 		return fmt.Errorf("-slow-consumer-policy must be %q or %q", server.SlowConsumerResync, server.SlowConsumerDisconnect)
 	}
+	clusterCfg := cluster.Config{Self: *shardID, ReplicateBelow: *repBelow}
+	if *peers != "" {
+		for _, p := range strings.Split(*peers, ",") {
+			clusterCfg.Peers = append(clusterCfg.Peers, strings.TrimSpace(p))
+		}
+	}
+	if err := clusterCfg.Validate(); err != nil {
+		return err
+	}
 	cfg := server.Config{
 		MaxInflightPrepare: *maxPrepare,
 		MaxInflightEval:    *maxEval,
@@ -109,6 +134,7 @@ func run() error {
 		SubscriberQueue:    *subQueue,
 		SlowConsumerPolicy: *slowPolicy,
 		CoalesceWindow:     *coalesce,
+		Cluster:            clusterCfg,
 	}
 	if *logReqs || *slowMS > 0 {
 		cfg.Logger = slog.New(slog.NewJSONHandler(os.Stderr, nil))
@@ -151,7 +177,12 @@ func run() error {
 
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("cqapproxd listening on %s (cache capacity %d)", *addr, *cacheCap)
+		if clusterCfg.Enabled() {
+			log.Printf("cqapproxd listening on %s (cache capacity %d, cluster shard %d/%d)",
+				*addr, *cacheCap, *shardID, len(clusterCfg.Peers))
+		} else {
+			log.Printf("cqapproxd listening on %s (cache capacity %d)", *addr, *cacheCap)
+		}
 		errc <- hs.ListenAndServe()
 	}()
 

@@ -1,0 +1,150 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"reflect"
+	"runtime"
+	"testing"
+	"time"
+
+	"cqapprox/api"
+	"cqapprox/client"
+	"cqapprox/internal/benchfmt"
+	"cqapprox/internal/server"
+	"cqapprox/internal/workload"
+	"cqapprox/internal/workload/httpcluster"
+	"cqapprox/internal/workload/httpdrive"
+)
+
+// expCluster is experiment E25: sharded scatter-gather evaluation.
+// A 3-node in-process cluster and a 1-node control both register the
+// cluster bench database (the fact relation E tuple-partitioned across
+// the ring, the dimension relations replicated); every cluster-suite
+// query is then evaluated by name on both, asserting byte-identical
+// answers and equal exact counts — always, on any host. The warm
+// throughput of the two arms is then measured under GOMAXPROCS
+// concurrent requesters; hosts with at least four CPUs assert the
+// 3-node arm sustains ≥2× the single-node throughput (the near-linear
+// scaling claim), while smaller hosts (this container, CI shared
+// runners) report the measured ratio but only assert correctness — one
+// core cannot physically demonstrate multi-node parallelism. With
+// -bench-out the scatter-gather latency is merged into the benchmark
+// baseline under the BenchmarkClusterScatterGather name.
+func expCluster() error {
+	const dbNodes = 300
+	ctx := context.Background()
+	var report *benchfmt.Report
+	if benchOut != "" {
+		var err error
+		report, err = benchfmt.Load(benchOut)
+		if os.IsNotExist(err) {
+			report, err = &benchfmt.Report{Benchmarks: map[string]benchfmt.Entry{}}, nil
+		}
+		if err != nil {
+			return fmt.Errorf("loading %s: %w", benchOut, err)
+		}
+	}
+
+	db := workload.ClusterBenchDB(dbNodes)
+	base := server.Config{MaxInflightPrepare: 16, MaxInflightEval: 256}
+	base.Cluster.ReplicateBelow = len(db.Tuples("R1")) + len(db.Tuples("R2")) + 1
+	arms := []struct {
+		name string
+		n    int
+		cl   *httpcluster.Cluster
+	}{
+		{"1-node", 1, nil},
+		{"3-node", 3, nil},
+	}
+	for i := range arms {
+		arms[i].cl = httpcluster.Start(arms[i].n, base)
+		defer arms[i].cl.Close()
+		if _, err := arms[i].cl.Clients()[0].RegisterDB(ctx, api.RegisterDBRequest{
+			Name: "social", Database: httpdrive.WireDB(db),
+		}); err != nil {
+			return fmt.Errorf("%s register: %w", arms[i].name, err)
+		}
+	}
+	coord := make([]*client.Client, len(arms))
+	for i, a := range arms {
+		coord[i] = a.cl.Clients()[0]
+	}
+
+	// Correctness: byte-identical answers and equal exact counts on
+	// every cluster-suite query, asserted unconditionally.
+	for _, q := range workload.ClusterQuerySuite() {
+		req := api.EvalRequest{Query: q.String(), Class: "TW1", DB: "social"}
+		want, err := coord[0].Eval(ctx, req)
+		if err != nil {
+			return fmt.Errorf("%s single-node eval: %w", q.Name, err)
+		}
+		got, err := coord[1].Eval(ctx, req)
+		if err != nil {
+			return fmt.Errorf("%s scatter eval: %w", q.Name, err)
+		}
+		if !reflect.DeepEqual(got.Answers, want.Answers) {
+			return fmt.Errorf("%s: scatter answers diverge from single-node (%d vs %d)",
+				q.Name, len(got.Answers), len(want.Answers))
+		}
+		cw, err := coord[0].Count(ctx, api.CountRequest{EvalRequest: req})
+		if err != nil {
+			return fmt.Errorf("%s single-node count: %w", q.Name, err)
+		}
+		cg, err := coord[1].Count(ctx, api.CountRequest{EvalRequest: req})
+		if err != nil {
+			return fmt.Errorf("%s cluster count: %w", q.Name, err)
+		}
+		if cg.Count != cw.Count {
+			return fmt.Errorf("%s: cluster count %d, single-node %d", q.Name, cg.Count, cw.Count)
+		}
+	}
+	cs := arms[1].cl.Servers[0].Stats().Cluster
+	if cs == nil || cs.ScatterEvals == 0 {
+		return fmt.Errorf("3-node coordinator recorded no scatter-gather evaluations: %+v", cs)
+	}
+
+	// Throughput: warm scatter evaluations of the fact query under
+	// GOMAXPROCS concurrent requesters, per arm.
+	req := api.EvalRequest{Query: workload.ClusterQuerySuite()[0].String(), Class: "TW1", DB: "social"}
+	nsPerOp := make([]int64, len(arms))
+	fmt.Printf("%-8s %10s %14s %14s\n", "arm", "shards", "latency", "throughput")
+	for i := range arms {
+		c := coord[i]
+		if _, err := c.Eval(ctx, req); err != nil { // warm
+			return err
+		}
+		res := testing.Benchmark(func(b *testing.B) {
+			b.SetParallelism(1) // GOMAXPROCS goroutines
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					if _, err := c.Eval(ctx, req); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		})
+		nsPerOp[i] = res.NsPerOp()
+		fmt.Printf("%-8s %10d %14s %12.0f/s\n", arms[i].name, arms[i].n,
+			time.Duration(res.NsPerOp()).Round(time.Microsecond), 1e9/float64(res.NsPerOp()))
+	}
+	ratio := float64(nsPerOp[0]) / float64(nsPerOp[1])
+	if cpus := runtime.NumCPU(); cpus >= 4 {
+		if ratio < 2 {
+			return fmt.Errorf("3-node throughput %.2fx single-node on %d CPUs, want ≥2x", ratio, cpus)
+		}
+		fmt.Printf("3-node scatter-gather sustains %.1fx single-node throughput on %d CPUs, answers byte-identical\n", ratio, cpus)
+	} else {
+		fmt.Printf("only %d CPU(s): scaling assertion skipped (measured %.2fx), answers byte-identical\n", cpus, ratio)
+	}
+	if report != nil {
+		report.Benchmarks["BenchmarkClusterScatterGather"] =
+			benchfmt.Entry{NsPerOp: float64(nsPerOp[1])}
+		if err := report.Save(benchOut); err != nil {
+			return err
+		}
+		fmt.Printf("wrote cluster scatter-gather baseline to %s\n", benchOut)
+	}
+	return nil
+}

@@ -1,12 +1,13 @@
 // Command experiments regenerates every experiment in DESIGN.md's
-// experiment index (E1–E24): the Figure 1 summary table, the
+// experiment index (E1–E25): the Figure 1 summary table, the
 // quantitative content of the paper's propositions, theorems and
 // examples, and the repo's own engineering experiments (E19: the
 // indexed join runtime; E20: the registered database snapshot API;
 // E21: morsel-driven parallel evaluation; E22: the answer counting
 // subsystem; E23: ranked top-k enumeration; E24: incremental view
-// maintenance). Each experiment prints a table comparing the expected
-// outcome against the measured one.
+// maintenance; E25: sharded scatter-gather cluster scaling). Each
+// experiment prints a table comparing the expected outcome against the
+// measured one.
 //
 // Usage:
 //
@@ -25,6 +26,8 @@
 //	                         # refresh the E23 benchmark baselines
 //	experiments -run incremental -bench-out BENCH_eval.json
 //	                         # refresh the E24 benchmark baselines
+//	experiments -run cluster -bench-out BENCH_eval.json
+//	                         # refresh the E25 benchmark baselines
 package main
 
 import (
@@ -70,6 +73,7 @@ func main() {
 		{"count", "E22: exact counting vs evaluation", true, expCount},
 		{"topk", "E23: ranked top-k vs eval+sort", true, expTopK},
 		{"incremental", "E24: delta advance vs full re-eval", true, expIncremental},
+		{"cluster", "E25: sharded scatter-gather scaling", true, expCluster},
 	}
 
 	ran := 0

@@ -1,0 +1,236 @@
+package cluster
+
+import (
+	"testing"
+
+	"cqapprox/internal/relstr"
+)
+
+var testMembers = []string{"http://node0", "http://node1", "http://node2"}
+
+// TestRingPlacementGolden pins the placement function: the ring is a
+// pure function of member names and key bytes, and every node of a
+// cluster — and every release — must compute the same owners, or
+// coordinator and peers silently disagree about where tuples live.
+// A change here is a wire-compatibility break, not a refactor.
+func TestRingPlacementGolden(t *testing.T) {
+	r := NewRing(testMembers, 0)
+	keys := []struct {
+		key  string
+		want int
+	}{
+		{"alpha", 2},
+		{"beta", 1},
+		{"gamma", 1},
+		{"delta", 1},
+		{"epsilon", 2},
+		{"db0", 2},
+		{"db1", 1},
+		{"social", 2},
+	}
+	for _, g := range keys {
+		if got := r.Owner(g.key); got != g.want {
+			t.Errorf("Owner(%q) = %d, want %d", g.key, got, g.want)
+		}
+	}
+	tuples := []struct {
+		rel  string
+		t    []int
+		want int
+	}{
+		{"E", []int{0, 1}, 1},
+		{"E", []int{1, 2}, 0},
+		{"E", []int{2, 3}, 1},
+		{"E", []int{3, 4}, 1},
+		{"E", []int{4, 5}, 2},
+		{"E", []int{5, 6}, 0},
+		{"R1", []int{0, 1}, 2},
+		{"R1", []int{1, 2}, 1},
+		{"R1", []int{2, 3}, 0},
+		{"R1", []int{3, 4}, 1},
+		{"R1", []int{4, 5}, 1},
+		{"R1", []int{5, 6}, 2},
+	}
+	for _, g := range tuples {
+		if got := r.OwnerOfTuple(g.rel, g.t); got != g.want {
+			t.Errorf("OwnerOfTuple(%q, %v) = %d, want %d", g.rel, g.t, got, g.want)
+		}
+	}
+}
+
+// TestRingBalance bounds the load skew of tuple placement: with the
+// default virtual-node count no member should own more than ~1.5× its
+// fair share of a large key population.
+func TestRingBalance(t *testing.T) {
+	r := NewRing(testMembers, 0)
+	counts := make([]int, len(testMembers))
+	const n = 3000
+	for i := 0; i < n; i++ {
+		counts[r.OwnerOfTuple("E", []int{i, i * 7})]++
+	}
+	fair := n / len(testMembers)
+	for m, c := range counts {
+		if c > fair*3/2 || c < fair/2 {
+			t.Errorf("member %d owns %d of %d keys (fair share %d): ring too skewed", m, c, n, fair)
+		}
+	}
+}
+
+// TestRingRebalance asserts the consistent-hashing contract: adding a
+// member only moves keys TO the new member (no shuffling between the
+// surviving members), and the moved fraction is close to the new
+// member's fair share.
+func TestRingRebalance(t *testing.T) {
+	old := NewRing(testMembers, 0)
+	grown := NewRing(append(append([]string{}, testMembers...), "http://node3"), 0)
+	const n = 4000
+	moved := 0
+	for i := 0; i < n; i++ {
+		tup := []int{i, i*13 + 1}
+		a, b := old.OwnerOfTuple("E", tup), grown.OwnerOfTuple("E", tup)
+		if a == b {
+			continue
+		}
+		moved++
+		if b != 3 {
+			t.Fatalf("key %v moved between surviving members %d -> %d on grow", tup, a, b)
+		}
+	}
+	// Fair share of the 4-member ring is n/4; allow a wide band since
+	// arc lengths vary.
+	if moved < n/8 || moved > n/2 {
+		t.Errorf("grow moved %d of %d keys, want about %d", moved, n, n/4)
+	}
+
+	// Shrinking is the mirror image: keys move only FROM the removed
+	// member.
+	shrunk := NewRing(testMembers[:2], 0)
+	for i := 0; i < n; i++ {
+		tup := []int{i, i*13 + 1}
+		a, b := old.OwnerOfTuple("E", tup), shrunk.OwnerOfTuple("E", tup)
+		if a != b && a != 2 {
+			t.Fatalf("key %v moved between surviving members %d -> %d on shrink", tup, a, b)
+		}
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	ok := Config{Peers: testMembers, Self: 1}
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	if !ok.Enabled() {
+		t.Fatal("3-member config not enabled")
+	}
+	if (Config{}).Enabled() {
+		t.Fatal("zero config enabled")
+	}
+	bad := []Config{
+		{Peers: testMembers, Self: 3},
+		{Peers: testMembers, Self: -1},
+		{Peers: []string{"a", ""}, Self: 0},
+		{Peers: []string{"a", "a"}, Self: 0},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func testDB() *relstr.Structure {
+	s := relstr.New()
+	s.Declare("E", 2)
+	s.Declare("R1", 2)
+	for i := 0; i < 200; i++ {
+		s.Add("E", i, (i*3+1)%200)
+	}
+	for i := 0; i < 10; i++ {
+		s.Add("R1", i, i+1)
+	}
+	return s
+}
+
+// TestPlacementSplit checks the split invariants: schema-complete
+// shards, replicated relations copied in full, partitioned relations
+// partitioned exactly (disjoint, covering, on the owning shard).
+func TestPlacementSplit(t *testing.T) {
+	db := testDB()
+	ring := NewRing(testMembers, 0)
+	p := Plan(db, ring, 50) // E (200 facts) partitioned, R1 (10) replicated
+	if !p.Partitioned("E") || p.Partitioned("R1") {
+		t.Fatalf("placement: Partitioned(E)=%v Partitioned(R1)=%v", p.Partitioned("E"), p.Partitioned("R1"))
+	}
+	if p.Partitioned("unknown") {
+		t.Fatal("unknown relation reported partitioned")
+	}
+	rep, part := p.Counts()
+	if rep != 1 || part != 1 {
+		t.Fatalf("Counts() = (%d, %d), want (1, 1)", rep, part)
+	}
+	shards := p.Split(db)
+	if len(shards) != 3 {
+		t.Fatalf("Split returned %d shards", len(shards))
+	}
+	totalE := 0
+	for i, sh := range shards {
+		if got := len(sh.Tuples("R1")); got != 10 {
+			t.Errorf("shard %d has %d R1 facts, want the full 10", i, got)
+		}
+		for _, tup := range sh.Tuples("E") {
+			if own := p.Owner("E", tup); own != i {
+				t.Errorf("shard %d holds E%v owned by %d", i, tup, own)
+			}
+		}
+		totalE += len(sh.Tuples("E"))
+		if sh.Arity("E") != 2 || sh.Arity("R1") != 2 {
+			t.Errorf("shard %d schema incomplete", i)
+		}
+	}
+	if totalE != 200 {
+		t.Errorf("partitioned E facts across shards = %d, want 200 (disjoint cover)", totalE)
+	}
+}
+
+// TestRouteDelta checks delta routing: partitioned changes reach only
+// the owning shard, replicated changes reach every shard, unknown
+// relations are treated as replicated, untouched shards get nil.
+func TestRouteDelta(t *testing.T) {
+	db := testDB()
+	ring := NewRing(testMembers, 0)
+	p := Plan(db, ring, 50)
+
+	ins := []int{1000, 1001}
+	d := relstr.NewDelta().Insert("E", ins...).Delete("E", 0, 1)
+	routed := p.RouteDelta(d)
+	owner, delOwner := p.Owner("E", ins), p.Owner("E", []int{0, 1})
+	for i, rd := range routed {
+		wantTouched := i == owner || i == delOwner
+		if (rd != nil) != wantTouched {
+			t.Fatalf("shard %d delta presence = %v, want %v", i, rd != nil, wantTouched)
+		}
+		if rd == nil {
+			continue
+		}
+		if i == owner && len(rd.Inserts("E")) != 1 {
+			t.Errorf("owning shard %d missing the insert", i)
+		}
+		if i != owner && len(rd.Inserts("E")) != 0 {
+			t.Errorf("shard %d got an insert it does not own", i)
+		}
+		if i == delOwner && len(rd.Deletes("E")) != 1 {
+			t.Errorf("owning shard %d missing the delete", i)
+		}
+	}
+
+	// Replicated and unknown relations fan to every shard.
+	d2 := relstr.NewDelta().Insert("R1", 99, 100).Insert("Fresh", 1)
+	for i, rd := range p.RouteDelta(d2) {
+		if rd == nil {
+			t.Fatalf("shard %d missed a replicated delta", i)
+		}
+		if len(rd.Inserts("R1")) != 1 || len(rd.Inserts("Fresh")) != 1 {
+			t.Errorf("shard %d replicated delta incomplete", i)
+		}
+	}
+}

@@ -1,0 +1,124 @@
+package cluster
+
+import (
+	"sort"
+
+	"cqapprox/internal/relstr"
+)
+
+// Placement is the sharding decision for one registered database,
+// fixed at registration time: per relation, either replicated (full
+// copy on every shard) or tuple-partitioned over the ring. Deltas are
+// routed under the registration-time decision — a relation that has
+// grown past the threshold since is not re-partitioned until the
+// database is re-registered, so coordinator and peers never disagree
+// about where a tuple lives.
+type Placement struct {
+	ring       *Ring
+	replicated map[string]bool // known relation -> replicated?
+}
+
+// Plan decides the placement of s over the ring: relations with fewer
+// than replicateBelow facts are replicated, the rest are partitioned
+// tuple-wise by consistent hash.
+func Plan(s *relstr.Structure, ring *Ring, replicateBelow int) *Placement {
+	p := &Placement{ring: ring, replicated: map[string]bool{}}
+	for _, rel := range s.Relations() {
+		p.replicated[rel] = len(s.Tuples(rel)) < replicateBelow
+	}
+	return p
+}
+
+// Shards returns the shard count.
+func (p *Placement) Shards() int { return p.ring.Size() }
+
+// Partitioned reports whether rel is tuple-partitioned: known at
+// planning time and over the replication threshold. Unknown relations
+// report false — they had no tuples to partition, so every shard
+// agrees they are (emptily) replicated.
+func (p *Placement) Partitioned(rel string) bool {
+	rep, known := p.replicated[rel]
+	return known && !rep
+}
+
+// Counts returns how many relations are replicated vs partitioned.
+func (p *Placement) Counts() (replicated, partitioned int) {
+	for _, rep := range p.replicated {
+		if rep {
+			replicated++
+		} else {
+			partitioned++
+		}
+	}
+	return
+}
+
+// Owner returns the shard owning one fact of a partitioned relation.
+func (p *Placement) Owner(rel string, t []int) int {
+	return p.ring.OwnerOfTuple(rel, t)
+}
+
+// Split materialises the per-shard slices of s: every shard gets the
+// full schema (so per-shard evaluation sees empty views, not missing
+// relations), every replicated relation in full, and its owned share
+// of each partitioned relation.
+func (p *Placement) Split(s *relstr.Structure) []*relstr.Structure {
+	shards := make([]*relstr.Structure, p.ring.Size())
+	for i := range shards {
+		shards[i] = s.CloneSchema()
+	}
+	for _, rel := range s.Relations() {
+		if !p.Partitioned(rel) {
+			for _, sh := range shards {
+				for _, t := range s.Tuples(rel) {
+					sh.Add(rel, t...)
+				}
+			}
+			continue
+		}
+		for _, t := range s.Tuples(rel) {
+			shards[p.ring.OwnerOfTuple(rel, t)].Add(rel, t...)
+		}
+	}
+	return shards
+}
+
+// RouteDelta splits a delta along the placement: changes to a
+// replicated relation go to every shard, changes to a partitioned
+// relation go to the owning shard only. Relations the placement has
+// never seen (a delta introducing a new relation) are treated as
+// replicated — every shard stays schema-complete and no owner
+// disagreement is possible. Shards a delta does not touch get nil.
+func (p *Placement) RouteDelta(d *relstr.Delta) []*relstr.Delta {
+	out := make([]*relstr.Delta, p.ring.Size())
+	shard := func(i int) *relstr.Delta {
+		if out[i] == nil {
+			out[i] = relstr.NewDelta()
+		}
+		return out[i]
+	}
+	rels := append([]string{}, d.Touched()...)
+	sort.Strings(rels)
+	for _, rel := range rels {
+		part := p.Partitioned(rel)
+		for _, t := range d.Inserts(rel) {
+			if part {
+				shard(p.ring.OwnerOfTuple(rel, t)).Insert(rel, t...)
+			} else {
+				for i := range out {
+					shard(i).Insert(rel, t...)
+				}
+			}
+		}
+		for _, t := range d.Deletes(rel) {
+			if part {
+				shard(p.ring.OwnerOfTuple(rel, t)).Delete(rel, t...)
+			} else {
+				for i := range out {
+					shard(i).Delete(rel, t...)
+				}
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,184 @@
+// Package cluster implements the sharding layer of a cqapproxd
+// cluster: consistent-hash membership over a static peer list,
+// relation-level placement of registered databases (small relations
+// replicated to every shard, large ones tuple-partitioned), and the
+// delta routing that keeps shard slices in step with the full copy.
+//
+// The paper's static/dynamic split is what makes the distribution
+// boundary this thin: prepare (minimisation + C-approximation search)
+// keys on canonical wire values and stays node-local, so only the
+// polynomial dynamic phase — Yannakakis-style evaluation over the
+// data — fans out. The correctness contract the placement upholds is
+// union-decomposability: when the evaluated query references at most
+// one tuple-partitioned atom occurrence (every other atom's relation
+// replicated everywhere), the union of per-shard answer sets equals
+// the single-node answer set, because any witness homomorphism maps
+// the partitioned atom onto one concrete tuple, and that tuple lives
+// in exactly one shard alongside full copies of everything else.
+package cluster
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// DefaultVirtualNodes is the per-member virtual-node count of NewRing:
+// enough to keep the largest/smallest member load ratio close to one
+// at small cluster sizes without making Owner's binary search matter.
+const DefaultVirtualNodes = 64
+
+// DefaultReplicateBelow is the fact-count threshold under which a
+// relation is replicated to every shard instead of tuple-partitioned.
+// Semijoin reductions against small dimension relations then stay
+// shard-local; only genuinely large relations pay partitioning.
+const DefaultReplicateBelow = 1024
+
+// Config is the static cluster membership of one cqapproxd node.
+// The zero value (no peers) means clustering is disabled.
+type Config struct {
+	// Peers lists every node's base URL, coordinator included, in a
+	// fixed order shared by all nodes — the ring hashes member names,
+	// so the list must be identical (order and spelling) cluster-wide.
+	Peers []string
+	// Self is this node's index into Peers.
+	Self int
+	// ReplicateBelow is the replication threshold in facts; relations
+	// with fewer facts are copied to every shard. 0 selects
+	// DefaultReplicateBelow; negative replicates nothing.
+	ReplicateBelow int
+}
+
+// Enabled reports whether the config describes an actual cluster
+// (two or more members).
+func (c Config) Enabled() bool { return len(c.Peers) > 1 }
+
+// Validate checks the member list and self index.
+func (c Config) Validate() error {
+	if len(c.Peers) == 0 {
+		return nil
+	}
+	if c.Self < 0 || c.Self >= len(c.Peers) {
+		return fmt.Errorf("cluster: self index %d outside peer list of %d", c.Self, len(c.Peers))
+	}
+	seen := map[string]bool{}
+	for i, p := range c.Peers {
+		if p == "" {
+			return fmt.Errorf("cluster: empty peer address at index %d", i)
+		}
+		if seen[p] {
+			return fmt.Errorf("cluster: duplicate peer address %q", p)
+		}
+		seen[p] = true
+	}
+	return nil
+}
+
+// ReplicateThreshold resolves ReplicateBelow's conventions to the
+// effective fact-count threshold Plan partitions against.
+func (c Config) ReplicateThreshold() int {
+	switch {
+	case c.ReplicateBelow == 0:
+		return DefaultReplicateBelow
+	case c.ReplicateBelow < 0:
+		return 0
+	}
+	return c.ReplicateBelow
+}
+
+// Ring is a consistent-hash ring over the member list: each member
+// owns the arc below each of its virtual-node hashes. Placement is a
+// pure function of the member names and the key bytes (FNV-64a), so
+// every node — and every process run — computes identical owners.
+// Immutable once built; safe for concurrent use.
+type Ring struct {
+	members []string
+	vnodes  []vnode // sorted by hash
+}
+
+type vnode struct {
+	hash   uint64
+	member int
+}
+
+// mix64 finalises an FNV hash with the splitmix64 avalanche: raw
+// FNV-64a over short, similar keys (peer URLs differing in one digit,
+// small-integer tuples) leaves enough correlation in the high bits to
+// skew arc lengths badly; the mixer spreads every input bit over the
+// whole word.
+func mix64(h uint64) uint64 {
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
+}
+
+// NewRing builds the ring over members with vnodesPer virtual nodes
+// each (0 selects DefaultVirtualNodes).
+func NewRing(members []string, vnodesPer int) *Ring {
+	if vnodesPer <= 0 {
+		vnodesPer = DefaultVirtualNodes
+	}
+	r := &Ring{members: append([]string{}, members...)}
+	r.vnodes = make([]vnode, 0, len(members)*vnodesPer)
+	for m, name := range r.members {
+		for v := 0; v < vnodesPer; v++ {
+			h := fnv.New64a()
+			h.Write([]byte(name))
+			var idx [8]byte
+			binary.LittleEndian.PutUint64(idx[:], uint64(v))
+			h.Write(idx[:])
+			r.vnodes = append(r.vnodes, vnode{hash: mix64(h.Sum64()), member: m})
+		}
+	}
+	sort.Slice(r.vnodes, func(i, j int) bool {
+		a, b := r.vnodes[i], r.vnodes[j]
+		if a.hash != b.hash {
+			return a.hash < b.hash
+		}
+		return a.member < b.member // deterministic on (vanishingly rare) hash ties
+	})
+	return r
+}
+
+// Members returns the member list the ring was built over.
+func (r *Ring) Members() []string { return r.members }
+
+// Size returns the member count.
+func (r *Ring) Size() int { return len(r.members) }
+
+// owner maps a key hash to the member owning it: the first virtual
+// node at or clockwise of the hash.
+func (r *Ring) owner(h uint64) int {
+	i := sort.Search(len(r.vnodes), func(i int) bool { return r.vnodes[i].hash >= h })
+	if i == len(r.vnodes) {
+		i = 0
+	}
+	return r.vnodes[i].member
+}
+
+// Owner returns the member index owning an arbitrary string key.
+func (r *Ring) Owner(key string) int {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	return r.owner(mix64(h.Sum64()))
+}
+
+// OwnerOfTuple returns the member index owning one fact: the FNV-64a
+// hash of the relation name, a NUL separator, and the tuple's elements
+// in fixed-width little-endian — byte-stable across processes and
+// architectures, so coordinator and peers agree on every placement.
+func (r *Ring) OwnerOfTuple(rel string, t []int) int {
+	h := fnv.New64a()
+	h.Write([]byte(rel))
+	h.Write([]byte{0})
+	var buf [8]byte
+	for _, e := range t {
+		binary.LittleEndian.PutUint64(buf[:], uint64(int64(e)))
+		h.Write(buf[:])
+	}
+	return r.owner(mix64(h.Sum64()))
+}

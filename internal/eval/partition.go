@@ -1,0 +1,186 @@
+package eval
+
+// Partition-aware evaluation hooks for the cluster layer
+// (internal/cluster, internal/server): a Source restricted to the
+// facts one shard owns, and the deterministic merges recombining
+// per-shard partial results into exactly the single-node answer set.
+//
+// The correctness contract is union-decomposability (see package
+// cluster): when at most one atom occurrence of the evaluated query
+// references a tuple-partitioned relation, the union of per-shard
+// answer sets equals the full answer set. The merges below only have
+// to make that union deterministic: answers are globally sorted
+// (lexicographically, or under a ranked key) and deduplicated, so a
+// scatter-gather evaluation is byte-identical to a single-node one.
+
+import (
+	"slices"
+	"sync"
+
+	"cqapprox/internal/relstr"
+)
+
+// NewPartitionSource restricts base to the facts owns admits: every
+// atom view is filtered tuple-wise through owns(rel, tuple) before the
+// executor sees it. The wrapper reconstructs each original tuple from
+// the view's distinct-variable assignment (a bijection for a fixed
+// repetition pattern), so ownership is decided on the same bytes the
+// ring hashed at placement time. Used to evaluate "one shard of" a
+// structure without materialising the slice — the equivalence fuzz
+// harness and tests drive it; the server registers real slices.
+func NewPartitionSource(base Source, owns func(rel string, tuple []int) bool) Source {
+	return &partitionSource{base: base, owns: owns}
+}
+
+type partitionSource struct {
+	base Source
+	owns func(rel string, tuple []int) bool
+	memo []*memoNode // Node is called serially during forest setup
+
+	once sync.Once
+	str  *relstr.Structure
+}
+
+func (s *partitionSource) Node(a patom) ([][]int, Indexer) {
+	sig := patternSig(a)
+	for _, n := range s.memo {
+		if n.sig == sig {
+			return n.rows, &n.ix
+		}
+	}
+	rows, _ := s.base.Node(a)
+	vars := a.distinctVars()
+	// Column of each argument position in the view row.
+	cols := make([]int, len(a.args))
+	for i, v := range a.args {
+		cols[i] = indexOf(vars, v)
+	}
+	tup := make([]int, len(a.args))
+	kept := make([][]int, 0, len(rows))
+	for _, row := range rows {
+		for i, c := range cols {
+			tup[i] = row[c]
+		}
+		if s.owns(a.rel, tup) {
+			kept = append(kept, row)
+		}
+	}
+	n := &memoNode{sig: sig, rows: kept}
+	n.ix.rows = kept
+	s.memo = append(s.memo, n)
+	return n.rows, &n.ix
+}
+
+func (s *partitionSource) Structure() *relstr.Structure {
+	s.once.Do(func() {
+		full := s.base.Structure()
+		str := full.CloneSchema()
+		for _, rel := range full.Relations() {
+			for _, t := range full.Tuples(rel) {
+				if s.owns(rel, t) {
+					str.Add(rel, t...)
+				}
+			}
+		}
+		s.str = str
+	})
+	return s.str
+}
+
+// MergeAnswerSets recombines per-shard answer sets into the global
+// one: concatenate, re-sort under the shared lexicographic tuple
+// order, and deduplicate (shards overlap on answers witnessed through
+// replicated relations only). The result is byte-identical to a
+// single-node evaluation's Answers.
+func MergeAnswerSets(parts []Answers) Answers {
+	switch len(parts) {
+	case 0:
+		return nil
+	case 1:
+		return dedupSorted(sortAnswers(parts[0]))
+	}
+	total := 0
+	for _, p := range parts {
+		total += len(p)
+	}
+	all := make([]relstr.Tuple, 0, total)
+	for _, p := range parts {
+		all = append(all, p...)
+	}
+	return dedupSorted(sortAnswers(all))
+}
+
+// MergeRankedAnswers recombines per-shard ranked (top-k) answer sets:
+// concatenate, sort under the spec's full-permutation key, dedup, and
+// truncate at the limit. Each shard's set was itself a top-k under the
+// same total order, and the global top-k is contained in the union of
+// per-shard top-k sets, so the merge is exact. width is the answer
+// tuple width (the head length).
+func MergeRankedAnswers(parts []Answers, width int, spec RankSpec) Answers {
+	total := 0
+	for _, p := range parts {
+		total += len(p)
+	}
+	all := make([]relstr.Tuple, 0, total)
+	for _, p := range parts {
+		all = append(all, p...)
+	}
+	sortAnswersBy(all, spec.perm(width), spec.Desc)
+	all = slices.CompactFunc(all, func(a, b relstr.Tuple) bool { return relstr.Compare(a, b) == 0 })
+	if spec.Limit > 0 && len(all) > spec.Limit {
+		all = all[:spec.Limit:spec.Limit]
+	}
+	return all
+}
+
+// dedupSorted drops adjacent duplicates of a sorted tuple slice.
+func dedupSorted(ts Answers) Answers {
+	return slices.CompactFunc(ts, func(a, b relstr.Tuple) bool { return relstr.Compare(a, b) == 0 })
+}
+
+// PartitionedOccurrences counts the atom occurrences of q (the query
+// this plan evaluates) whose relation partitioned reports true — the
+// quantity the cluster routing trichotomy branches on: 0 means any
+// shard (or the coordinator's full copy) answers alone, 1 means
+// scatter-gather is exact, ≥2 means per-shard evaluation could join
+// tuples living on different shards and the coordinator must fall
+// back to its full copy.
+func (p *Plan) PartitionedOccurrences(partitioned func(rel string) bool) int {
+	n := 0
+	for _, a := range p.q.Atoms {
+		if partitioned(a.Rel) {
+			n++
+		}
+	}
+	return n
+}
+
+// CountSummable reports whether per-shard answer counts of this plan's
+// query sum to the global count: exactly one atom occurrence on a
+// partitioned relation, with every argument of that atom a head
+// variable. Each answer then determines the partitioned tuple it
+// matched, that tuple lives on exactly one shard, so per-shard answer
+// sets are disjoint and counts (exact or estimated) add. Boolean
+// queries are never summable (their head is empty).
+func (p *Plan) CountSummable(partitioned func(rel string) bool) bool {
+	head := map[string]bool{}
+	for _, v := range p.q.Head {
+		head[v] = true
+	}
+	occ := 0
+	for _, a := range p.q.Atoms {
+		if !partitioned(a.Rel) {
+			continue
+		}
+		occ++
+		if occ > 1 {
+			return false
+		}
+		for _, arg := range a.Args {
+			if !head[arg] {
+				return false
+			}
+		}
+	}
+	return occ == 1
+}

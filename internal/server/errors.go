@@ -47,11 +47,18 @@ func errOverloaded() *apiError {
 // taxonomy. Order matters: ParseError first (it is the most specific),
 // the sentinel wrappers next, everything else is internal.
 func mapError(err error) *apiError {
-	var perr *cqapprox.ParseError
+	var (
+		perr *cqapprox.ParseError
+		pe   *peerError
+	)
 	switch {
 	case errors.As(err, &perr):
 		return &apiError{http.StatusBadRequest, api.ErrorInfo{
 			Code: api.CodeParseError, Message: perr.Error(), Line: perr.Line, Col: perr.Col,
+		}}
+	case errors.As(err, &pe):
+		return &apiError{http.StatusBadGateway, api.ErrorInfo{
+			Code: api.CodePeer, Message: pe.Error(),
 		}}
 	case errors.Is(err, cqapprox.ErrBudgetExceeded):
 		return &apiError{http.StatusUnprocessableEntity, api.ErrorInfo{

@@ -6,10 +6,12 @@ import (
 	"fmt"
 	"iter"
 	"net/http"
+	"strings"
 	"time"
 
 	"cqapprox"
 	"cqapprox/api"
+	"cqapprox/internal/cluster"
 )
 
 // decodeJSON reads the request body into dst, writing a bad_request
@@ -208,6 +210,12 @@ func (s *Server) handleRegisterDB(w http.ResponseWriter, r *http.Request) {
 		writeError(w, errBadRequest("name required"))
 		return
 	}
+	if strings.ContainsRune(req.Name, 0) {
+		// NUL is the shard-slice namespace separator (see shardDBName);
+		// keeping it out of client names keeps the namespaces disjoint.
+		writeError(w, errBadRequest("name must not contain NUL bytes"))
+		return
+	}
 	if !s.acquire(s.evalSem, w) {
 		return
 	}
@@ -232,13 +240,30 @@ func (s *Server) handleRegisterDB(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		s.notify(req.Name, subEvent{prev: u.Prev, next: u.Next, delta: u.Delta})
+		applied := true
+		if s.cluster != nil {
+			if pl := s.cluster.placementOf(req.Name); pl != nil {
+				// Forward the routed slices to the owning shards. A peer
+				// failure surfaces as 502 even though the local copy
+				// already advanced: deltas are idempotent, so the client
+				// simply retries the same request.
+				ctx, cancel := s.requestContext(r, 0)
+				all, err := s.cluster.forwardDelta(ctx, s.eng, req.Name, pl, u.Delta)
+				cancel()
+				if err != nil {
+					writeError(w, mapError(err))
+					return
+				}
+				applied = all
+			}
+		}
 		writeJSON(w, http.StatusOK, api.RegisterDBResponse{
 			Name:      u.Next.Name(),
 			Version:   u.Next.Version(),
 			Relations: len(u.Next.Relations()),
 			Facts:     u.Next.NumFacts(),
 			Replaced:  true,
-			Applied:   true,
+			Applied:   applied,
 		})
 		return
 	}
@@ -253,6 +278,18 @@ func (s *Server) handleRegisterDB(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.notify(req.Name, subEvent{next: d})
+	if s.cluster != nil {
+		// Shard the registration across the peers. A failed push is not
+		// an error to the client — the full local copy just registered
+		// serves the name correctly either way; the node merely keeps
+		// answering without fan-out (peer_errors records the incident).
+		ctx, cancel := s.requestContext(r, 0)
+		if err := s.cluster.registerSharded(ctx, s.eng, req.Name, db); err != nil && s.cfg.Logger != nil {
+			s.cfg.Logger.Warn("cluster shard push failed; serving from the local full copy",
+				"db", req.Name, "error", err)
+		}
+		cancel()
+	}
 	writeJSON(w, http.StatusOK, api.RegisterDBResponse{
 		Name:      d.Name(),
 		Version:   d.Version(),
@@ -265,13 +302,29 @@ func (s *Server) handleRegisterDB(w http.ResponseWriter, r *http.Request) {
 // dbSource is an eval request's resolved database: exactly one of an
 // inline per-request structure or a registered snapshot. The three
 // evaluation endpoints go through its methods so inline and registered
-// traffic share one code path per endpoint.
+// traffic share one code path per endpoint. On a cluster-configured
+// server whose named database carries a recorded shard placement, the
+// cluster fields are set and the materialising methods route through
+// the scatter-gather trichotomy first (see internal/server/cluster.go);
+// everything else — inline databases, unsharded names, single-node
+// servers — takes the local path untouched.
 type dbSource struct {
 	inline *cqapprox.Structure
 	bind   func(*cqapprox.PreparedQuery) *cqapprox.BoundQuery
+
+	// The cluster routing context; pl non-nil only when srv.cluster is
+	// too and the named database is sharded.
+	srv *Server
+	pl  *cluster.Placement
+	req api.EvalRequest
 }
 
 func (d dbSource) eval(ctx context.Context, p *cqapprox.PreparedQuery, opts []cqapprox.EvalOption) (cqapprox.Answers, error) {
+	if d.pl != nil {
+		if _, scatter := d.srv.cluster.route(p, d.pl); scatter {
+			return d.srv.cluster.scatterEval(ctx, d.srv.eng, p, d.req)
+		}
+	}
 	if d.inline != nil {
 		return p.Eval(ctx, d.inline, opts...)
 	}
@@ -279,6 +332,11 @@ func (d dbSource) eval(ctx context.Context, p *cqapprox.PreparedQuery, opts []cq
 }
 
 func (d dbSource) evalBool(ctx context.Context, p *cqapprox.PreparedQuery) (bool, error) {
+	if d.pl != nil {
+		if _, scatter := d.srv.cluster.route(p, d.pl); scatter {
+			return d.srv.cluster.scatterBool(ctx, d.srv.eng, p, d.req)
+		}
+	}
 	if d.inline != nil {
 		return p.EvalBool(ctx, d.inline)
 	}
@@ -286,6 +344,11 @@ func (d dbSource) evalBool(ctx context.Context, p *cqapprox.PreparedQuery) (bool
 }
 
 func (d dbSource) evalTrace(ctx context.Context, p *cqapprox.PreparedQuery) (cqapprox.Answers, *cqapprox.ExecTrace, error) {
+	if d.pl != nil {
+		// A trace describes one local execution; traced requests never
+		// scatter (the full copy answers, the counters record why).
+		d.srv.cluster.noteLocal(p, d.pl)
+	}
 	if d.inline != nil {
 		return p.EvalTrace(ctx, d.inline)
 	}
@@ -293,6 +356,9 @@ func (d dbSource) evalTrace(ctx context.Context, p *cqapprox.PreparedQuery) (cqa
 }
 
 func (d dbSource) evalBoolTrace(ctx context.Context, p *cqapprox.PreparedQuery) (bool, *cqapprox.ExecTrace, error) {
+	if d.pl != nil {
+		d.srv.cluster.noteLocal(p, d.pl)
+	}
 	if d.inline != nil {
 		return p.EvalBoolTrace(ctx, d.inline)
 	}
@@ -300,10 +366,44 @@ func (d dbSource) evalBoolTrace(ctx context.Context, p *cqapprox.PreparedQuery) 
 }
 
 func (d dbSource) answersErr(ctx context.Context, p *cqapprox.PreparedQuery, opts []cqapprox.EvalOption) (iter.Seq[cqapprox.Tuple], func() error) {
+	if d.pl != nil {
+		// Streams enumerate lazily; a scatter would have to materialise
+		// every shard's answers before the first line. Local it is.
+		d.srv.cluster.noteLocal(p, d.pl)
+	}
 	if d.inline != nil {
 		return p.AnswersErr(ctx, d.inline, opts...)
 	}
 	return d.bind(p).AnswersErr(ctx, opts...)
+}
+
+// clusterCount consults the routing trichotomy for a count against a
+// sharded database: (res, true, err) when scatter-gather summing
+// answered (or failed) it, (nil, false, nil) when the caller should
+// count locally — the local-outcome counters are bumped here.
+func (d dbSource) clusterCount(ctx context.Context, p *cqapprox.PreparedQuery, req api.CountRequest, opts []cqapprox.CountOption) (*cqapprox.CountResult, bool, error) {
+	if d.pl == nil {
+		return nil, false, nil
+	}
+	ctl := d.srv.cluster
+	if req.Trace {
+		ctl.noteLocal(p, d.pl)
+		return nil, false, nil
+	}
+	occ := p.PartitionedOccurrences(d.pl.Partitioned)
+	switch {
+	case occ == 0:
+		ctl.routedLocal.Add(1)
+	case occ == 1 && p.CountSummable(d.pl.Partitioned):
+		res, err := ctl.scatterCount(ctx, d.srv.eng, p, req, opts)
+		return res, true, err
+	default:
+		// ≥2 partitioned occurrences, or per-shard answer sets that may
+		// overlap (the partitioned atom binds non-head variables): a sum
+		// would overcount, so the local full copy answers.
+		ctl.scatterFallbacks.Add(1)
+	}
+	return nil, false, nil
 }
 
 func (d dbSource) count(ctx context.Context, p *cqapprox.PreparedQuery, opts []cqapprox.CountOption) (*cqapprox.CountResult, error) {
@@ -329,11 +429,22 @@ func (s *Server) resolveDB(req api.EvalRequest) (dbSource, *apiError) {
 		if len(req.Database) > 0 {
 			return dbSource{}, errBadRequest("db and database are mutually exclusive (name a registered database or ship one inline, not both)")
 		}
+		if strings.ContainsRune(req.DB, 0) {
+			// Shard slices live under NUL-prefixed internal names;
+			// client requests cannot address them.
+			return dbSource{}, errBadRequest("db must not contain NUL bytes")
+		}
 		d, ok := s.eng.DB(req.DB)
 		if !ok {
 			return dbSource{}, errUnknownDB(req.DB)
 		}
-		return dbSource{bind: func(p *cqapprox.PreparedQuery) *cqapprox.BoundQuery { return p.Bind(d) }}, nil
+		src := dbSource{bind: func(p *cqapprox.PreparedQuery) *cqapprox.BoundQuery { return p.Bind(d) }}
+		if s.cluster != nil {
+			if pl := s.cluster.placementOf(req.DB); pl != nil {
+				src.srv, src.pl, src.req = s, pl, req
+			}
+		}
+		return src, nil
 	}
 	db, err := req.Database.ToStructure()
 	if err != nil {
@@ -534,7 +645,9 @@ func (s *Server) handleCount(w http.ResponseWriter, r *http.Request) {
 	s.evalWith(w, r, req.EvalRequest, func(ctx context.Context, p *cqapprox.PreparedQuery, db dbSource) {
 		var res *cqapprox.CountResult
 		var err error
-		if req.Estimate {
+		if cres, handled, cerr := db.clusterCount(ctx, p, req, opts); handled {
+			res, err = cres, cerr
+		} else if req.Estimate {
 			res, err = db.estimateCount(ctx, p, opts)
 		} else {
 			res, err = db.count(ctx, p, opts)

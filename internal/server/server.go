@@ -31,6 +31,7 @@ import (
 
 	"cqapprox"
 	"cqapprox/api"
+	"cqapprox/internal/cluster"
 )
 
 // Config tunes a Server. The zero value selects the documented
@@ -101,6 +102,14 @@ type Config struct {
 	// opportunistically — everything already queued goes into one
 	// frame — but never waits.
 	CoalesceWindow time.Duration
+
+	// Cluster enables the sharded scatter-gather mode when it lists two
+	// or more peers (this node included; see cluster.Config). The zero
+	// value keeps the server single-node: no peer endpoints, no cluster
+	// stats block, byte-identical behaviour to earlier releases. New
+	// panics on an invalid config — cmd/cqapproxd validates flags
+	// before construction for a friendly error.
+	Cluster cluster.Config
 }
 
 // Slow-consumer policies of Config.SlowConsumerPolicy.
@@ -186,6 +195,11 @@ const (
 	epStream    = "/v1/stream"
 	epSubscribe = "/v1/subscribe"
 	epStats     = "/v1/stats"
+
+	// The coordinator→peer endpoints, registered (and counted in
+	// /v1/stats) only on cluster-configured nodes.
+	epPeerDB   = "/v1/peer/db"
+	epPeerEval = "/v1/peer/eval"
 )
 
 // Server handles the /v1 API over one engine. Construct with New; a
@@ -204,6 +218,10 @@ type Server struct {
 	subStats  subStats      // the subscription counters of /v1/stats
 	drainCh   chan struct{} // closed by Drain: every subscription ends
 	drainOnce sync.Once
+
+	// cluster is the scatter-gather control plane; nil on single-node
+	// servers (the common case), so the hot path costs one nil check.
+	cluster *clusterCtl
 
 	// onStreamAnswer, when non-nil, is called after answer n (1-based)
 	// of a stream response has been written and flushed. Test seam for
@@ -226,11 +244,23 @@ type Server struct {
 // New returns a Server over eng. Requests without explicit options use
 // the engine's configured search defaults.
 func New(eng *cqapprox.Engine, cfg Config) *Server {
+	names := []string{epPrepare, epExplain, epDB, epEval, epEvalBool, epCount, epStream, epSubscribe, epStats}
+	clustered := cfg.Cluster.Enabled()
+	if clustered {
+		names = append(names, epPeerDB, epPeerEval)
+	}
 	s := &Server{
 		eng:     eng,
 		cfg:     cfg.withDefaults(),
-		metrics: newMetrics(epPrepare, epExplain, epDB, epEval, epEvalBool, epCount, epStream, epSubscribe, epStats),
+		metrics: newMetrics(names...),
 		drainCh: make(chan struct{}),
+	}
+	if clustered {
+		ctl, err := newClusterCtl(cfg.Cluster)
+		if err != nil {
+			panic("server: invalid cluster config: " + err.Error())
+		}
+		s.cluster = ctl
 	}
 	if n := s.cfg.MaxInflightPrepare; n > 0 {
 		s.prepareSem = make(chan struct{}, n)
@@ -248,6 +278,10 @@ func New(eng *cqapprox.Engine, cfg Config) *Server {
 	mux.HandleFunc("POST "+epStream, s.instrument(epStream, s.handleStream))
 	mux.HandleFunc("POST "+epSubscribe, s.instrument(epSubscribe, s.handleSubscribe))
 	mux.HandleFunc("GET "+epStats, s.instrument(epStats, s.handleStats))
+	if clustered {
+		mux.HandleFunc("POST "+epPeerDB, s.instrument(epPeerDB, s.handlePeerDB))
+		mux.HandleFunc("POST "+epPeerEval, s.instrument(epPeerEval, s.handlePeerEval))
+	}
 	s.mux = mux
 	return s
 }
@@ -261,7 +295,12 @@ func (s *Server) Handler() http.Handler { return s.mux }
 func (s *Server) Stats() api.StatsResponse {
 	cs := s.eng.CacheStats()
 	ds := s.eng.DBStats()
+	var clusterStats *api.ClusterStats
+	if s.cluster != nil {
+		clusterStats = s.cluster.stats()
+	}
 	return api.StatsResponse{
+		Cluster: clusterStats,
 		Cache: api.CacheStats{
 			Hits:             cs.Hits,
 			Misses:           cs.Misses,

@@ -28,6 +28,7 @@ import (
 	"encoding/json"
 	"net/http"
 	"slices"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -151,6 +152,12 @@ func (s *Server) handleSubscribe(w http.ResponseWriter, r *http.Request) {
 	}
 	if req.DB == "" {
 		writeError(w, errBadRequest("db required (subscriptions follow databases registered via POST /v1/db; inline databases never update)"))
+		return
+	}
+	if strings.ContainsRune(req.DB, 0) {
+		// Internal shard slices (NUL-prefixed names) are not
+		// subscribable — they change without notification.
+		writeError(w, errBadRequest("db must not contain NUL bytes"))
 		return
 	}
 	// Setup runs under the request timeout like any evaluation; the

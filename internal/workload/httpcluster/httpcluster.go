@@ -1,0 +1,91 @@
+// Package httpcluster starts in-process cqapproxd clusters for tests,
+// benchmarks and experiments: n engines behind n httptest listeners,
+// each node configured with the full peer list so databases registered
+// on any node shard across all of them. It lives apart from httpdrive
+// because it imports internal/server — whose own tests drive traffic
+// through httpdrive, so the harness living there would be an import
+// cycle.
+package httpcluster
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+
+	"cqapprox"
+	"cqapprox/client"
+	"cqapprox/internal/cluster"
+	"cqapprox/internal/server"
+)
+
+// Cluster is an in-process cqapproxd cluster; see Start.
+type Cluster struct {
+	URLs    []string
+	Servers []*server.Server
+	Engines []*cqapprox.Engine
+	ts      []*httptest.Server
+}
+
+// Start starts n nodes wired as one cluster. Each node gets a fresh
+// engine and a copy of base with the Cluster membership filled in
+// (base's own Peers/Self are ignored; its ReplicateBelow is kept — set
+// it to control what partitions). The listeners come up before any
+// server exists, so the peer URLs are known at construction: requests
+// arriving in that window get a 503, exactly like a peer still
+// booting. n == 1 is a valid degenerate cluster — clustering disabled,
+// byte-identical to a plain single node — which is what makes it the
+// control arm of the scaling experiments.
+func Start(n int, base server.Config) *Cluster {
+	c := &Cluster{}
+	handlers := make([]*atomic.Pointer[http.Handler], n)
+	for i := 0; i < n; i++ {
+		p := new(atomic.Pointer[http.Handler])
+		handlers[i] = p
+		ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if h := p.Load(); h != nil {
+				(*h).ServeHTTP(w, r)
+				return
+			}
+			http.Error(w, "node starting", http.StatusServiceUnavailable)
+		}))
+		c.ts = append(c.ts, ts)
+		c.URLs = append(c.URLs, ts.URL)
+	}
+	for i := 0; i < n; i++ {
+		cfg := base
+		cfg.Cluster = cluster.Config{
+			Peers:          c.URLs,
+			Self:           i,
+			ReplicateBelow: base.Cluster.ReplicateBelow,
+		}
+		if n == 1 {
+			cfg.Cluster = cluster.Config{}
+		}
+		eng := cqapprox.NewEngine()
+		srv := server.New(eng, cfg)
+		h := http.Handler(srv.Handler())
+		handlers[i].Store(&h)
+		c.Engines = append(c.Engines, eng)
+		c.Servers = append(c.Servers, srv)
+	}
+	return c
+}
+
+// Clients returns one typed client per node, index-aligned with URLs.
+func (c *Cluster) Clients() []*client.Client {
+	out := make([]*client.Client, len(c.URLs))
+	for i, u := range c.URLs {
+		out[i] = client.New(u)
+	}
+	return out
+}
+
+// Close drains every node and shuts the listeners down.
+func (c *Cluster) Close() {
+	for _, s := range c.Servers {
+		s.Drain()
+	}
+	for _, ts := range c.ts {
+		ts.Close()
+	}
+}

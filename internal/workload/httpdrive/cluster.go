@@ -1,0 +1,30 @@
+package httpdrive
+
+import (
+	"context"
+
+	"cqapprox/client"
+	"cqapprox/internal/workload"
+)
+
+// ClusterExecutor returns a LoadGen executor over a cluster's nodes:
+// stateless ops (inline databases, prepares) go to the node Op.Node
+// names, while every op touching a registered database — registration
+// itself, by-name eval/count/stream, deltas, subscriptions — goes to
+// node 0. Registration is coordinator-local (only the registering node
+// holds the placement and the full copy; peers hold shard slices under
+// internal names), so node 0 is the coordinator for the whole pool and
+// fans eligible requests out from there.
+func ClusterExecutor(clients []*client.Client) func(ctx context.Context, op workload.Op) error {
+	execs := make([]func(ctx context.Context, op workload.Op) error, len(clients))
+	for i, c := range clients {
+		execs[i] = Executor(c)
+	}
+	return func(ctx context.Context, op workload.Op) error {
+		node := op.Node % len(execs)
+		if op.DBName != "" {
+			node = 0
+		}
+		return execs[node](ctx, op)
+	}
+}

@@ -82,6 +82,10 @@ type Op struct {
 	// registered database DBName (api.RegisterDBRequest.Delta) — the
 	// traffic LoadGen.UpdateShare generates.
 	Delta *relstr.Delta
+	// Node is the cluster node index this op targets (always 0 unless
+	// LoadGen.ClusterNodes spreads the traffic) — multi-node executors
+	// route by it, single-node executors ignore it.
+	Node int
 }
 
 // LoadGen generates mixed prepare/eval/stream traffic over a fixed
@@ -165,6 +169,18 @@ type LoadGen struct {
 	// RegisteredShare > 0 to have any effect. Zero keeps the op sequence
 	// bit-identical to pre-subscription generators.
 	SubscribeShare float64
+
+	// ClusterNodes spreads the generated traffic over an n-node
+	// cluster: each op draws a target index Op.Node in [0, n). Zero or
+	// one keeps every op on node 0 (and the op sequence bit-identical
+	// to single-node generators).
+	ClusterNodes int
+
+	// PeerAddrs optionally lists the cluster nodes' base URLs,
+	// index-aligned with Op.Node. The generator itself never reads it;
+	// it rides along so a harness can build its per-node clients from
+	// the same config that shaped the traffic.
+	PeerAddrs []string
 
 	// Concurrency is the number of worker goroutines Run uses
 	// (default 8).
@@ -357,6 +373,11 @@ func (g *LoadGen) op(rng *rand.Rand) Op {
 		len(op.Order) == 0 && rng.Float64() < g.SubscribeShare {
 		op.Kind = OpSubscribe
 		op.Limit = 0
+	}
+	// The node draw comes after the subscribe draw, same convention:
+	// ClusterNodes <= 1 changes nothing.
+	if g.ClusterNodes > 1 {
+		op.Node = rng.Intn(g.ClusterNodes)
 	}
 	return op
 }

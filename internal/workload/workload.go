@@ -285,6 +285,39 @@ func EvalBenchDB(n int) *relstr.Structure {
 	return db
 }
 
+// ClusterQuerySuite returns the fact-and-dimension queries shaped for
+// the sharded cluster: each query references the (large, partitioned)
+// fact relation E exactly once, with the small dimension relations
+// R1/R2 replicated to every shard — so a cluster coordinator scatters
+// instead of falling back to its full copy. The first query's head
+// covers both arguments of its E atom, so per-shard exact counts sum.
+func ClusterQuerySuite() []*cq.Query {
+	return []*cq.Query{
+		cq.MustParse("Qfact(x,y) :- E(x,y), R1(x,u), R2(y,v)"),
+		cq.MustParse("Qout(x) :- E(x,y), R1(y,u)"),
+		cq.MustParse("Qedge(x,y) :- E(x,y)"),
+	}
+}
+
+// ClusterBenchDB returns the deterministic database the cluster
+// benchmarks shard at size n: a social graph under E (the fact
+// relation, ~6n+ edges — large enough to tuple-partition) plus two
+// sparse follower graphs R1/R2 over a quarter of the nodes (the
+// dimensions, small enough to replicate below any threshold between
+// their size and E's).
+func ClusterBenchDB(n int) *relstr.Structure {
+	db := RandomSocial(rand.New(rand.NewSource(99)), n, 6, 0.3)
+	for i := 1; i <= 2; i++ {
+		ri := RandomSocial(rand.New(rand.NewSource(int64(99+i))), max(2, n/4), 2, 0.2)
+		name := fmt.Sprintf("R%d", i)
+		db.Declare(name, 2)
+		for _, t := range ri.Tuples("E") {
+			db.Add(name, t...)
+		}
+	}
+	return db
+}
+
 // QuerySuite returns the named query suite used by the Figure 1
 // experiment: a spread of cyclic queries over graphs and ternary
 // relations.
